@@ -1,0 +1,139 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * MCM FIFO depth vs event loss under omnetpp-like branch pressure;
+//! * PTM flush threshold vs collection latency (Fig. 7's dominant term);
+//! * trimming granularity (line-level vs block-level) vs area.
+//!
+//! The *simulated* metrics are printed once per configuration; Criterion
+//! additionally measures simulator wall-clock for the queueing sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtad_igm::VectorPayload;
+use rtad_mcm::{InferenceEngine, InferenceResult, Mcm, McmConfig};
+use rtad_miaow::area::full_area;
+use rtad_miaow::TrimPlan;
+use rtad_sim::{ClockDomain, Picos};
+use rtad_soc::backend::profile_trim_plan;
+use rtad_soc::transfer::measure_rtad_transfer;
+use rtad_trace::PtmConfig;
+use rtad_workloads::{Benchmark, ProgramModel};
+
+struct FixedLatency(u64);
+
+impl InferenceEngine for FixedLatency {
+    fn infer_event(&mut self, _p: &VectorPayload, _at: Picos) -> InferenceResult {
+        InferenceResult {
+            score: 0.0,
+            flagged: false,
+            engine_cycles: self.0,
+        }
+    }
+    fn engine_clock(&self) -> ClockDomain {
+        ClockDomain::rtad_miaow()
+    }
+}
+
+/// Event stream with omnetpp-like pressure: bursts of arrivals far
+/// faster than the ~43us LSTM service time.
+fn pressured_vectors(n: usize) -> Vec<rtad_igm::TimedVector> {
+    (0..n)
+        .map(|i| rtad_igm::TimedVector {
+            at: Picos::from_micros(10 * (i as u64 / 8) + (i as u64 % 8)),
+            target: rtad_trace::VirtAddr::new(0x40),
+            context_id: 1,
+            payload: VectorPayload::Token((i % 16) as u32),
+        })
+        .collect()
+}
+
+fn ablate_fifo_depth(c: &mut Criterion) {
+    let vectors = pressured_vectors(512);
+    let mut group = c.benchmark_group("ablate_mcm_fifo_depth");
+    for depth in [4usize, 16, 64, 256] {
+        let mut config = McmConfig::rtad();
+        config.fifo_depth = depth;
+        {
+            let mut mcm = Mcm::new(config.clone(), FixedLatency(2_000));
+            let run = mcm.run(&vectors);
+            println!(
+                "[simulated] fifo depth {depth:>3}: {} events served, {} dropped, \
+                 worst latency {:.1}us",
+                run.events.len(),
+                run.fifo.dropped,
+                run.events
+                    .iter()
+                    .map(|e| e.total_latency().as_micros_f64())
+                    .fold(0.0, f64::max)
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &config, |b, config| {
+            b.iter(|| Mcm::new(config.clone(), FixedLatency(2_000)).run(&vectors))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_ptm_threshold(c: &mut Criterion) {
+    let run = ProgramModel::build(Benchmark::Gcc, 1).generate(3_000, 2);
+    let mut group = c.benchmark_group("ablate_ptm_flush_threshold");
+    group.sample_size(10);
+    for threshold in [32usize, 128, 280, 448] {
+        let mut ptm = PtmConfig::rtad();
+        ptm.flush_threshold = threshold;
+        {
+            let b = measure_rtad_transfer(&run, ptm.clone());
+            println!(
+                "[simulated] flush threshold {threshold:>3}B: collect {:.2}us, \
+                 total {:.2}us",
+                b.collect.as_micros_f64(),
+                b.total().as_micros_f64()
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(threshold), &ptm, |b, ptm| {
+            b.iter(|| measure_rtad_transfer(&run, ptm.clone()))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_trim_granularity(_c: &mut Criterion) {
+    // Pure area arithmetic; print the comparison once.
+    let (elm, lstm) = {
+        use rtad_ml::{Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice};
+        let normal: Vec<Vec<f32>> = (0..60)
+            .map(|i| {
+                let mut v = vec![0.0; 16];
+                v[i % 4] = 1.0;
+                v
+            })
+            .collect();
+        let corpus: Vec<u32> = (0..400).map(|i| (i % 16) as u32).collect();
+        let mut cfg = LstmConfig::rtad();
+        cfg.epochs = 1;
+        (
+            ElmDevice::compile(&Elm::train(&ElmConfig::rtad(), &normal, 1)),
+            LstmDevice::compile(&Lstm::train(&cfg, &corpus, 1)),
+        )
+    };
+    let plan = profile_trim_plan(&elm, &lstm);
+    let block = TrimPlan::block_level(plan.retained());
+    let full = full_area();
+    println!(
+        "[simulated] trim granularity: none {} LUT+FF, block-level {} (-{:.0}%), \
+         line-level {} (-{:.0}%)",
+        full.lut_ff_sum(),
+        block.area().lut_ff_sum(),
+        block.area().reduction_vs(&full) * 100.0,
+        plan.area().lut_ff_sum(),
+        plan.area().reduction_vs(&full) * 100.0,
+    );
+}
+
+criterion_group!(
+    benches,
+    ablate_fifo_depth,
+    ablate_ptm_threshold,
+    ablate_trim_granularity
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks of the trace→vector pipeline (the
+//! components behind Fig. 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rtad_igm::{Igm, IgmConfig};
+use rtad_trace::ptm::{PacketDecoder, PacketEncoder};
+use rtad_trace::tpiu::{TpiuDeframer, TpiuFormatter, TraceId, FRAME_BYTES};
+use rtad_trace::{PtmConfig, StreamEncoder, VirtAddr};
+use rtad_workloads::{Benchmark, ProgramModel};
+
+fn bench_ptm_encode(c: &mut Criterion) {
+    let model = ProgramModel::build(Benchmark::Gcc, 1);
+    let mut group = c.benchmark_group("ptm_encode");
+    for &n in &[1_000usize, 10_000] {
+        let run = model.generate(n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &run, |b, run| {
+            b.iter(|| StreamEncoder::new(PtmConfig::rtad()).encode_run(run))
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    // A realistic packet byte stream.
+    let model = ProgramModel::build(Benchmark::Sjeng, 1);
+    let run = model.generate(5_000, 3);
+    let mut enc = StreamEncoder::new(PtmConfig::rtad());
+    let packets = enc.encode_packets(&run);
+    let mut penc = PacketEncoder::new();
+    let bytes: Vec<u8> = packets
+        .iter()
+        .flat_map(|(_, p)| penc.encode(p))
+        .collect();
+
+    let mut group = c.benchmark_group("packet_decode");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("byte_at_a_time", |b| {
+        b.iter(|| {
+            let mut dec = PacketDecoder::new();
+            let mut n = 0usize;
+            for &byte in &bytes {
+                if dec.feed(byte).expect("valid stream").is_some() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_tpiu(c: &mut Criterion) {
+    let id = TraceId::new(0x10).expect("valid");
+    let payload: Vec<u8> = (0..16_384u32).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("tpiu");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("format_and_deframe", |b| {
+        b.iter(|| {
+            let mut f = TpiuFormatter::new();
+            f.push_slice(id, &payload);
+            let frames = f.flush();
+            let mut d = TpiuDeframer::new();
+            let mut n = 0usize;
+            for frame in &frames {
+                n += d.feed_frame(frame).expect("own frames").len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_igm(c: &mut Criterion) {
+    let model = ProgramModel::build(Benchmark::Gcc, 1);
+    let run = model.generate(5_000, 4);
+    let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(&run);
+    let targets: Vec<VirtAddr> = {
+        let mut t: Vec<VirtAddr> = run.iter().map(|r| r.target).collect();
+        t.sort();
+        t.dedup();
+        t
+    };
+    let mut group = c.benchmark_group("igm");
+    group.throughput(Throughput::Bytes(trace.bytes.len() as u64));
+    assert_eq!(trace.bytes.len() % FRAME_BYTES, 0);
+    group.bench_function("process_trace", |b| {
+        b.iter(|| Igm::new(IgmConfig::token_stream(&targets)).process_trace(&trace))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ptm_encode,
+    bench_packet_codec,
+    bench_tpiu,
+    bench_igm
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p rtad-bench --bin repro -- all
+//! cargo run --release -p rtad-bench --bin repro -- table1 table2 fig6 fig7
+//! cargo run --release -p rtad-bench --bin repro -- fig8          # 3-benchmark subset
+//! cargo run --release -p rtad-bench --bin repro -- fig8-full     # all twelve
+//! ```
+
+use rtad_bench::{Fig6, Fig7, Fig8, Table1, Table2};
+use rtad_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() {
+        vec!["all"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let has = |name: &str| wanted.iter().any(|&w| w == name || w == "all");
+
+    if has("table1") {
+        println!("{}\n", Table1::run());
+    }
+    if has("table2") {
+        println!("{}\n", Table2::run());
+    }
+    if has("fig6") {
+        println!("{}\n", Fig6::run(60_000));
+    }
+    if has("fig7") {
+        println!("{}\n", Fig7::run(4_000));
+    }
+    if has("fig8") && !wanted.contains(&"fig8-full") {
+        // A representative subset: a small memory-bound program, a
+        // mid-size chess engine, and the paper's branch-pressure worst
+        // case.
+        println!(
+            "{}\n",
+            Fig8::run(&[Benchmark::Mcf, Benchmark::Sjeng, Benchmark::Omnetpp])
+        );
+    }
+    if wanted.contains(&"fig8-full") {
+        println!("{}\n", Fig8::run(&Benchmark::ALL));
+    }
+    if wanted.iter().all(|w| {
+        !["all", "table1", "table2", "fig6", "fig7", "fig8", "fig8-full"].contains(w)
+    }) {
+        eprintln!(
+            "unknown target(s) {wanted:?}; expected any of: \
+             table1 table2 fig6 fig7 fig8 fig8-full all"
+        );
+        std::process::exit(2);
+    }
+}

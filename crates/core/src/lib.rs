@@ -1,0 +1,279 @@
+//! # RTAD — Real-Time Anomalous Branch Behavior Inference
+//!
+//! A full-system reproduction of *"Real-Time Anomalous Branch Behavior
+//! Inference with a GPU-inspired Engine for Machine Learning Models"*
+//! (Oh, Yi, Choe, Cho, Yoon, Paek — DATE 2019) as a cycle-level Rust
+//! simulator.
+//!
+//! RTAD is an ARM-based MPSoC that watches a victim program's branch
+//! behaviour through the CPU's CoreSight trace hardware and runs ML
+//! models on a trimmed open-source GPGPU (**ML-MIAOW**) to flag
+//! control-flow anomalies within microseconds of the first aberrant
+//! branch. This crate is the façade over the full stack:
+//!
+//! | Layer | Crate | What it models |
+//! |---|---|---|
+//! | [`sim`] | `rtad-sim` | clocks, event queues, FIFOs, buses, areas |
+//! | [`trace`] | `rtad-trace` | CoreSight PTM packets + TPIU framing |
+//! | [`workloads`] | `rtad-workloads` | SPEC CINT2006-like programs + attacks |
+//! | [`igm`] | `rtad-igm` | Input Generation Module (TA, P2S, IVG) |
+//! | [`miaow`] | `rtad-miaow` | the GPGPU engine, coverage, trimming, area |
+//! | [`ml`] | `rtad-ml` | ELM / LSTM models + MIAOW kernel lowering |
+//! | [`mcm`] | `rtad-mcm` | ML Computing Module (FIFO, FSM, TX/RX, IRQ) |
+//! | [`soc`] | `rtad-soc` | the integrated MPSoC + the paper's experiments |
+//!
+//! # Quick start
+//!
+//! Deploy an LSTM branch model on the five-CU ML-MIAOW, inject a
+//! code-reuse attack, and measure how fast the interrupt fires:
+//!
+//! ```no_run
+//! use rtad::{Deployment, EngineChoice, ModelChoice};
+//! use rtad::workloads::Benchmark;
+//!
+//! let deployment = Deployment::builder(Benchmark::Gcc)
+//!     .model(ModelChoice::Lstm)
+//!     .engine(EngineChoice::MlMiaow)
+//!     .seed(7)
+//!     .build();
+//! let outcome = deployment.detect_injected_attack();
+//! assert!(outcome.detected);
+//! println!("detected {} after the first anomalous branch",
+//!          outcome.latency.expect("detected"));
+//! ```
+//!
+//! (`no_run` here only because training takes a few seconds; the same
+//! flow runs in `examples/quickstart.rs`.)
+//!
+//! # Reproducing the paper
+//!
+//! Every table and figure regenerates from `rtad-bench`'s `repro`
+//! binary; see EXPERIMENTS.md at the repository root for the
+//! paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Simulation substrate re-exports (`rtad-sim`).
+pub mod sim {
+    pub use rtad_sim::*;
+}
+/// Trace protocol re-exports (`rtad-trace`).
+pub mod trace {
+    pub use rtad_trace::*;
+}
+/// Workload re-exports (`rtad-workloads`).
+pub mod workloads {
+    pub use rtad_workloads::*;
+}
+/// Input Generation Module re-exports (`rtad-igm`).
+pub mod igm {
+    pub use rtad_igm::*;
+}
+/// Engine re-exports (`rtad-miaow`).
+pub mod miaow {
+    pub use rtad_miaow::*;
+}
+/// ML model re-exports (`rtad-ml`).
+pub mod ml {
+    pub use rtad_ml::*;
+}
+/// ML Computing Module re-exports (`rtad-mcm`).
+pub mod mcm {
+    pub use rtad_mcm::*;
+}
+/// SoC integration and experiment re-exports (`rtad-soc`).
+pub mod soc {
+    pub use rtad_soc::*;
+}
+
+use rtad_soc::backend::EngineKind;
+use rtad_soc::detection::{DetectionConfig, DetectionOutcome, DetectionRun, ModelKind};
+use rtad_workloads::Benchmark;
+
+/// Which ML model the deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelChoice {
+    /// Extreme Learning Machine over syscall histograms.
+    Elm,
+    /// LSTM over watchlisted branch tokens.
+    Lstm,
+}
+
+/// Which engine variant serves inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineChoice {
+    /// The original MIAOW (one compute unit fits the FPGA).
+    Miaow,
+    /// The trimmed ML-MIAOW (five compute units in the same area).
+    MlMiaow,
+}
+
+/// Builder for a [`Deployment`].
+#[derive(Debug, Clone)]
+pub struct DeploymentBuilder {
+    bench: Benchmark,
+    model: ModelChoice,
+    engine: EngineChoice,
+    seed: u64,
+    train_branches: usize,
+    attack_burst: usize,
+}
+
+impl DeploymentBuilder {
+    /// Selects the model (default: LSTM).
+    pub fn model(mut self, model: ModelChoice) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Selects the engine (default: ML-MIAOW).
+    pub fn engine(mut self, engine: EngineChoice) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the master seed (default: 7).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the profiling/training run length.
+    pub fn train_branches(mut self, branches: usize) -> Self {
+        self.train_branches = branches;
+        self
+    }
+
+    /// Overrides the injected attack's burst length.
+    pub fn attack_burst(mut self, burst: usize) -> Self {
+        self.attack_burst = burst;
+        self
+    }
+
+    /// Runs the full deployment flow: profile → derive IGM tables →
+    /// train → calibrate → compile to kernels → trim → measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training run is too short to produce events
+    /// (raise [`DeploymentBuilder::train_branches`]).
+    pub fn build(self) -> Deployment {
+        let model_kind = match self.model {
+            ModelChoice::Elm => ModelKind::Elm,
+            ModelChoice::Lstm => ModelKind::Lstm,
+        };
+        let engine_kind = match self.engine {
+            EngineChoice::Miaow => EngineKind::Miaow,
+            EngineChoice::MlMiaow => EngineKind::MlMiaow,
+        };
+        let config = DetectionConfig {
+            train_branches: self.train_branches,
+            attack_burst: self.attack_burst,
+            seed: self.seed,
+            ..DetectionConfig::fig8(self.bench, model_kind, engine_kind)
+        };
+        Deployment {
+            run: DetectionRun::prepare(config),
+            bench: self.bench,
+            model: self.model,
+            engine: self.engine,
+        }
+    }
+}
+
+/// A fully-prepared RTAD deployment: trained model, calibrated
+/// threshold, compiled kernels, measured engine timing.
+pub struct Deployment {
+    run: DetectionRun,
+    bench: Benchmark,
+    model: ModelChoice,
+    engine: EngineChoice,
+}
+
+impl Deployment {
+    /// Starts a builder for `bench`.
+    pub fn builder(bench: Benchmark) -> DeploymentBuilder {
+        DeploymentBuilder {
+            bench,
+            model: ModelChoice::Lstm,
+            engine: EngineChoice::MlMiaow,
+            seed: 7,
+            train_branches: 900_000,
+            attack_burst: 256,
+        }
+    }
+
+    /// The benchmark under protection.
+    pub fn benchmark(&self) -> Benchmark {
+        self.bench
+    }
+
+    /// The deployed model.
+    pub fn model(&self) -> ModelChoice {
+        self.model
+    }
+
+    /// The serving engine.
+    pub fn engine(&self) -> EngineChoice {
+        self.engine
+    }
+
+    /// The calibrated detection threshold.
+    pub fn threshold(&self) -> f64 {
+        self.run.threshold()
+    }
+
+    /// Engine cycles per inference event on the configured variant.
+    pub fn cycles_per_event(&self) -> u64 {
+        self.run.cycles_per_event()
+    }
+
+    /// Injects a code-reuse attack into a fresh run of the protected
+    /// program, pushes the trace through the full hardware pipeline
+    /// (PTM → TPIU → IGM → MCM → engine) and reports detection.
+    pub fn detect_injected_attack(&self) -> DetectionOutcome {
+        self.run.execute()
+    }
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("benchmark", &self.bench)
+            .field("model", &self.model)
+            .field("engine", &self.engine)
+            .field("threshold", &self.run.threshold())
+            .field("cycles_per_event", &self.run.cycles_per_event())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let b = Deployment::builder(Benchmark::Bzip2);
+        assert_eq!(b.bench, Benchmark::Bzip2);
+        assert_eq!(b.model, ModelChoice::Lstm);
+        assert_eq!(b.engine, EngineChoice::MlMiaow);
+        assert_eq!(b.seed, 7);
+    }
+
+    #[test]
+    fn deployment_end_to_end_detects() {
+        // One compact end-to-end check; the soc crate covers the matrix.
+        let d = Deployment::builder(Benchmark::Sjeng)
+            .model(ModelChoice::Lstm)
+            .engine(EngineChoice::MlMiaow)
+            .train_branches(600_000)
+            .seed(3)
+            .build();
+        assert!(d.cycles_per_event() > 0);
+        let out = d.detect_injected_attack();
+        assert!(out.detected, "{out:?}");
+        assert!(!out.false_positive, "{out:?}");
+    }
+}

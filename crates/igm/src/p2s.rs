@@ -1,0 +1,168 @@
+//! The parallel-to-serial converter between the TA and the IVG.
+//!
+//! "Since the incoming 32-bit input can be decoded into four branch
+//! addresses in the worst case, we install the parallel-to-serial
+//! converter (P2S) between TA and input vector generator" (§III-A).
+//! Up to four addresses completing in one TA cycle are serialized toward
+//! the IVG at one address per MLPU cycle through a small hardware FIFO.
+
+use rtad_sim::{AreaEstimate, ClockDomain, FifoStats, HwFifo, OverflowPolicy, Picos};
+
+use crate::ta::DecodedAddress;
+
+/// The P2S converter: serializes same-cycle TA outputs.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_igm::P2sConverter;
+/// use rtad_igm::ta::DecodedAddress;
+/// use rtad_sim::{ClockDomain, Picos};
+/// use rtad_trace::{IsetMode, VirtAddr};
+///
+/// let mut p2s = P2sConverter::new(ClockDomain::rtad_mlpu(), 8);
+/// let t = Picos::from_nanos(8);
+/// let burst: Vec<DecodedAddress> = (0..4)
+///     .map(|i| DecodedAddress {
+///         target: VirtAddr::new(0x100 * (i + 1)),
+///         mode: IsetMode::Arm,
+///         exception: None,
+///         context_id: 0,
+///         at: t,
+///         unit: i as u8,
+///     })
+///     .collect();
+/// let serialized = p2s.push_burst(&burst);
+/// // Four same-cycle addresses leave on four consecutive cycles.
+/// assert_eq!(serialized.len(), 4);
+/// assert!(serialized.windows(2).all(|w| w[1].at > w[0].at));
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2sConverter {
+    clock: ClockDomain,
+    fifo: HwFifo<DecodedAddress>,
+    /// Next cycle edge at which an output slot is free.
+    next_free: Picos,
+}
+
+impl P2sConverter {
+    /// Creates a P2S with the given FIFO depth.
+    pub fn new(clock: ClockDomain, depth: usize) -> Self {
+        P2sConverter {
+            clock,
+            fifo: HwFifo::new(depth, OverflowPolicy::DropNewest),
+            next_free: Picos::ZERO,
+        }
+    }
+
+    /// Table I synthesis result for the P2S.
+    pub fn area() -> AreaEstimate {
+        AreaEstimate::new(686, 1_074, 0, 14_363)
+    }
+
+    /// FIFO statistics (drops mean the TA out-ran the serializer).
+    pub fn fifo_stats(&self) -> FifoStats {
+        self.fifo.stats()
+    }
+
+    /// Pushes the addresses decoded in one TA cycle and drains whatever
+    /// can leave, one per cycle, starting at the burst's timestamp.
+    /// Returned addresses carry their serialized departure times.
+    pub fn push_burst(&mut self, burst: &[DecodedAddress]) -> Vec<DecodedAddress> {
+        for &a in burst {
+            self.fifo.push(a);
+        }
+        let now = burst.first().map_or(self.next_free, |a| a.at);
+        self.drain_from(now)
+    }
+
+    /// Drains everything still queued starting at `now`.
+    pub fn drain(&mut self, now: Picos) -> Vec<DecodedAddress> {
+        self.drain_from(now)
+    }
+
+    fn drain_from(&mut self, now: Picos) -> Vec<DecodedAddress> {
+        let period = self.clock.freq().period();
+        let mut t = self
+            .clock
+            .next_edge_at_or_after(self.next_free.max(now));
+        let mut out = Vec::with_capacity(self.fifo.len());
+        while let Some(mut a) = self.fifo.pop() {
+            a.at = t;
+            out.push(a);
+            t = t + period;
+        }
+        self.next_free = t;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtad_trace::{IsetMode, VirtAddr};
+
+    fn addr(i: u32, at: Picos) -> DecodedAddress {
+        DecodedAddress {
+            target: VirtAddr::new(0x1000 + i * 4),
+            mode: IsetMode::Arm,
+            exception: None,
+            context_id: 0,
+            at,
+            unit: (i % 4) as u8,
+        }
+    }
+
+    #[test]
+    fn serializes_one_per_cycle() {
+        let clock = ClockDomain::rtad_mlpu();
+        let period = clock.freq().period();
+        let mut p2s = P2sConverter::new(clock, 8);
+        let t0 = Picos::from_nanos(16);
+        let out = p2s.push_burst(&[addr(0, t0), addr(1, t0), addr(2, t0)]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].at, t0);
+        assert_eq!(out[1].at, t0 + period);
+        assert_eq!(out[2].at, t0 + period * 2);
+    }
+
+    #[test]
+    fn back_to_back_bursts_queue_behind_each_other() {
+        let clock = ClockDomain::rtad_mlpu();
+        let period = clock.freq().period();
+        let mut p2s = P2sConverter::new(clock, 8);
+        let t0 = Picos::from_nanos(0);
+        let first = p2s.push_burst(&[addr(0, t0), addr(1, t0), addr(2, t0), addr(3, t0)]);
+        // Second burst arrives one cycle later but the port is busy.
+        let t1 = t0 + period;
+        let second = p2s.push_burst(&[addr(4, t1)]);
+        assert_eq!(second[0].at, first[3].at + period);
+    }
+
+    #[test]
+    fn idle_gap_resets_to_arrival_time() {
+        let clock = ClockDomain::rtad_mlpu();
+        let mut p2s = P2sConverter::new(clock, 8);
+        p2s.push_burst(&[addr(0, Picos::from_nanos(8))]);
+        let late = Picos::from_micros(5);
+        let out = p2s.push_burst(&[addr(1, late)]);
+        assert_eq!(out[0].at, late);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let clock = ClockDomain::rtad_mlpu();
+        let mut p2s = P2sConverter::new(clock, 2);
+        let t0 = Picos::ZERO;
+        let burst: Vec<_> = (0..5).map(|i| addr(i, t0)).collect();
+        let out = p2s.push_burst(&burst);
+        assert_eq!(out.len(), 2);
+        assert_eq!(p2s.fifo_stats().dropped, 3);
+    }
+
+    #[test]
+    fn area_matches_table_i() {
+        let a = P2sConverter::area();
+        assert_eq!((a.luts, a.ffs, a.gates), (686, 1_074, 14_363));
+    }
+}

@@ -1,0 +1,330 @@
+//! The Trace Analyzer: four byte-lane TA units decoding PTM packets.
+//!
+//! "The main submodule in IGM is the trace analyzer (TA) that receives
+//! the trace stream through a 32-bit port and decodes it to extract
+//! branch target addresses. Because the trace stream is constructed of
+//! multiple packets of one or more bytes of data, decoding for each
+//! packet must be done sequentially in bytes. TA has four TA units
+//! responsible for each byte decoding." (§III-A)
+//!
+//! In RTL the four units form a combinational chain so a whole 32-bit
+//! word decodes in one cycle; here each unit advances the shared packet
+//! state machine by one byte, and the analyzer accounts one MLPU cycle
+//! per word. The packet state machine is the *same* one as the reference
+//! decoder in [`rtad_trace::ptm`], which is exactly the verification
+//! story the design needs: hardware TA output ≡ reference decode.
+
+use rtad_sim::{AreaEstimate, ClockDomain, Picos};
+use rtad_trace::ptm::{DecodeError, Packet, PacketDecoder};
+use rtad_trace::tpiu::{DeframeError, TpiuDeframer, FRAME_BYTES};
+use rtad_trace::{IsetMode, VirtAddr};
+
+/// A branch target address extracted by the TA, with decode metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedAddress {
+    /// The branch target.
+    pub target: VirtAddr,
+    /// Instruction-set state at the target.
+    pub mode: IsetMode,
+    /// Exception number, if the branch entered an exception (syscalls).
+    pub exception: Option<u8>,
+    /// Process context the branch belongs to.
+    pub context_id: u32,
+    /// MLPU-clock time at which the address left the TA.
+    pub at: Picos,
+    /// Which of the four TA units completed the packet (0..=3).
+    pub unit: u8,
+}
+
+/// Cumulative TA statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaStats {
+    /// 32-bit words consumed.
+    pub words: u64,
+    /// Bytes consumed.
+    pub bytes: u64,
+    /// Packets completed.
+    pub packets: u64,
+    /// Branch addresses extracted.
+    pub addresses: u64,
+    /// Decode errors encountered (stream resynchronizes on A-sync).
+    pub decode_errors: u64,
+    /// Words in which more than one address completed (the reason the
+    /// P2S stage exists).
+    pub multi_address_words: u64,
+}
+
+/// The four-unit Trace Analyzer.
+///
+/// Feed it TPIU frames (as the MLPU port receives them); it returns the
+/// branch addresses completed per 32-bit word together with their
+/// completion times.
+#[derive(Debug, Clone)]
+pub struct TraceAnalyzer {
+    deframer: TpiuDeframer,
+    decoder: PacketDecoder,
+    clock: ClockDomain,
+    /// Context carried from I-sync/context-ID packets.
+    context_id: u32,
+    stats: TaStats,
+    /// Bytes awaiting word grouping (a frame is 4 words).
+    lane_buffer: Vec<u8>,
+}
+
+impl TraceAnalyzer {
+    /// Creates a TA clocked in the given (MLPU) domain.
+    pub fn new(clock: ClockDomain) -> Self {
+        TraceAnalyzer {
+            deframer: TpiuDeframer::new(),
+            decoder: PacketDecoder::new(),
+            clock,
+            context_id: 0,
+            stats: TaStats::default(),
+            lane_buffer: Vec::with_capacity(FRAME_BYTES),
+        }
+    }
+
+    /// Table I synthesis result for the Trace Analyzer.
+    pub fn area() -> AreaEstimate {
+        AreaEstimate::new(11_962, 350, 0, 12_375)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TaStats {
+        self.stats
+    }
+
+    /// The current process context (from the last I-sync / context-ID).
+    pub fn context_id(&self) -> u32 {
+        self.context_id
+    }
+
+    /// Processes one TPIU frame arriving at `at`. The frame's four
+    /// 32-bit words decode on consecutive MLPU cycles starting at the
+    /// first clock edge at or after `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaError`] on malformed frames; packet-level decode
+    /// errors are *counted* (the hardware resynchronizes on A-sync)
+    /// rather than returned, matching the RTL behaviour.
+    pub fn feed_frame(
+        &mut self,
+        frame: &[u8; FRAME_BYTES],
+        at: Picos,
+    ) -> Result<Vec<DecodedAddress>, TaError> {
+        let payload = self.deframer.feed_frame(frame).map_err(TaError::Deframe)?;
+        // The TA only sees the PTM's bytes; the deframer has already
+        // dropped null padding and other sources.
+        self.lane_buffer.extend(payload.iter().map(|&(_, b)| b));
+
+        let mut out = Vec::new();
+        let mut word_time = self.clock.next_edge_at_or_after(at);
+        let period = self.clock.freq().period();
+
+        while self.lane_buffer.len() >= 4 {
+            let word: Vec<u8> = self.lane_buffer.drain(..4).collect();
+            let addrs = self.decode_word(&word, word_time);
+            out.extend(addrs);
+            word_time = word_time + period;
+        }
+        Ok(out)
+    }
+
+    /// Flushes any straggler bytes (fewer than a full word) at `at`.
+    pub fn flush(&mut self, at: Picos) -> Vec<DecodedAddress> {
+        let word: Vec<u8> = self.lane_buffer.drain(..).collect();
+        if word.is_empty() {
+            return Vec::new();
+        }
+        let t = self.clock.next_edge_at_or_after(at);
+        self.decode_word(&word, t)
+    }
+
+    fn decode_word(&mut self, word: &[u8], at: Picos) -> Vec<DecodedAddress> {
+        self.stats.words += 1;
+        let mut out = Vec::new();
+        for (lane, &byte) in word.iter().enumerate() {
+            self.stats.bytes += 1;
+            match self.decoder.feed(byte) {
+                Ok(Some(packet)) => {
+                    self.stats.packets += 1;
+                    self.note_context(&packet);
+                    if let Packet::BranchAddress {
+                        target,
+                        mode,
+                        exception,
+                    } = packet
+                    {
+                        self.stats.addresses += 1;
+                        out.push(DecodedAddress {
+                            target,
+                            mode,
+                            exception,
+                            context_id: self.context_id,
+                            // Address available at the end of the cycle.
+                            at: at + self.clock.freq().period(),
+                            unit: lane as u8,
+                        });
+                    }
+                }
+                Ok(None) => {}
+                Err(_e) => {
+                    self.stats.decode_errors += 1;
+                }
+            }
+        }
+        if out.len() > 1 {
+            self.stats.multi_address_words += 1;
+        }
+        out
+    }
+
+    fn note_context(&mut self, packet: &Packet) {
+        match packet {
+            Packet::Isync { context_id, .. } | Packet::ContextId(context_id) => {
+                self.context_id = *context_id;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Errors from [`TraceAnalyzer::feed_frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TaError {
+    /// The TPIU frame was malformed.
+    Deframe(DeframeError),
+    /// Reserved for packet-stream faults surfaced as hard errors.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for TaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaError::Deframe(e) => write!(f, "trace analyzer deframe error: {e}"),
+            TaError::Decode(e) => write!(f, "trace analyzer decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TaError::Deframe(e) => Some(e),
+            TaError::Decode(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtad_trace::ptm::PacketEncoder;
+    use rtad_trace::tpiu::TpiuFormatter;
+    use rtad_trace::TraceId;
+
+    fn frames_for(packets: &[Packet]) -> Vec<[u8; FRAME_BYTES]> {
+        let mut enc = PacketEncoder::new();
+        let mut fmt = TpiuFormatter::new();
+        let id = TraceId::new(0x10).unwrap();
+        for p in packets {
+            fmt.push_slice(id, &enc.encode(p));
+        }
+        fmt.flush()
+    }
+
+    #[test]
+    fn extracts_branch_addresses_only() {
+        let packets = vec![
+            Packet::Async,
+            Packet::Isync {
+                addr: VirtAddr::new(0x1000),
+                mode: IsetMode::Arm,
+                context_id: 9,
+            },
+            Packet::branch(VirtAddr::new(0x1040), IsetMode::Arm),
+            Packet::Atom {
+                e_count: 3,
+                n_atom: false,
+            },
+            Packet::branch(VirtAddr::new(0x1080), IsetMode::Arm),
+        ];
+        let mut ta = TraceAnalyzer::new(ClockDomain::rtad_mlpu());
+        let mut addrs = Vec::new();
+        for f in frames_for(&packets) {
+            addrs.extend(ta.feed_frame(&f, Picos::ZERO).unwrap());
+        }
+        addrs.extend(ta.flush(Picos::from_micros(1)));
+        assert_eq!(addrs.len(), 2);
+        assert_eq!(addrs[0].target, VirtAddr::new(0x1040));
+        assert_eq!(addrs[1].target, VirtAddr::new(0x1080));
+        assert!(addrs.iter().all(|a| a.context_id == 9));
+    }
+
+    #[test]
+    fn exception_metadata_survives() {
+        let packets = vec![
+            Packet::Async,
+            Packet::BranchAddress {
+                target: VirtAddr::new(0xC000_0000),
+                mode: IsetMode::Arm,
+                exception: Some(0x11),
+            },
+        ];
+        let mut ta = TraceAnalyzer::new(ClockDomain::rtad_mlpu());
+        let mut addrs = Vec::new();
+        for f in frames_for(&packets) {
+            addrs.extend(ta.feed_frame(&f, Picos::ZERO).unwrap());
+        }
+        addrs.extend(ta.flush(Picos::from_micros(1)));
+        assert_eq!(addrs.len(), 1);
+        assert_eq!(addrs[0].exception, Some(0x11));
+    }
+
+    #[test]
+    fn words_decode_on_consecutive_cycles() {
+        // 64 single-byte near branches => many words, 4 bytes each.
+        let mut packets = vec![Packet::Async];
+        packets.push(Packet::branch(VirtAddr::new(0x40), IsetMode::Arm));
+        for _ in 0..63 {
+            packets.push(Packet::branch(VirtAddr::new(0x40), IsetMode::Arm));
+        }
+        let mut ta = TraceAnalyzer::new(ClockDomain::rtad_mlpu());
+        let mut addrs = Vec::new();
+        for f in frames_for(&packets) {
+            addrs.extend(ta.feed_frame(&f, Picos::ZERO).unwrap());
+        }
+        addrs.extend(ta.flush(Picos::from_millis(1)));
+        assert_eq!(addrs.len(), 64);
+        // Multiple addresses complete within single words.
+        assert!(ta.stats().multi_address_words > 0);
+        // Unit indices are per-lane.
+        assert!(addrs.iter().all(|a| a.unit < 4));
+    }
+
+    #[test]
+    fn decode_errors_are_counted_not_fatal() {
+        let id = TraceId::new(0x10).unwrap();
+        let mut fmt = TpiuFormatter::new();
+        // Garbage byte (invalid header 0x02), then a clean A-sync.
+        fmt.push(id, 0x02);
+        fmt.push_slice(id, &[0, 0, 0, 0, 0, 0x80]);
+        let mut ta = TraceAnalyzer::new(ClockDomain::rtad_mlpu());
+        for f in fmt.flush() {
+            ta.feed_frame(&f, Picos::ZERO).unwrap();
+        }
+        ta.flush(Picos::from_micros(1));
+        assert_eq!(ta.stats().decode_errors, 1);
+        assert_eq!(ta.stats().packets, 1); // the A-sync
+    }
+
+    #[test]
+    fn area_matches_table_i() {
+        let a = TraceAnalyzer::area();
+        assert_eq!(a.luts, 11_962);
+        assert_eq!(a.ffs, 350);
+        assert_eq!(a.gates, 12_375);
+    }
+}

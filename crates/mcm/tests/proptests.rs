@@ -1,0 +1,116 @@
+//! Property tests for the MCM: queueing conservation laws that must
+//! hold for any arrival pattern and any service time.
+
+use proptest::prelude::*;
+
+use rtad_igm::{TimedVector, VectorPayload};
+use rtad_mcm::{InferenceEngine, InferenceResult, Mcm, McmConfig};
+use rtad_sim::{ClockDomain, Picos};
+use rtad_trace::VirtAddr;
+
+struct FixedService(u64);
+
+impl InferenceEngine for FixedService {
+    fn infer_event(&mut self, _p: &VectorPayload, _at: Picos) -> InferenceResult {
+        InferenceResult {
+            score: 0.0,
+            flagged: false,
+            engine_cycles: self.0,
+        }
+    }
+    fn engine_clock(&self) -> ClockDomain {
+        ClockDomain::rtad_miaow()
+    }
+}
+
+fn vectors_from_gaps(gaps_ns: &[u64]) -> Vec<TimedVector> {
+    let mut t = 0u64;
+    gaps_ns
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| {
+            t += g;
+            TimedVector {
+                at: Picos::from_nanos(t),
+                target: VirtAddr::new(0x40),
+                context_id: 1,
+                payload: VectorPayload::Token((i % 8) as u32),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every offered vector is either served or dropped,
+    /// and served events keep arrival order with monotone timelines.
+    #[test]
+    fn conservation_and_order(
+        gaps in proptest::collection::vec(1u64..200_000, 1..200),
+        service_cycles in 1u64..5_000,
+        depth in 1usize..64,
+    ) {
+        let vectors = vectors_from_gaps(&gaps);
+        let mut config = McmConfig::rtad();
+        config.fifo_depth = depth;
+        let mut mcm = Mcm::new(config, FixedService(service_cycles));
+        let run = mcm.run(&vectors);
+
+        prop_assert_eq!(
+            run.events.len() + run.fifo.dropped as usize,
+            vectors.len()
+        );
+        // Service order preserves arrival order (FIFO) and timelines are
+        // internally consistent.
+        prop_assert!(run.events.windows(2).all(|w| w[0].arrived <= w[1].arrived));
+        for e in &run.events {
+            prop_assert!(e.started >= e.arrived);
+            prop_assert!(e.compute_started >= e.started);
+            prop_assert!(e.done > e.compute_started);
+        }
+        // The server never time-travels: done times strictly increase.
+        prop_assert!(run.events.windows(2).all(|w| w[0].done <= w[1].done));
+    }
+
+    /// With arrival gaps longer than the full service time, nothing
+    /// queues and nothing drops, no matter the pattern.
+    #[test]
+    fn sparse_arrivals_never_queue(
+        n in 1usize..60,
+        service_cycles in 1u64..2_000,
+    ) {
+        // Full service < cycles*20ns + transfer overhead (< 3us) + 2us slack.
+        let gap_ns = service_cycles * 20 + 5_000;
+        let gaps: Vec<u64> = vec![gap_ns; n];
+        let vectors = vectors_from_gaps(&gaps);
+        let mut mcm = Mcm::new(McmConfig::rtad(), FixedService(service_cycles));
+        let run = mcm.run(&vectors);
+        prop_assert_eq!(run.events.len(), n);
+        prop_assert_eq!(run.fifo.dropped, 0);
+        // "No queueing" up to clock-domain-crossing alignment: the FSM
+        // starts at the next MLPU edge, at most one 8ns period late.
+        let period = ClockDomain::rtad_mlpu().freq().period();
+        for e in &run.events {
+            prop_assert!(e.queue_wait() <= period, "wait {}", e.queue_wait());
+        }
+    }
+
+    /// FIFO depth never under-delivers: a deeper FIFO serves at least as
+    /// many events on the same input.
+    #[test]
+    fn deeper_fifo_serves_no_fewer(
+        gaps in proptest::collection::vec(1u64..50_000, 1..150),
+        service_cycles in 100u64..5_000,
+    ) {
+        let vectors = vectors_from_gaps(&gaps);
+        let mut served = Vec::new();
+        for depth in [2usize, 8, 32] {
+            let mut config = McmConfig::rtad();
+            config.fifo_depth = depth;
+            let mut mcm = Mcm::new(config, FixedService(service_cycles));
+            served.push(mcm.run(&vectors).events.len());
+        }
+        prop_assert!(served[0] <= served[1] && served[1] <= served[2], "{served:?}");
+    }
+}

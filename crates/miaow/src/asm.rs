@@ -1,0 +1,541 @@
+//! A small two-pass assembler for the modelled ISA.
+//!
+//! Kernels in the ML crate are written as readable assembly text rather
+//! than hand-built instruction vectors. Syntax:
+//!
+//! ```text
+//! ; comments run to end of line
+//! loop:                       ; labels end with ':'
+//!     s_add_i32   s0, s0, 1
+//!     s_cmp_lt_i32 s0, s1
+//!     s_cbranch_scc1 loop
+//!     v_mac_f32   v3, v1, v2  ; operands: sN, vN, int or float literals
+//!     s_endpgm
+//! ```
+//!
+//! Integer literals in vector-source positions assemble to raw-bit
+//! broadcasts ([`VSrc::ImmB`]); literals with a decimal point or
+//! exponent to float broadcasts ([`VSrc::ImmF`]).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Instr, Kernel, SSrc, Sreg, VSrc, Vreg};
+
+/// An assembly error, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AssembleError {}
+
+fn err(line: usize, message: impl Into<String>) -> AssembleError {
+    AssembleError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Assembles source text into a [`Kernel`] named `"kernel"`.
+///
+/// # Errors
+///
+/// Returns an [`AssembleError`] naming the offending line for unknown
+/// mnemonics, malformed operands, undefined labels, or a missing
+/// trailing `s_endpgm`.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_miaow::asm::assemble;
+///
+/// let k = assemble("v_mov_b32 v1, 1.5\ns_endpgm")?;
+/// assert_eq!(k.len(), 2);
+/// # Ok::<(), rtad_miaow::AssembleError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Kernel, AssembleError> {
+    assemble_named("kernel", source)
+}
+
+/// Assembles source text into a [`Kernel`] with an explicit name.
+///
+/// # Errors
+///
+/// As [`assemble`].
+pub fn assemble_named(name: &str, source: &str) -> Result<Kernel, AssembleError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut stmts: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(';') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        while let Some(pos) = text.find(':') {
+            let label = text[..pos].trim();
+            if label.is_empty() || !is_ident(label) {
+                return Err(err(line_no, format!("invalid label `{label}`")));
+            }
+            if labels.insert(label.to_string(), stmts.len()).is_some() {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            text = text[pos + 1..].trim();
+        }
+        if !text.is_empty() {
+            stmts.push((line_no, text.to_string()));
+        }
+    }
+
+    // Pass 2: parse statements.
+    let mut code = Vec::with_capacity(stmts.len());
+    for (line_no, text) in &stmts {
+        code.push(parse_stmt(*line_no, text, &labels, stmts.len())?);
+    }
+    if !matches!(code.last(), Some(Instr::SEndpgm)) {
+        let last = stmts.last().map_or(0, |&(l, _)| l);
+        return Err(err(last, "kernel must end with s_endpgm"));
+    }
+    Ok(Kernel::new(name, code))
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[derive(Debug, Clone)]
+enum Operand {
+    S(Sreg),
+    V(Vreg),
+    Int(i64),
+    Float(f32),
+    Label(String),
+}
+
+fn parse_operand(line: usize, tok: &str) -> Result<Operand, AssembleError> {
+    let t = tok.trim();
+    if let Some(rest) = t.strip_prefix('s') {
+        if let Ok(n) = rest.parse::<u8>() {
+            return Ok(Operand::S(Sreg(n)));
+        }
+    }
+    if let Some(rest) = t.strip_prefix('v') {
+        if let Ok(n) = rest.parse::<u8>() {
+            return Ok(Operand::V(Vreg(n)));
+        }
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16)
+            .map(Operand::Int)
+            .map_err(|_| err(line, format!("bad hex literal `{t}`")));
+    }
+    if t.contains('.') || t.contains('e') || t.contains('E') {
+        if let Ok(x) = t.parse::<f32>() {
+            return Ok(Operand::Float(x));
+        }
+    }
+    if let Ok(n) = t.parse::<i64>() {
+        return Ok(Operand::Int(n));
+    }
+    if is_ident(t) {
+        return Ok(Operand::Label(t.to_string()));
+    }
+    Err(err(line, format!("unparseable operand `{t}`")))
+}
+
+fn as_sreg(line: usize, op: &Operand) -> Result<Sreg, AssembleError> {
+    match op {
+        Operand::S(r) => Ok(*r),
+        other => Err(err(line, format!("expected scalar register, got {other:?}"))),
+    }
+}
+
+fn as_vreg(line: usize, op: &Operand) -> Result<Vreg, AssembleError> {
+    match op {
+        Operand::V(r) => Ok(*r),
+        other => Err(err(line, format!("expected vector register, got {other:?}"))),
+    }
+}
+
+fn as_ssrc(line: usize, op: &Operand) -> Result<SSrc, AssembleError> {
+    match op {
+        Operand::S(r) => Ok(SSrc::Reg(*r)),
+        Operand::Int(i) => i32::try_from(*i)
+            .map(SSrc::Imm)
+            .map_err(|_| err(line, format!("immediate {i} does not fit i32"))),
+        other => Err(err(
+            line,
+            format!("expected scalar register or integer, got {other:?}"),
+        )),
+    }
+}
+
+fn as_vsrc(line: usize, op: &Operand) -> Result<VSrc, AssembleError> {
+    match op {
+        Operand::V(r) => Ok(VSrc::Vreg(*r)),
+        Operand::S(r) => Ok(VSrc::Sreg(*r)),
+        Operand::Float(x) => Ok(VSrc::ImmF(*x)),
+        Operand::Int(i) => u32::try_from(*i)
+            .or_else(|_| i32::try_from(*i).map(|v| v as u32))
+            .map(VSrc::ImmB)
+            .map_err(|_| err(line, format!("immediate {i} does not fit 32 bits"))),
+        other => Err(err(line, format!("bad vector operand {other:?}"))),
+    }
+}
+
+fn as_label(
+    line: usize,
+    op: &Operand,
+    labels: &HashMap<String, usize>,
+    code_len: usize,
+) -> Result<usize, AssembleError> {
+    match op {
+        Operand::Label(name) => labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined label `{name}`"))),
+        Operand::Int(i) if *i >= 0 && (*i as usize) < code_len => Ok(*i as usize),
+        other => Err(err(line, format!("expected label, got {other:?}"))),
+    }
+}
+
+fn as_u8(line: usize, op: &Operand) -> Result<u8, AssembleError> {
+    match op {
+        Operand::Int(i) => {
+            u8::try_from(*i).map_err(|_| err(line, format!("{i} does not fit u8")))
+        }
+        other => Err(err(line, format!("expected small integer, got {other:?}"))),
+    }
+}
+
+fn as_u32(line: usize, op: &Operand) -> Result<u32, AssembleError> {
+    match op {
+        Operand::Int(i) => {
+            u32::try_from(*i).map_err(|_| err(line, format!("{i} does not fit u32")))
+        }
+        other => Err(err(line, format!("expected integer, got {other:?}"))),
+    }
+}
+
+fn parse_stmt(
+    line: usize,
+    text: &str,
+    labels: &HashMap<String, usize>,
+    code_len: usize,
+) -> Result<Instr, AssembleError> {
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<Operand> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',')
+            .map(|tok| parse_operand(line, tok))
+            .collect::<Result<_, _>>()?
+    };
+    let arity = |n: usize| -> Result<(), AssembleError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("{mnemonic} expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+
+    let instr = match mnemonic {
+        "s_mov_b32" => {
+            arity(2)?;
+            Instr::SMovB32 {
+                dst: as_sreg(line, &ops[0])?,
+                src: as_ssrc(line, &ops[1])?,
+            }
+        }
+        "s_add_i32" | "s_sub_i32" | "s_mul_i32" | "s_and_b32" => {
+            arity(3)?;
+            let dst = as_sreg(line, &ops[0])?;
+            let a = as_ssrc(line, &ops[1])?;
+            let b = as_ssrc(line, &ops[2])?;
+            match mnemonic {
+                "s_add_i32" => Instr::SAddI32 { dst, a, b },
+                "s_sub_i32" => Instr::SSubI32 { dst, a, b },
+                "s_mul_i32" => Instr::SMulI32 { dst, a, b },
+                _ => Instr::SAndB32 { dst, a, b },
+            }
+        }
+        "s_lshl_b32" => {
+            arity(3)?;
+            Instr::SLshlB32 {
+                dst: as_sreg(line, &ops[0])?,
+                a: as_ssrc(line, &ops[1])?,
+                shift: as_ssrc(line, &ops[2])?,
+            }
+        }
+        "s_cmp_lt_i32" | "s_cmp_eq_i32" => {
+            arity(2)?;
+            let a = as_ssrc(line, &ops[0])?;
+            let b = as_ssrc(line, &ops[1])?;
+            if mnemonic == "s_cmp_lt_i32" {
+                Instr::SCmpLtI32 { a, b }
+            } else {
+                Instr::SCmpEqI32 { a, b }
+            }
+        }
+        "s_branch" | "s_cbranch_scc1" | "s_cbranch_scc0" => {
+            arity(1)?;
+            let target = as_label(line, &ops[0], labels, code_len)?;
+            match mnemonic {
+                "s_branch" => Instr::SBranch { target },
+                "s_cbranch_scc1" => Instr::SCbranchScc1 { target },
+                _ => Instr::SCbranchScc0 { target },
+            }
+        }
+        "s_barrier" => {
+            arity(0)?;
+            Instr::SBarrier
+        }
+        "s_waitcnt" => {
+            arity(0)?;
+            Instr::SWaitcnt
+        }
+        "s_endpgm" => {
+            arity(0)?;
+            Instr::SEndpgm
+        }
+        "s_and_exec_vcc" => {
+            arity(0)?;
+            Instr::SAndExecVcc
+        }
+        "s_mov_exec_all" => {
+            arity(0)?;
+            Instr::SMovExecAll
+        }
+        "s_load_dword" => {
+            arity(3)?;
+            Instr::SLoadDword {
+                dst: as_sreg(line, &ops[0])?,
+                base: as_sreg(line, &ops[1])?,
+                offset: as_u32(line, &ops[2])?,
+            }
+        }
+        "v_mov_b32" | "v_exp_f32" | "v_rcp_f32" | "v_log_f32" | "v_cvt_f32_i32"
+        | "v_cvt_i32_f32" => {
+            arity(2)?;
+            let dst = as_vreg(line, &ops[0])?;
+            let src = as_vsrc(line, &ops[1])?;
+            match mnemonic {
+                "v_mov_b32" => Instr::VMovB32 { dst, src },
+                "v_exp_f32" => Instr::VExpF32 { dst, src },
+                "v_rcp_f32" => Instr::VRcpF32 { dst, src },
+                "v_log_f32" => Instr::VLogF32 { dst, src },
+                "v_cvt_f32_i32" => Instr::VCvtF32I32 { dst, src },
+                _ => Instr::VCvtI32F32 { dst, src },
+            }
+        }
+        "v_add_f32" | "v_sub_f32" | "v_mul_f32" | "v_mac_f32" | "v_max_f32" | "v_min_f32"
+        | "v_add_i32" | "v_mul_i32" | "v_and_b32" | "v_cndmask_b32" => {
+            arity(3)?;
+            let dst = as_vreg(line, &ops[0])?;
+            let a = as_vsrc(line, &ops[1])?;
+            let b = as_vreg(line, &ops[2])?;
+            match mnemonic {
+                "v_add_f32" => Instr::VAddF32 { dst, a, b },
+                "v_sub_f32" => Instr::VSubF32 { dst, a, b },
+                "v_mul_f32" => Instr::VMulF32 { dst, a, b },
+                "v_mac_f32" => Instr::VMacF32 { dst, a, b },
+                "v_max_f32" => Instr::VMaxF32 { dst, a, b },
+                "v_min_f32" => Instr::VMinF32 { dst, a, b },
+                "v_add_i32" => Instr::VAddI32 { dst, a, b },
+                "v_mul_i32" => Instr::VMulI32 { dst, a, b },
+                "v_and_b32" => Instr::VAndB32 { dst, a, b },
+                _ => Instr::VCndmaskB32 { dst, a, b },
+            }
+        }
+        "v_lshl_b32" => {
+            arity(3)?;
+            Instr::VLshlB32 {
+                dst: as_vreg(line, &ops[0])?,
+                a: as_vsrc(line, &ops[1])?,
+                shift: as_vsrc(line, &ops[2])?,
+            }
+        }
+        "v_cmp_gt_f32" | "v_cmp_lt_f32" => {
+            arity(2)?;
+            let a = as_vsrc(line, &ops[0])?;
+            let b = as_vreg(line, &ops[1])?;
+            if mnemonic == "v_cmp_gt_f32" {
+                Instr::VCmpGtF32 { a, b }
+            } else {
+                Instr::VCmpLtF32 { a, b }
+            }
+        }
+        "v_readlane_b32" => {
+            arity(3)?;
+            Instr::VReadlaneB32 {
+                dst: as_sreg(line, &ops[0])?,
+                src: as_vreg(line, &ops[1])?,
+                lane: as_u8(line, &ops[2])?,
+            }
+        }
+        "v_writelane_b32" => {
+            arity(3)?;
+            Instr::VWritelaneB32 {
+                dst: as_vreg(line, &ops[0])?,
+                src: as_ssrc(line, &ops[1])?,
+                lane: as_u8(line, &ops[2])?,
+            }
+        }
+        "buffer_load_dword" => {
+            arity(3)?;
+            Instr::BufferLoadDword {
+                dst: as_vreg(line, &ops[0])?,
+                vaddr: as_vreg(line, &ops[1])?,
+                sbase: as_sreg(line, &ops[2])?,
+            }
+        }
+        "buffer_store_dword" => {
+            arity(3)?;
+            Instr::BufferStoreDword {
+                src: as_vreg(line, &ops[0])?,
+                vaddr: as_vreg(line, &ops[1])?,
+                sbase: as_sreg(line, &ops[2])?,
+            }
+        }
+        "ds_read_b32" => {
+            arity(2)?;
+            Instr::DsReadB32 {
+                dst: as_vreg(line, &ops[0])?,
+                addr: as_vreg(line, &ops[1])?,
+            }
+        }
+        "ds_write_b32" => {
+            arity(2)?;
+            Instr::DsWriteB32 {
+                addr: as_vreg(line, &ops[0])?,
+                src: as_vreg(line, &ops[1])?,
+            }
+        }
+        unknown => return Err(err(line, format!("unknown mnemonic `{unknown}`"))),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop_with_labels() {
+        let k = assemble(
+            r#"
+            s_mov_b32 s0, 0
+        loop:
+            s_add_i32 s0, s0, 1
+            s_cmp_lt_i32 s0, 10
+            s_cbranch_scc1 loop
+            s_endpgm
+        "#,
+        )
+        .unwrap();
+        assert_eq!(k.len(), 5);
+        assert_eq!(k.code[3], Instr::SCbranchScc1 { target: 1 });
+    }
+
+    #[test]
+    fn float_vs_int_vector_immediates() {
+        let k = assemble("v_mov_b32 v1, 2.5\nv_lshl_b32 v2, v0, 2\ns_endpgm").unwrap();
+        assert_eq!(
+            k.code[0],
+            Instr::VMovB32 {
+                dst: Vreg(1),
+                src: VSrc::ImmF(2.5)
+            }
+        );
+        assert_eq!(
+            k.code[1],
+            Instr::VLshlB32 {
+                dst: Vreg(2),
+                a: VSrc::Vreg(Vreg(0)),
+                shift: VSrc::ImmB(2)
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let k = assemble("; header\n\n  s_endpgm ; trailing").unwrap();
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let k = assemble("s_branch end\nv_mov_b32 v1, 0.0\nend:\ns_endpgm").unwrap();
+        assert_eq!(k.code[0], Instr::SBranch { target: 2 });
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("s_mov_b32 s0, 1\nv_frobnicate v1\ns_endpgm").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("v_frobnicate"));
+    }
+
+    #[test]
+    fn undefined_label_reports_line() {
+        let e = assemble("s_branch nowhere\ns_endpgm").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn missing_endpgm_is_error() {
+        let e = assemble("s_mov_b32 s0, 1").unwrap_err();
+        assert!(e.message.contains("s_endpgm"));
+    }
+
+    #[test]
+    fn wrong_arity_reports() {
+        let e = assemble("v_mac_f32 v1, v2\ns_endpgm").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+    }
+
+    #[test]
+    fn negative_int_in_vector_position_wraps() {
+        let k = assemble("v_mov_b32 v1, -1\ns_endpgm").unwrap();
+        assert_eq!(
+            k.code[0],
+            Instr::VMovB32 {
+                dst: Vreg(1),
+                src: VSrc::ImmB(u32::MAX)
+            }
+        );
+    }
+
+    #[test]
+    fn hex_literals_parse() {
+        let k = assemble("s_mov_b32 s0, 0x10\ns_endpgm").unwrap();
+        assert_eq!(
+            k.code[0],
+            Instr::SMovB32 {
+                dst: Sreg(0),
+                src: SSrc::Imm(16)
+            }
+        );
+    }
+}

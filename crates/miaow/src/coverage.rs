@@ -1,0 +1,466 @@
+//! Feature-level coverage: the simulator's analogue of HDL line coverage.
+//!
+//! The paper's trimming flow (Fig. 4) runs RTL simulations with code
+//! coverage on and treats uncovered HDL lines as removable circuits. Our
+//! simulator's unit of coverage is the [`Feature`]: one per decoder arm,
+//! execution unit or special-purpose block. Running a kernel records
+//! every feature it exercises into a [`CoverageSet`]; merging the sets
+//! of all deployed ML models (step 2) gives the retained-feature set the
+//! trimming pass keeps.
+//!
+//! Features the modelled ISA never reaches (the f64 datapath, the image
+//! sampler, atomics, interpolation, export) exist precisely to be
+//! trimmed: they are the bulk of MIAOW's area that ML inference never
+//! touches.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::Instr;
+
+/// The RTL block a feature belongs to.
+///
+/// MIAOW2.0's trimming tool "analyzes the instructions of the target
+/// application and only trims unused codes in certain subblocks such as
+/// ALU or instruction decoder"; the block tag is what lets the area
+/// model reproduce that restriction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Block {
+    /// Fetch/issue/wavefront control and register files: never trimmable.
+    Core,
+    /// Instruction decoder arms.
+    Decode,
+    /// Scalar ALU execution units.
+    Salu,
+    /// Vector ALU execution units.
+    Valu,
+    /// Vector/scalar memory path.
+    Memory,
+    /// Local data share.
+    Lds,
+    /// Cross-lane network.
+    CrossLane,
+    /// Special-purpose blocks (sampler, interpolation, export, ...).
+    Special,
+}
+
+/// One coverable datapath feature.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum Feature {
+    // --- Core (always retained) ---
+    Fetch,
+    IssueLogic,
+    WavefrontCtl,
+    SgprFile,
+    VgprFile,
+    // --- Decoder arms ---
+    DecSalu,
+    DecScmp,
+    DecSbranch,
+    DecSmem,
+    DecExecMask,
+    DecValuF32,
+    DecValuTrans,
+    DecValuInt,
+    DecValuCmp,
+    DecCrossLane,
+    DecBuffer,
+    DecDs,
+    DecBarrier,
+    // decoder arms for instruction classes the ISA model never emits
+    DecF64,
+    DecImage,
+    DecAtomic,
+    DecInterp,
+    DecExport,
+    DecFlat,
+    // --- Scalar execution ---
+    SaluInt,
+    SaluShift,
+    SaluLogic,
+    SaluCmp,
+    SaluBranchUnit,
+    ScalarMem,
+    ExecMaskOps,
+    // --- Vector execution ---
+    ValuAddF32,
+    ValuMulF32,
+    ValuMacF32,
+    ValuMinMax,
+    ValuExp,
+    ValuRcp,
+    ValuLog,
+    ValuInt,
+    ValuShift,
+    ValuCvt,
+    ValuCmp,
+    ValuCndmask,
+    // --- Cross-lane ---
+    LaneRead,
+    LaneWrite,
+    // --- Memory ---
+    BufferLoad,
+    BufferStore,
+    LdsRead,
+    LdsWrite,
+    BarrierUnit,
+    // --- Special-purpose blocks the ML path never exercises ---
+    ValuF64Unit,
+    ImageSampler,
+    TextureCache,
+    AtomicUnit,
+    InterpUnit,
+    ExportUnit,
+    FlatScratchUnit,
+    GdsUnit,
+    MsaaResolve,
+}
+
+impl Feature {
+    /// Every feature, in a stable order.
+    pub const ALL: [Feature; 54] = [
+        Feature::Fetch,
+        Feature::IssueLogic,
+        Feature::WavefrontCtl,
+        Feature::SgprFile,
+        Feature::VgprFile,
+        Feature::DecSalu,
+        Feature::DecScmp,
+        Feature::DecSbranch,
+        Feature::DecSmem,
+        Feature::DecExecMask,
+        Feature::DecValuF32,
+        Feature::DecValuTrans,
+        Feature::DecValuInt,
+        Feature::DecValuCmp,
+        Feature::DecCrossLane,
+        Feature::DecBuffer,
+        Feature::DecDs,
+        Feature::DecBarrier,
+        Feature::DecF64,
+        Feature::DecImage,
+        Feature::DecAtomic,
+        Feature::DecInterp,
+        Feature::DecExport,
+        Feature::DecFlat,
+        Feature::SaluInt,
+        Feature::SaluShift,
+        Feature::SaluLogic,
+        Feature::SaluCmp,
+        Feature::SaluBranchUnit,
+        Feature::ScalarMem,
+        Feature::ExecMaskOps,
+        Feature::ValuAddF32,
+        Feature::ValuMulF32,
+        Feature::ValuMacF32,
+        Feature::ValuMinMax,
+        Feature::ValuExp,
+        Feature::ValuRcp,
+        Feature::ValuLog,
+        Feature::ValuInt,
+        Feature::ValuShift,
+        Feature::ValuCvt,
+        Feature::ValuCmp,
+        Feature::ValuCndmask,
+        Feature::LaneRead,
+        Feature::LaneWrite,
+        Feature::BufferLoad,
+        Feature::BufferStore,
+        Feature::LdsRead,
+        Feature::LdsWrite,
+        Feature::BarrierUnit,
+        Feature::ValuF64Unit,
+        Feature::ImageSampler,
+        Feature::TextureCache,
+        Feature::AtomicUnit,
+    ];
+
+    /// Features not in [`Feature::ALL`]'s fixed-size array would be a
+    /// maintenance hazard; this returns the true complete list.
+    pub fn all() -> Vec<Feature> {
+        let mut v = Self::ALL.to_vec();
+        v.extend([
+            Feature::InterpUnit,
+            Feature::ExportUnit,
+            Feature::FlatScratchUnit,
+            Feature::GdsUnit,
+            Feature::MsaaResolve,
+        ]);
+        v
+    }
+
+    /// The RTL block this feature lives in.
+    pub fn block(self) -> Block {
+        use Feature::*;
+        match self {
+            Fetch | IssueLogic | WavefrontCtl | SgprFile | VgprFile => Block::Core,
+            DecSalu | DecScmp | DecSbranch | DecSmem | DecExecMask | DecValuF32
+            | DecValuTrans | DecValuInt | DecValuCmp | DecCrossLane | DecBuffer | DecDs
+            | DecBarrier | DecF64 | DecImage | DecAtomic | DecInterp | DecExport | DecFlat => {
+                Block::Decode
+            }
+            SaluInt | SaluShift | SaluLogic | SaluCmp | SaluBranchUnit | ScalarMem
+            | ExecMaskOps => Block::Salu,
+            ValuAddF32 | ValuMulF32 | ValuMacF32 | ValuMinMax | ValuExp | ValuRcp | ValuLog
+            | ValuInt | ValuShift | ValuCvt | ValuCmp | ValuCndmask | ValuF64Unit => Block::Valu,
+            LaneRead | LaneWrite => Block::CrossLane,
+            BufferLoad | BufferStore => Block::Memory,
+            LdsRead | LdsWrite => Block::Lds,
+            BarrierUnit => Block::Salu,
+            ImageSampler | TextureCache | AtomicUnit | InterpUnit | ExportUnit
+            | FlatScratchUnit | GdsUnit | MsaaResolve => Block::Special,
+        }
+    }
+
+    /// Whether this feature is part of the untrimmable core datapath.
+    pub fn is_core(self) -> bool {
+        self.block() == Block::Core
+    }
+
+    /// The features an instruction exercises: its decoder arm plus its
+    /// execution unit(s). Core features are implicit (every instruction
+    /// uses fetch/issue/regfiles) and recorded by the execution loop.
+    pub fn of_instr(instr: &Instr) -> Vec<Feature> {
+        use Feature::*;
+        match instr {
+            Instr::SMovB32 { .. } => vec![DecSalu, SaluLogic],
+            Instr::SAddI32 { .. } | Instr::SSubI32 { .. } | Instr::SMulI32 { .. } => {
+                vec![DecSalu, SaluInt]
+            }
+            Instr::SLshlB32 { .. } => vec![DecSalu, SaluShift],
+            Instr::SAndB32 { .. } => vec![DecSalu, SaluLogic],
+            Instr::SCmpLtI32 { .. } | Instr::SCmpEqI32 { .. } => vec![DecScmp, SaluCmp],
+            Instr::SBranch { .. } | Instr::SCbranchScc1 { .. } | Instr::SCbranchScc0 { .. } => {
+                vec![DecSbranch, SaluBranchUnit]
+            }
+            Instr::SBarrier => vec![DecBarrier, BarrierUnit],
+            Instr::SWaitcnt => vec![DecSalu],
+            Instr::SEndpgm => vec![DecSbranch],
+            Instr::SLoadDword { .. } => vec![DecSmem, ScalarMem],
+            Instr::SAndExecVcc | Instr::SMovExecAll => vec![DecExecMask, ExecMaskOps],
+            Instr::VMovB32 { .. } => vec![DecValuF32, ValuAddF32],
+            Instr::VAddF32 { .. } | Instr::VSubF32 { .. } => vec![DecValuF32, ValuAddF32],
+            Instr::VMulF32 { .. } => vec![DecValuF32, ValuMulF32],
+            Instr::VMacF32 { .. } => vec![DecValuF32, ValuMacF32],
+            Instr::VMaxF32 { .. } | Instr::VMinF32 { .. } => vec![DecValuF32, ValuMinMax],
+            Instr::VExpF32 { .. } => vec![DecValuTrans, ValuExp],
+            Instr::VRcpF32 { .. } => vec![DecValuTrans, ValuRcp],
+            Instr::VLogF32 { .. } => vec![DecValuTrans, ValuLog],
+            Instr::VAddI32 { .. } | Instr::VMulI32 { .. } | Instr::VAndB32 { .. } => {
+                vec![DecValuInt, ValuInt]
+            }
+            Instr::VLshlB32 { .. } => vec![DecValuInt, ValuShift],
+            Instr::VCvtF32I32 { .. } | Instr::VCvtI32F32 { .. } => vec![DecValuInt, ValuCvt],
+            Instr::VCmpGtF32 { .. } | Instr::VCmpLtF32 { .. } => vec![DecValuCmp, ValuCmp],
+            Instr::VCndmaskB32 { .. } => vec![DecValuCmp, ValuCndmask],
+            Instr::VReadlaneB32 { .. } => vec![DecCrossLane, LaneRead],
+            Instr::VWritelaneB32 { .. } => vec![DecCrossLane, LaneWrite],
+            Instr::BufferLoadDword { .. } => vec![DecBuffer, BufferLoad],
+            Instr::BufferStoreDword { .. } => vec![DecBuffer, BufferStore],
+            Instr::DsReadB32 { .. } => vec![DecDs, LdsRead],
+            Instr::DsWriteB32 { .. } => vec![DecDs, LdsWrite],
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A set of exercised features (HDL coverage analogue).
+///
+/// # Examples
+///
+/// ```
+/// use rtad_miaow::coverage::{CoverageSet, Feature};
+///
+/// let mut a = CoverageSet::new();
+/// a.record(Feature::ValuMacF32);
+/// let mut b = CoverageSet::new();
+/// b.record(Feature::ValuExp);
+/// a.merge(&b); // step 2 of the trimming flow
+/// assert!(a.contains(Feature::ValuMacF32));
+/// assert!(a.contains(Feature::ValuExp));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageSet {
+    features: BTreeSet<Feature>,
+}
+
+impl CoverageSet {
+    /// An empty coverage set.
+    pub fn new() -> Self {
+        CoverageSet::default()
+    }
+
+    /// Records one exercised feature.
+    pub fn record(&mut self, f: Feature) {
+        self.features.insert(f);
+    }
+
+    /// Records every feature of an executed instruction.
+    pub fn record_instr(&mut self, instr: &Instr) {
+        for f in Feature::of_instr(instr) {
+            self.record(f);
+        }
+    }
+
+    /// Merges another run's coverage (Fig. 4 step 2).
+    pub fn merge(&mut self, other: &CoverageSet) {
+        self.features.extend(other.features.iter().copied());
+    }
+
+    /// Whether `f` was exercised.
+    pub fn contains(&self, f: Feature) -> bool {
+        self.features.contains(&f)
+    }
+
+    /// Number of exercised features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether nothing was exercised.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Iterates exercised features in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = Feature> + '_ {
+        self.features.iter().copied()
+    }
+
+    /// The features of `universe` NOT exercised — the trim candidates
+    /// (Fig. 4 step 3).
+    pub fn uncovered(&self, universe: &[Feature]) -> Vec<Feature> {
+        universe
+            .iter()
+            .copied()
+            .filter(|f| !self.features.contains(f))
+            .collect()
+    }
+}
+
+impl FromIterator<Feature> for CoverageSet {
+    fn from_iter<I: IntoIterator<Item = Feature>>(iter: I) -> Self {
+        CoverageSet {
+            features: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Feature> for CoverageSet {
+    fn extend<I: IntoIterator<Item = Feature>>(&mut self, iter: I) {
+        self.features.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{SSrc, Sreg, VSrc, Vreg};
+
+    #[test]
+    fn all_list_is_complete_and_unique() {
+        let all = Feature::all();
+        assert_eq!(all.len(), 59);
+        let set: BTreeSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "duplicate features in list");
+    }
+
+    #[test]
+    fn core_features_are_core_block() {
+        assert!(Feature::Fetch.is_core());
+        assert!(Feature::VgprFile.is_core());
+        assert!(!Feature::ValuMacF32.is_core());
+        assert!(!Feature::ImageSampler.is_core());
+    }
+
+    #[test]
+    fn every_feature_has_a_block() {
+        for f in Feature::all() {
+            let _ = f.block(); // must not panic
+        }
+    }
+
+    #[test]
+    fn special_blocks_are_never_reachable_from_instructions() {
+        // The ML-unused blocks exist only to be trimmed: no instruction
+        // maps to them.
+        let unreachable = [
+            Feature::ValuF64Unit,
+            Feature::ImageSampler,
+            Feature::TextureCache,
+            Feature::AtomicUnit,
+            Feature::InterpUnit,
+            Feature::ExportUnit,
+            Feature::FlatScratchUnit,
+            Feature::GdsUnit,
+            Feature::MsaaResolve,
+            Feature::DecF64,
+            Feature::DecImage,
+            Feature::DecAtomic,
+            Feature::DecInterp,
+            Feature::DecExport,
+            Feature::DecFlat,
+        ];
+        let probe = [
+            Instr::VMacF32 {
+                dst: Vreg(0),
+                a: VSrc::ImmF(1.0),
+                b: Vreg(1),
+            },
+            Instr::SAddI32 {
+                dst: Sreg(0),
+                a: SSrc::Imm(1),
+                b: SSrc::Imm(2),
+            },
+            Instr::SEndpgm,
+        ];
+        for i in &probe {
+            for f in Feature::of_instr(i) {
+                assert!(!unreachable.contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = CoverageSet::new();
+        a.record(Feature::ValuExp);
+        a.record(Feature::ValuExp); // idempotent
+        assert_eq!(a.len(), 1);
+        let b: CoverageSet = [Feature::LdsRead, Feature::LdsWrite].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn uncovered_is_the_complement() {
+        let cov: CoverageSet = [Feature::Fetch].into_iter().collect();
+        let all = Feature::all();
+        let un = cov.uncovered(&all);
+        assert_eq!(un.len(), all.len() - 1);
+        assert!(!un.contains(&Feature::Fetch));
+    }
+
+    #[test]
+    fn record_instr_covers_decode_and_exec() {
+        let mut c = CoverageSet::new();
+        c.record_instr(&Instr::VExpF32 {
+            dst: Vreg(0),
+            src: VSrc::Vreg(Vreg(1)),
+        });
+        assert!(c.contains(Feature::DecValuTrans));
+        assert!(c.contains(Feature::ValuExp));
+    }
+}

@@ -1,0 +1,319 @@
+//! The multi-CU engine: MIAOW (1 CU) vs ML-MIAOW (5 CUs).
+//!
+//! Per-CU micro-architecture is identical across variants ("ML-MIAOW and
+//! MIAOW both have virtually the same core circuits"); what differs is
+//! the CU count that fits the FPGA and whether trimmed features trap.
+//! A launch distributes wavefronts round-robin over the CUs; the
+//! launch's latency is the slowest CU's serialized work plus a fixed
+//! dispatch overhead per launch — which is why Fig. 8's speedup from 5
+//! CUs is ~2.75×, not 5×: short recurrent kernels (LSTM steps) pay the
+//! dispatch overhead every step and don't always have 5 CUs worth of
+//! wavefronts.
+
+use rtad_sim::{AreaEstimate, ClockDomain, Picos};
+
+use crate::area::{area_of_retained, full_area, EngineVariant};
+use crate::coverage::CoverageSet;
+use crate::exec::{ComputeUnit, CostModel, Dispatch, ExecError, RunStats};
+use crate::isa::Kernel;
+use crate::memory::GpuMemory;
+use crate::trim::TrimPlan;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of compute units.
+    pub cus: usize,
+    /// Retained features (`None` = untrimmed).
+    pub retained: Option<CoverageSet>,
+    /// Per-instruction cost model.
+    pub cost: CostModel,
+    /// Fixed cycles per launch (command processor + wave setup).
+    pub dispatch_overhead: u64,
+    /// The engine clock (50 MHz on the prototype).
+    pub clock: ClockDomain,
+}
+
+impl EngineConfig {
+    /// The original MIAOW prototype configuration: one full CU.
+    pub fn miaow() -> Self {
+        EngineConfig {
+            cus: 1,
+            retained: None,
+            cost: CostModel::miaow(),
+            dispatch_overhead: 32,
+            clock: ClockDomain::rtad_miaow(),
+        }
+    }
+
+    /// The ML-MIAOW prototype configuration: five CUs trimmed to `plan`.
+    pub fn ml_miaow(plan: &TrimPlan) -> Self {
+        EngineConfig {
+            cus: EngineVariant::MlMiaow.prototype_cus(),
+            retained: Some(plan.retained().clone()),
+            cost: CostModel::miaow(),
+            dispatch_overhead: 32,
+            clock: ClockDomain::rtad_miaow(),
+        }
+    }
+}
+
+/// Statistics of one kernel launch across the engine.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaunchStats {
+    /// Engine cycles from dispatch to last CU done.
+    pub cycles: u64,
+    /// Total instructions executed (all CUs).
+    pub instructions: u64,
+    /// Wavefronts run.
+    pub waves: usize,
+    /// Per-CU busy cycles.
+    pub cu_cycles: Vec<u64>,
+}
+
+impl LaunchStats {
+    /// The launch latency in wall-clock time at `clock`.
+    pub fn latency(&self, clock: &ClockDomain) -> Picos {
+        clock.cycles_to_picos(self.cycles)
+    }
+}
+
+/// A multi-CU engine instance.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_miaow::asm::assemble;
+/// use rtad_miaow::{Engine, EngineConfig, GpuMemory};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let kernel = assemble("v_mov_b32 v1, 1.0\ns_endpgm")?;
+/// let mut engine = Engine::new(EngineConfig::miaow());
+/// let mut mem = GpuMemory::new(64);
+/// let stats = engine.launch(&kernel, 4, &[], &mut mem)?;
+/// assert_eq!(stats.waves, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+    cus: Vec<ComputeUnit>,
+    observed: CoverageSet,
+}
+
+impl Engine {
+    /// Builds an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero CUs.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.cus > 0, "engine needs at least one compute unit");
+        let make = || match &config.retained {
+            Some(r) => ComputeUnit::trimmed(r.clone()).with_cost_model(config.cost),
+            None => ComputeUnit::new().with_cost_model(config.cost),
+        };
+        let cus = (0..config.cus).map(|_| make()).collect();
+        Engine {
+            config,
+            cus,
+            observed: CoverageSet::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of CUs.
+    pub fn cu_count(&self) -> usize {
+        self.cus.len()
+    }
+
+    /// Coverage accumulated over every launch so far (Fig. 4 step 1
+    /// output when this engine is the full MIAOW used for profiling).
+    pub fn observed_coverage(&self) -> &CoverageSet {
+        &self.observed
+    }
+
+    /// Total engine area (per-CU area × CU count).
+    pub fn area(&self) -> AreaEstimate {
+        let per_cu = match &self.config.retained {
+            Some(r) => area_of_retained(r),
+            None => full_area(),
+        };
+        per_cu.scaled(self.cus.len() as u64)
+    }
+
+    /// Stages model data into every CU's LDS (weights are replicated so
+    /// any CU can run any wavefront).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region exceeds the LDS.
+    pub fn stage_lds(&mut self, addr: usize, values: &[f32]) {
+        for cu in &mut self.cus {
+            cu.write_lds_f32_slice(addr, values);
+        }
+    }
+
+    /// Launches `waves` wavefronts of `kernel` with scalar arguments
+    /// `args`, distributing them round-robin over the CUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExecError`] any CU hits (trimmed-feature
+    /// traps, bad addresses, watchdog).
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        waves: usize,
+        args: &[u32],
+        mem: &mut GpuMemory,
+    ) -> Result<LaunchStats, ExecError> {
+        let n_cus = self.cus.len();
+        let mut cu_cycles = vec![0u64; n_cus];
+        let mut stats = LaunchStats {
+            cu_cycles: Vec::new(),
+            ..LaunchStats::default()
+        };
+
+        // Each wave keeps its global index (v0 = wave*16 + lane) no
+        // matter which CU runs it, so output placement is unchanged by
+        // the CU count.
+        for wave in 0..waves {
+            let cu_idx = wave % n_cus;
+            let dispatch = Dispatch {
+                waves: 1,
+                sgpr_init: args.to_vec(),
+                max_cycles_per_wave: 10_000_000,
+            };
+            let s: RunStats = self.cus[cu_idx].run_wave_indexed(
+                kernel,
+                &dispatch,
+                wave,
+                mem,
+                &mut self.observed,
+            )?;
+            cu_cycles[cu_idx] += s.cycles;
+            stats.instructions += s.instructions;
+            stats.waves += 1;
+        }
+
+        stats.cycles = self.config.dispatch_overhead + cu_cycles.iter().copied().max().unwrap_or(0);
+        stats.cu_cycles = cu_cycles;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::trim::TrimPlan;
+
+    fn store_kernel() -> Kernel {
+        assemble(
+            r#"
+            v_lshl_b32 v1, v0, 2
+            v_cvt_f32_i32 v2, v0
+            buffer_store_dword v2, v1, s0
+            s_endpgm
+        "#,
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn multi_cu_launch_is_faster_but_equal_output() {
+        let kernel = store_kernel();
+        let waves = 10;
+
+        let mut one = Engine::new(EngineConfig::miaow());
+        let mut mem1 = GpuMemory::new(waves * 16 * 4);
+        let s1 = one.launch(&kernel, waves, &[0], &mut mem1).unwrap();
+
+        let mut five_cfg = EngineConfig::miaow();
+        five_cfg.cus = 5;
+        let mut five = Engine::new(five_cfg);
+        let mut mem5 = GpuMemory::new(waves * 16 * 4);
+        let s5 = five.launch(&kernel, waves, &[0], &mut mem5).unwrap();
+
+        assert_eq!(mem1, mem5);
+        assert!(s5.cycles < s1.cycles);
+        // 10 waves over 5 CUs: 2 waves each => ~5x on the busy part.
+        let busy1 = s1.cycles - one.config().dispatch_overhead;
+        let busy5 = s5.cycles - five.config().dispatch_overhead;
+        assert_eq!(busy1, busy5 * 5);
+    }
+
+    #[test]
+    fn engine_accumulates_coverage() {
+        let mut e = Engine::new(EngineConfig::miaow());
+        let mut mem = GpuMemory::new(1024);
+        e.launch(&store_kernel(), 1, &[0], &mut mem).unwrap();
+        assert!(e
+            .observed_coverage()
+            .contains(crate::coverage::Feature::BufferStore));
+    }
+
+    #[test]
+    fn ml_miaow_engine_runs_covered_kernels_and_traps_on_others() {
+        // Profile with the full engine.
+        let mut profiler = Engine::new(EngineConfig::miaow());
+        let mut mem = GpuMemory::new(1024);
+        profiler.launch(&store_kernel(), 1, &[0], &mut mem).unwrap();
+        let plan = TrimPlan::from_coverage(profiler.observed_coverage());
+
+        let mut ml = Engine::new(EngineConfig::ml_miaow(&plan));
+        assert_eq!(ml.cu_count(), 5);
+        let mut mem2 = GpuMemory::new(1024);
+        ml.launch(&store_kernel(), 1, &[0], &mut mem2).unwrap();
+
+        // A kernel using an untrimmed-away transcendental traps.
+        let exp = assemble("v_exp_f32 v1, 1.0\ns_endpgm").unwrap();
+        let err = ml.launch(&exp, 1, &[], &mut mem2).unwrap_err();
+        assert!(matches!(err, ExecError::TrimmedFeature { .. }));
+    }
+
+    #[test]
+    fn area_scales_with_cu_count() {
+        let one = Engine::new(EngineConfig::miaow());
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 3;
+        let three = Engine::new(cfg);
+        assert_eq!(three.area().luts, one.area().luts * 3);
+    }
+
+    #[test]
+    fn lds_staging_reaches_all_cus() {
+        let kernel = assemble(
+            r#"
+            v_lshl_b32 v1, v0, 2
+            ds_read_b32 v2, v1
+            buffer_store_dword v2, v1, s0
+            s_endpgm
+        "#,
+        )
+        .unwrap();
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 2;
+        let mut e = Engine::new(cfg);
+        let data: Vec<f32> = (0..32).map(|i| i as f32 * 1.5).collect();
+        e.stage_lds(0, &data);
+        let mut mem = GpuMemory::new(2 * 16 * 4);
+        e.launch(&kernel, 2, &[0], &mut mem).unwrap();
+        // Wave 1 ran on CU 1 and read the same staged weights.
+        assert_eq!(mem.read_f32(20 * 4), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one compute unit")]
+    fn zero_cus_rejected() {
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 0;
+        let _ = Engine::new(cfg);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the MIAOW engine: trimming soundness, watchdog
+//! termination, and assembler robustness.
+
+use proptest::prelude::*;
+
+use rtad_miaow::asm::assemble;
+use rtad_miaow::{ComputeUnit, CoverageSet, Dispatch, ExecError, GpuMemory, TrimPlan};
+
+/// A random straight-line kernel over a safe register/address space.
+fn arb_straightline() -> impl Strategy<Value = String> {
+    let instr = prop_oneof![
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_add_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_mul_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_mac_f32 v{d}, 0.5, v{s}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_mov_b32 v{d}, 1.25")),
+        (1u8..8,).prop_map(|(d,)| format!("v_exp_f32 v{d}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_rcp_f32 v{d}, v{d}")),
+        (1u8..8, 0u32..60).prop_map(|(d, k)| {
+            // LDS read at a fixed safe offset (broadcast address).
+            format!("v_mov_b32 v9, {}\nds_read_b32 v{d}, v9", k * 4)
+        }),
+        (1u8..8, 0u32..60).prop_map(|(d, k)| {
+            format!("v_mov_b32 v9, {}\nbuffer_load_dword v{d}, v9, s0", k * 4)
+        }),
+    ];
+    proptest::collection::vec(instr, 1..24).prop_map(|lines| {
+        let mut src = lines.join("\n");
+        // Observable output: store v1..v3 at lane offsets.
+        src.push_str(
+            "\nv_lshl_b32 v10, v0, 2\n\
+             buffer_store_dword v1, v10, s1\n\
+             s_endpgm\n",
+        );
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fig. 4 step 4 as a law: for ANY kernel, trimming to that kernel's
+    /// own coverage preserves its outputs exactly.
+    #[test]
+    fn trim_to_own_coverage_preserves_outputs(src in arb_straightline()) {
+        let kernel = assemble(&src).expect("generated source assembles");
+        let dispatch = Dispatch::single_wave(&[0, 512]);
+        let mut init = GpuMemory::new(1024);
+        for i in 0..64 {
+            init.write_f32(i * 4, (i as f32) * 0.25 - 4.0);
+        }
+
+        let mut full = ComputeUnit::new();
+        full.write_lds_f32_slice(0, &[1.5; 64]);
+        let mut mem_full = init.clone();
+        let mut cov = CoverageSet::new();
+        full.run(&kernel, &dispatch, &mut mem_full, &mut cov)
+            .expect("straight-line kernels run");
+
+        let plan = TrimPlan::from_coverage(&cov);
+        let mut trimmed = plan.build_cu();
+        trimmed.write_lds_f32_slice(0, &[1.5; 64]);
+        let mut mem_trim = init.clone();
+        let mut cov2 = CoverageSet::new();
+        trimmed
+            .run(&kernel, &dispatch, &mut mem_trim, &mut cov2)
+            .expect("trimmed engine must run its own coverage");
+        prop_assert_eq!(mem_full, mem_trim);
+        // Re-running gathers no NEW features.
+        prop_assert!(cov2.iter().all(|f| cov.contains(f)));
+    }
+
+    /// Any kernel either terminates or hits a *defined* error under the
+    /// watchdog — the simulator never hangs or panics on valid programs.
+    #[test]
+    fn watchdog_bounds_any_loop(
+        body in arb_straightline(),
+        loop_count in 0i32..100,
+    ) {
+        let src = format!(
+            "s_mov_b32 s10, 0\n\
+             top:\n\
+             s_add_i32 s10, s10, 1\n\
+             s_cmp_lt_i32 s10, {loop_count}\n\
+             s_cbranch_scc1 top\n\
+             {body}"
+        );
+        let kernel = assemble(&src).expect("assembles");
+        let mut cu = ComputeUnit::new();
+        let mut mem = GpuMemory::new(1024);
+        let mut d = Dispatch::single_wave(&[0, 512]);
+        d.max_cycles_per_wave = 50_000;
+        let mut cov = CoverageSet::new();
+        match cu.run(&kernel, &d, &mut mem, &mut cov) {
+            Ok(stats) => prop_assert!(stats.cycles <= 50_000 + 32),
+            Err(ExecError::Watchdog { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    /// The assembler rejects garbage with an error, never a panic.
+    #[test]
+    fn assembler_never_panics(text in "[ -~\n]{0,200}") {
+        let _ = assemble(&text); // Ok or Err are both fine
+    }
+
+    /// Under-trimmed engines trap instead of mis-computing: removing any
+    /// exercised non-core feature yields TrimmedFeature, never a wrong
+    /// answer.
+    #[test]
+    fn removing_used_features_traps(src in arb_straightline(), pick in any::<prop::sample::Index>()) {
+        let kernel = assemble(&src).expect("assembles");
+        let dispatch = Dispatch::single_wave(&[0, 512]);
+        let mut init = GpuMemory::new(1024);
+        let mut full = ComputeUnit::new();
+        full.write_lds_f32_slice(0, &[1.0; 64]);
+        let mut cov = CoverageSet::new();
+        full.run(&kernel, &dispatch, &mut init.clone(), &mut cov)
+            .expect("runs");
+
+        let non_core: Vec<_> = cov.iter().filter(|f| !f.is_core()).collect();
+        prop_assume!(!non_core.is_empty());
+        let removed = non_core[pick.index(non_core.len())];
+        let reduced: CoverageSet = cov.iter().filter(|&f| f != removed).collect();
+        let plan = TrimPlan::from_coverage(&reduced);
+        let mut cu = plan.build_cu();
+        cu.write_lds_f32_slice(0, &[1.0; 64]);
+        let mut cov2 = CoverageSet::new();
+        let err = cu
+            .run(&kernel, &dispatch, &mut init, &mut cov2)
+            .expect_err("must trap on the removed feature");
+        let trapped_on_removed =
+            matches!(err, ExecError::TrimmedFeature { feature, .. } if feature == removed);
+        prop_assert!(trapped_on_removed, "got {err}");
+    }
+}

@@ -1,0 +1,400 @@
+//! Minimal dense linear algebra for the ML models.
+//!
+//! Row-major `f32` matrices with the handful of operations the models
+//! need: products, transpose, and a ridge-regularized least-squares
+//! solver (the ELM's closed-form training step). Accumulations run in
+//! `f64` for stability; storage stays `f32` to match what the device
+//! kernels compute.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_ml::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let x = vec![1.0, 1.0];
+/// assert_eq!(a.matvec(&x), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or ragged rows.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut m = Matrix::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "ragged row {i}");
+            m.data[i * cols..(i + 1) * cols].copy_from_slice(r);
+        }
+        m
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix { rows, cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data (in-place updates by optimizers).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self * x` for a column vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = 0f64;
+                for (a, b) in self.row(i).iter().zip(x) {
+                    acc += f64::from(*a) * f64::from(*b);
+                }
+                acc as f32
+            })
+            .collect()
+    }
+
+    /// `selfᵀ * x` (saves materializing the transpose in hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut out = vec![0f64; self.cols];
+        for i in 0..self.rows {
+            let xi = f64::from(x[i]);
+            for (o, a) in out.iter_mut().zip(self.row(i)) {
+                *o += xi * f64::from(*a);
+            }
+        }
+        out.into_iter().map(|v| v as f32).collect()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = f64::from(self[(i, k)]);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = f64::from(out[(i, j)]) + a * f64::from(rhs[(k, j)]);
+                    out[(i, j)] = v as f32;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Solves the ridge-regularized least-squares problem
+    /// `min ‖A·X − B‖² + λ‖X‖²` via the normal equations
+    /// `(AᵀA + λI) X = AᵀB` with Gauss–Jordan elimination in `f64`.
+    ///
+    /// This is the ELM's entire training step.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch, non-positive `lambda` when the
+    /// normal matrix is singular, or a singular system.
+    pub fn ridge_solve(a: &Matrix, b: &Matrix, lambda: f32) -> Matrix {
+        assert_eq!(a.rows, b.rows, "ridge_solve: A and B row mismatch");
+        let n = a.cols;
+        // M = AᵀA + λI (n×n), R = AᵀB (n×b.cols), in f64.
+        let mut m = vec![0f64; n * n];
+        for r in 0..a.rows {
+            let row = a.row(r);
+            for i in 0..n {
+                let ai = f64::from(row[i]);
+                if ai == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    m[i * n + j] += ai * f64::from(row[j]);
+                }
+            }
+        }
+        for i in 0..n {
+            m[i * n + i] += f64::from(lambda);
+        }
+        let bc = b.cols;
+        let mut r = vec![0f64; n * bc];
+        for row_i in 0..a.rows {
+            let arow = a.row(row_i);
+            let brow = b.row(row_i);
+            for i in 0..n {
+                let ai = f64::from(arow[i]);
+                if ai == 0.0 {
+                    continue;
+                }
+                for j in 0..bc {
+                    r[i * bc + j] += ai * f64::from(brow[j]);
+                }
+            }
+        }
+
+        // Gauss–Jordan with partial pivoting on [M | R].
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&x, &y| {
+                    m[x * n + col]
+                        .abs()
+                        .partial_cmp(&m[y * n + col].abs())
+                        .expect("no NaNs in normal matrix")
+                })
+                .expect("non-empty pivot range");
+            assert!(
+                m[pivot * n + col].abs() > 1e-12,
+                "singular system in ridge_solve (increase lambda)"
+            );
+            if pivot != col {
+                for j in 0..n {
+                    m.swap(col * n + j, pivot * n + j);
+                }
+                for j in 0..bc {
+                    r.swap(col * bc + j, pivot * bc + j);
+                }
+            }
+            let d = m[col * n + col];
+            for j in 0..n {
+                m[col * n + j] /= d;
+            }
+            for j in 0..bc {
+                r[col * bc + j] /= d;
+            }
+            for row_i in 0..n {
+                if row_i == col {
+                    continue;
+                }
+                let f = m[row_i * n + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    m[row_i * n + j] -= f * m[col * n + j];
+                }
+                for j in 0..bc {
+                    r[row_i * bc + j] -= f * r[col * bc + j];
+                }
+            }
+        }
+        Matrix::from_vec(n, bc, r.into_iter().map(|v| v as f32).collect())
+    }
+
+    /// Fills with samples from `U(-scale, scale)` using the given RNG.
+    pub fn randomize<R: rand::Rng>(&mut self, rng: &mut R, scale: f32) {
+        for v in &mut self.data {
+            *v = rng.gen_range(-scale..scale);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}:", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, " {:9.4}", self[(i, j)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { " ..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = vec![1.0, 0.0, -1.0];
+        assert_eq!(a.matvec(&x), vec![-2.0, -2.0]);
+        let y = vec![1.0, 1.0];
+        assert_eq!(a.matvec_t(&y), a.transpose().matvec(&y));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(2)), a);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn ridge_solve_recovers_exact_solution() {
+        // Overdetermined consistent system: X should recover W.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, -1.0],
+        ]);
+        let w = Matrix::from_rows(&[&[3.0], &[-2.0]]);
+        let b = a.matmul(&w);
+        let x = Matrix::ridge_solve(&a, &b, 1e-6);
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-3);
+        assert!((x[(1, 0)] - (-2.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ridge_solve_handles_rank_deficiency_with_lambda() {
+        // Two identical columns: singular without regularization.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[2.0], &[4.0], &[6.0]]);
+        let x = Matrix::ridge_solve(&a, &b, 0.1);
+        // Symmetric solution: both weights ≈ 1.
+        assert!((x[(0, 0)] - x[(1, 0)]).abs() < 1e-4);
+        let pred = a.matmul(&x);
+        assert!((pred[(0, 0)] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular system")]
+    fn ridge_solve_rejects_singular_without_lambda() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let _ = Matrix::ridge_solve(&a, &b, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        Matrix::identity(2).matvec(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn randomize_fills_in_range() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+        let mut m = Matrix::zeros(8, 8);
+        m.randomize(&mut rng, 0.5);
+        assert!(m.as_slice().iter().all(|v| v.abs() < 0.5));
+        assert!(m.as_slice().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", Matrix::identity(3));
+        assert!(s.contains("Matrix 3x3"));
+    }
+}

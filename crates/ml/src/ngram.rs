@@ -1,0 +1,146 @@
+//! STIDE-style n-gram baseline.
+//!
+//! The classic host-based anomaly detector lineage the paper cites
+//! (Forrest et al.'s system-call monitoring; the FSM of Rahmatian et
+//! al. is its hardware sibling): record every length-`n` window of the
+//! normal token stream; at detection time a window never seen in
+//! training is anomalous. Simple, fast, and the canonical accuracy
+//! baseline for the learned models.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SequenceModel;
+
+/// A trained n-gram window model.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_ml::{NgramModel, SequenceModel};
+///
+/// let corpus: Vec<u32> = (0..100).map(|i| i % 4).collect();
+/// let mut m = NgramModel::train(3, 4, &corpus);
+/// m.reset();
+/// // In-pattern windows score 0; a broken window scores 1.
+/// assert_eq!(m.score_next(0), 0.0);
+/// assert_eq!(m.score_next(1), 0.0);
+/// assert_eq!(m.score_next(2), 0.0);
+/// assert_eq!(m.score_next(0), 1.0); // (1,2,0) never occurs
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NgramModel {
+    n: usize,
+    vocab: usize,
+    known: HashSet<Vec<u32>>,
+    #[serde(skip)]
+    window: Vec<u32>,
+}
+
+impl NgramModel {
+    /// Trains on a normal token stream: every length-`n` window becomes
+    /// known-good.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the corpus is shorter than `n`.
+    pub fn train(n: usize, vocab: usize, corpus: &[u32]) -> Self {
+        assert!(n > 0, "window length must be non-zero");
+        assert!(
+            corpus.len() >= n,
+            "corpus ({}) shorter than window ({n})",
+            corpus.len()
+        );
+        let known = corpus.windows(n).map(|w| w.to_vec()).collect();
+        NgramModel {
+            n,
+            vocab,
+            known,
+            window: Vec::new(),
+        }
+    }
+
+    /// Window length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct normal windows.
+    pub fn known_windows(&self) -> usize {
+        self.known.len()
+    }
+}
+
+impl SequenceModel for NgramModel {
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    fn score_next(&mut self, token: u32) -> f64 {
+        self.window.push(token);
+        if self.window.len() > self.n {
+            self.window.remove(0);
+        }
+        if self.window.len() < self.n {
+            return 0.0; // warm-up: no full window yet
+        }
+        if self.known.contains(&self.window) {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn vocab(&self) -> usize {
+        self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_windows_score_zero() {
+        let corpus: Vec<u32> = (0..60).map(|i| i % 6).collect();
+        let mut m = NgramModel::train(4, 6, &corpus);
+        m.reset();
+        let total: f64 = corpus.iter().map(|&t| m.score_next(t)).sum();
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn unseen_window_scores_one() {
+        let corpus: Vec<u32> = (0..60).map(|i| i % 6).collect();
+        let mut m = NgramModel::train(4, 6, &corpus);
+        m.reset();
+        for t in [0u32, 1, 2, 3] {
+            m.score_next(t);
+        }
+        assert_eq!(m.score_next(1), 1.0); // 1 never follows 3 after (1,2,3)
+    }
+
+    #[test]
+    fn warmup_does_not_flag() {
+        let corpus: Vec<u32> = (0..30).map(|i| i % 3).collect();
+        let mut m = NgramModel::train(5, 3, &corpus);
+        m.reset();
+        // Fewer tokens than a full window: always 0.
+        assert_eq!(m.score_next(2), 0.0);
+        assert_eq!(m.score_next(2), 0.0);
+    }
+
+    #[test]
+    fn window_count_is_bounded_by_distinct_patterns() {
+        let corpus: Vec<u32> = (0..600).map(|i| i % 5).collect();
+        let m = NgramModel::train(3, 5, &corpus);
+        assert_eq!(m.known_windows(), 5); // cyclic: 5 distinct windows
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than window")]
+    fn short_corpus_panics() {
+        NgramModel::train(5, 4, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Threshold calibration and detection decisions.
+//!
+//! The inference engine "judges the existence of an anomaly based on the
+//! received branch sequence. If the model discerns the probability of
+//! the given branch sequence to be unlikely, the inference engine
+//! recognizes it as an anomaly" (§III-C). Concretely: scores above a
+//! threshold calibrated on held-out *normal* data raise the interrupt.
+//! Raw per-event scores are noisy (even normal execution contains rare
+//! branches), so the decision statistic is a short exponential moving
+//! average of the per-event scores.
+
+use serde::{Deserialize, Serialize};
+
+/// How the detection threshold is derived from normal validation scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdPolicy {
+    /// `quantile` of the normal score distribution (e.g. `0.999`),
+    /// scaled by `margin` (e.g. `1.2`).
+    Quantile {
+        /// Quantile in `(0, 1]`.
+        quantile: f64,
+        /// Multiplicative safety margin (≥ 1 keeps false positives low).
+        margin: f64,
+    },
+    /// Mean + `sigmas` standard deviations of the normal scores.
+    MeanSigma {
+        /// Number of standard deviations.
+        sigmas: f64,
+    },
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        ThresholdPolicy::Quantile {
+            quantile: 0.999,
+            margin: 1.25,
+        }
+    }
+}
+
+/// Computes a detection threshold from normal (smoothed) scores.
+///
+/// # Panics
+///
+/// Panics if `normal_scores` is empty or the quantile is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_ml::{calibrate_threshold, ThresholdPolicy};
+///
+/// let scores: Vec<f64> = (1..=100).map(f64::from).collect();
+/// let t = calibrate_threshold(
+///     &scores,
+///     ThresholdPolicy::Quantile { quantile: 0.95, margin: 1.0 },
+/// );
+/// assert!((95.0..=96.0).contains(&t));
+/// ```
+pub fn calibrate_threshold(normal_scores: &[f64], policy: ThresholdPolicy) -> f64 {
+    assert!(
+        !normal_scores.is_empty(),
+        "threshold calibration needs scores"
+    );
+    match policy {
+        ThresholdPolicy::Quantile { quantile, margin } => {
+            assert!(
+                quantile > 0.0 && quantile <= 1.0,
+                "quantile must be in (0, 1], got {quantile}"
+            );
+            let mut sorted: Vec<f64> = normal_scores.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+            let idx = ((sorted.len() as f64 - 1.0) * quantile).round() as usize;
+            sorted[idx] * margin
+        }
+        ThresholdPolicy::MeanSigma { sigmas } => {
+            let n = normal_scores.len() as f64;
+            let mean = normal_scores.iter().sum::<f64>() / n;
+            let var = normal_scores
+                .iter()
+                .map(|s| (s - mean) * (s - mean))
+                .sum::<f64>()
+                / n;
+            mean + sigmas * var.sqrt()
+        }
+    }
+}
+
+/// A streaming detector: smooths per-event scores with an EMA and fires
+/// when the smoothed score crosses the threshold.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_ml::Detection;
+///
+/// let mut det = Detection::new(2.0, 0.5);
+/// assert!(!det.observe(1.0)); // calm
+/// assert!(!det.observe(1.2));
+/// det.observe(9.0);
+/// assert!(det.fired()); // the burst pushed the EMA over threshold
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    threshold: f64,
+    alpha: f64,
+    ema: f64,
+    events: u64,
+    fired_at: Option<u64>,
+}
+
+impl Detection {
+    /// Creates a detector with a smoothing factor `alpha` in `(0, 1]`
+    /// (1 = no smoothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is out of range.
+    pub fn new(threshold: f64, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EMA alpha must be in (0, 1], got {alpha}"
+        );
+        Detection {
+            threshold,
+            alpha,
+            ema: 0.0,
+            events: 0,
+            fired_at: None,
+        }
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Feeds one per-event score; returns whether this event fired the
+    /// detection (first crossing only).
+    pub fn observe(&mut self, score: f64) -> bool {
+        self.events += 1;
+        self.ema = if self.events == 1 {
+            score
+        } else {
+            self.alpha * score + (1.0 - self.alpha) * self.ema
+        };
+        if self.fired_at.is_none() && self.ema > self.threshold {
+            self.fired_at = Some(self.events);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the detector has fired.
+    pub fn fired(&self) -> bool {
+        self.fired_at.is_some()
+    }
+
+    /// Event index (1-based) at which detection fired.
+    pub fn fired_at(&self) -> Option<u64> {
+        self.fired_at
+    }
+
+    /// The current smoothed score.
+    pub fn current(&self) -> f64 {
+        self.ema
+    }
+
+    /// Resets for a new trace, keeping the calibration.
+    pub fn reset(&mut self) {
+        self.ema = 0.0;
+        self.events = 0;
+        self.fired_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_threshold_orders() {
+        let scores: Vec<f64> = (1..=1000).map(f64::from).collect();
+        let t99 = calibrate_threshold(
+            &scores,
+            ThresholdPolicy::Quantile {
+                quantile: 0.99,
+                margin: 1.0,
+            },
+        );
+        let t50 = calibrate_threshold(
+            &scores,
+            ThresholdPolicy::Quantile {
+                quantile: 0.5,
+                margin: 1.0,
+            },
+        );
+        assert!(t99 > t50);
+        assert!((t99 - 990.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn margin_scales_threshold() {
+        let scores = vec![1.0, 2.0, 3.0];
+        let a = calibrate_threshold(
+            &scores,
+            ThresholdPolicy::Quantile {
+                quantile: 1.0,
+                margin: 1.0,
+            },
+        );
+        let b = calibrate_threshold(
+            &scores,
+            ThresholdPolicy::Quantile {
+                quantile: 1.0,
+                margin: 2.0,
+            },
+        );
+        assert_eq!(b, a * 2.0);
+    }
+
+    #[test]
+    fn mean_sigma_threshold() {
+        let scores = vec![2.0; 100];
+        let t = calibrate_threshold(&scores, ThresholdPolicy::MeanSigma { sigmas: 3.0 });
+        assert!((t - 2.0).abs() < 1e-9); // zero variance
+    }
+
+    #[test]
+    fn detector_fires_once_and_records_index() {
+        let mut d = Detection::new(5.0, 1.0);
+        assert!(!d.observe(1.0));
+        assert!(d.observe(6.0));
+        assert!(!d.observe(7.0)); // already fired
+        assert_eq!(d.fired_at(), Some(2));
+    }
+
+    #[test]
+    fn ema_smooths_spikes() {
+        // A single spike with heavy smoothing stays under threshold.
+        let mut d = Detection::new(5.0, 0.1);
+        d.observe(1.0);
+        assert!(!d.observe(20.0));
+        assert!(!d.fired());
+        // A sustained burst crosses.
+        for _ in 0..10 {
+            d.observe(20.0);
+        }
+        assert!(d.fired());
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_threshold() {
+        let mut d = Detection::new(3.0, 1.0);
+        d.observe(10.0);
+        assert!(d.fired());
+        d.reset();
+        assert!(!d.fired());
+        assert_eq!(d.threshold(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs scores")]
+    fn empty_calibration_panics() {
+        calibrate_threshold(&[], ThresholdPolicy::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be")]
+    fn bad_alpha_panics() {
+        Detection::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Verifies the area-model calibration assumption: the merged coverage
+//! of the deployed ELM + LSTM kernels is exactly the reference feature
+//! set `ml_reference_features()`, so the Table II numbers regenerate
+//! from the real trimming pipeline rather than from constants.
+
+use rtad_miaow::area::{area_of_retained, ml_reference_features};
+use rtad_miaow::{CoverageSet, Engine, EngineConfig, TrimPlan};
+use rtad_ml::{DeviceModel, Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice};
+
+fn merged_model_coverage() -> CoverageSet {
+    let normal: Vec<Vec<f32>> = (0..60)
+        .map(|i| {
+            let mut v = vec![0.0; 16];
+            v[i % 4] = 0.6;
+            v[(i + 1) % 4] = 0.4;
+            v
+        })
+        .collect();
+    let elm = Elm::train(&ElmConfig::rtad(), &normal, 1);
+    let elm_dev = ElmDevice::compile(&elm);
+
+    let corpus: Vec<u32> = (0..200).map(|i| (i % 16) as u32).collect();
+    let mut cfg = LstmConfig::rtad();
+    cfg.epochs = 1;
+    let lstm = Lstm::train(&cfg, &corpus, 1);
+    let lstm_dev = LstmDevice::compile(&lstm);
+
+    let mut profiler = Engine::new(EngineConfig::miaow());
+    let mut mem = elm_dev.load(&mut profiler);
+    elm_dev
+        .infer(&mut profiler, &mut mem, &vec![0.1; 16])
+        .expect("elm runs");
+    let mut mem = lstm_dev.load(&mut profiler);
+    lstm_dev.reset(&mut mem);
+    lstm_dev.step(&mut profiler, &mut mem, 3).expect("lstm runs");
+
+    let mut merged = CoverageSet::new();
+    merged.merge(profiler.observed_coverage());
+    merged
+}
+
+#[test]
+fn kernel_coverage_equals_reference_feature_set() {
+    let merged = merged_model_coverage();
+    let reference = ml_reference_features();
+    let extra: Vec<_> = merged.iter().filter(|f| !reference.contains(*f)).collect();
+    let missing: Vec<_> = reference.iter().filter(|f| !merged.contains(*f)).collect();
+    assert!(
+        extra.is_empty() && missing.is_empty(),
+        "coverage drift: extra={extra:?} missing={missing:?}"
+    );
+}
+
+#[test]
+fn trim_pipeline_regenerates_table_ii_exactly() {
+    let plan = TrimPlan::from_coverage(&merged_model_coverage());
+    let area = plan.area();
+    assert_eq!(area.luts, 36_743);
+    assert_eq!(area.ffs, 15_275);
+    // And matches the reference-set computation.
+    assert_eq!(area, area_of_retained(&ml_reference_features()));
+}

@@ -1,0 +1,30 @@
+//! The generated ELM/LSTM kernels disassemble to text the assembler
+//! reproduces exactly — kernels are inspectable and round-trippable.
+
+use rtad_miaow::asm::assemble_named;
+use rtad_ml::{DeviceModel, Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice};
+
+#[test]
+fn generated_kernels_roundtrip_through_disassembly() {
+    let normal: Vec<Vec<f32>> = (0..40)
+        .map(|i| {
+            let mut v = vec![0.0; 16];
+            v[i % 4] = 1.0;
+            v
+        })
+        .collect();
+    let elm = Elm::train(&ElmConfig::rtad(), &normal, 3);
+    let corpus: Vec<u32> = (0..300).map(|i| (i % 16) as u32).collect();
+    let mut cfg = LstmConfig::rtad();
+    cfg.epochs = 1;
+    let lstm = Lstm::train(&cfg, &corpus, 3);
+
+    let elm_dev = ElmDevice::compile(&elm);
+    let lstm_dev = LstmDevice::compile(&lstm);
+    for kernel in elm_dev.kernels().into_iter().chain(lstm_dev.kernels()) {
+        let text = kernel.to_string();
+        let back = assemble_named(&kernel.name, &text)
+            .unwrap_or_else(|e| panic!("{}: disassembly does not reassemble: {e}\n{text}", kernel.name));
+        assert_eq!(*kernel, back, "kernel {} drifted through disassembly", kernel.name);
+    }
+}

@@ -1,0 +1,216 @@
+//! FPGA/ASIC area accounting.
+//!
+//! Table I of the paper reports per-submodule LUT/FF/BRAM counts from
+//! Vivado synthesis plus gate-equivalent counts from Synopsys Design
+//! Compiler on a 45 nm library; Table II compares LUT+FF sums across
+//! MIAOW variants. [`AreaEstimate`] is the common currency those tables
+//! are assembled from, and [`Zc706`] captures the capacity of the
+//! XC7Z045 device the prototype targets (for the §IV-A utilization
+//! figures and the "5 trimmed CUs vs 1 original CU" fit argument).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+use serde::{Deserialize, Serialize};
+
+/// Synthesized area of one hardware block.
+///
+/// `gates` are gate equivalents (1 GE = the area of a 2-input NAND), the
+/// unit of Table I's Design Compiler column.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_sim::AreaEstimate;
+///
+/// let ta = AreaEstimate::new(11_962, 350, 0, 12_375);
+/// let p2s = AreaEstimate::new(686, 1_074, 0, 14_363);
+/// let total = ta + p2s;
+/// assert_eq!(total.luts, 12_648);
+/// assert_eq!(total.lut_ff_sum(), 12_648 + 1_424);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AreaEstimate {
+    /// Look-up tables used for logic.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// Block RAMs (36 Kb equivalents).
+    pub brams: u64,
+    /// Gate equivalents from ASIC synthesis.
+    pub gates: u64,
+}
+
+impl AreaEstimate {
+    /// Zero area.
+    pub const ZERO: AreaEstimate = AreaEstimate {
+        luts: 0,
+        ffs: 0,
+        brams: 0,
+        gates: 0,
+    };
+
+    /// Creates an estimate.
+    pub const fn new(luts: u64, ffs: u64, brams: u64, gates: u64) -> Self {
+        AreaEstimate {
+            luts,
+            ffs,
+            brams,
+            gates,
+        }
+    }
+
+    /// LUT + FF sum — the comparison unit of Table II.
+    pub const fn lut_ff_sum(&self) -> u64 {
+        self.luts + self.ffs
+    }
+
+    /// Area reduction of `self` relative to `baseline`, as a fraction in
+    /// `[0, 1]` (Table II's "-82%" is `0.82`). Measured on the LUT+FF sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` has a zero LUT+FF sum.
+    pub fn reduction_vs(&self, baseline: &AreaEstimate) -> f64 {
+        let base = baseline.lut_ff_sum();
+        assert!(base > 0, "baseline area must be non-zero");
+        1.0 - self.lut_ff_sum() as f64 / base as f64
+    }
+
+    /// Scales every resource by an integer factor (e.g. CU replication).
+    pub const fn scaled(&self, n: u64) -> AreaEstimate {
+        AreaEstimate {
+            luts: self.luts * n,
+            ffs: self.ffs * n,
+            brams: self.brams * n,
+            gates: self.gates * n,
+        }
+    }
+}
+
+impl Add for AreaEstimate {
+    type Output = AreaEstimate;
+    fn add(self, rhs: AreaEstimate) -> AreaEstimate {
+        AreaEstimate {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            gates: self.gates + rhs.gates,
+        }
+    }
+}
+
+impl AddAssign for AreaEstimate {
+    fn add_assign(&mut self, rhs: AreaEstimate) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for AreaEstimate {
+    type Output = AreaEstimate;
+    fn mul(self, rhs: u64) -> AreaEstimate {
+        self.scaled(rhs)
+    }
+}
+
+impl Sum for AreaEstimate {
+    fn sum<I: Iterator<Item = AreaEstimate>>(iter: I) -> AreaEstimate {
+        iter.fold(AreaEstimate::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for AreaEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} BRAMs, {} GE",
+            self.luts, self.ffs, self.brams, self.gates
+        )
+    }
+}
+
+/// Capacity of the Xilinx Zynq XC7Z045 (the ZC706 board's device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Zc706;
+
+impl Zc706 {
+    /// Total LUTs (the paper's §IV-A: 218,600).
+    pub const LUTS: u64 = 218_600;
+    /// Total flip-flops (437,200).
+    pub const FFS: u64 = 437_200;
+    /// Total block RAMs (545).
+    pub const BRAMS: u64 = 545;
+
+    /// Fractional utilization of the device by `area`, per resource:
+    /// `(luts, ffs, brams)` each in `[0, ..]` (may exceed 1 if it does
+    /// not fit).
+    pub fn utilization(area: &AreaEstimate) -> (f64, f64, f64) {
+        (
+            area.luts as f64 / Self::LUTS as f64,
+            area.ffs as f64 / Self::FFS as f64,
+            area.brams as f64 / Self::BRAMS as f64,
+        )
+    }
+
+    /// Whether `area` fits the device.
+    pub fn fits(area: &AreaEstimate) -> bool {
+        area.luts <= Self::LUTS && area.ffs <= Self::FFS && area.brams <= Self::BRAMS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_and_sum() {
+        let a = AreaEstimate::new(1, 2, 3, 4);
+        let b = AreaEstimate::new(10, 20, 30, 40);
+        assert_eq!((a + b).lut_ff_sum(), 33);
+        let s: AreaEstimate = [a, b].into_iter().sum();
+        assert_eq!(s, a + b);
+    }
+
+    #[test]
+    fn scaling() {
+        let cu = AreaEstimate::new(100, 50, 2, 1000);
+        let five = cu.scaled(5);
+        assert_eq!(five.luts, 500);
+        assert_eq!(cu * 5, five);
+    }
+
+    #[test]
+    fn reduction_matches_table_ii_arithmetic() {
+        // Table II: MIAOW 287,903 total; ML-MIAOW 52,018 → −82%.
+        let miaow = AreaEstimate::new(180_902, 107_001, 0, 0);
+        let ml = AreaEstimate::new(36_743, 15_275, 0, 0);
+        let r = ml.reduction_vs(&miaow);
+        assert!((r - 0.82).abs() < 0.005, "reduction={r}");
+    }
+
+    #[test]
+    fn zc706_utilization_matches_paper() {
+        // §IV-A: MLPU occupies 91.2% of LUTs, 18.5% of FFs, 27.5% of BRAMs.
+        let mlpu = AreaEstimate::new(199_406, 80_953, 150, 1_927_294);
+        let (l, f, b) = Zc706::utilization(&mlpu);
+        assert!((l - 0.912).abs() < 0.001);
+        assert!((f - 0.185).abs() < 0.001);
+        assert!((b - 0.275).abs() < 0.001);
+        assert!(Zc706::fits(&mlpu));
+    }
+
+    #[test]
+    fn oversized_design_does_not_fit() {
+        let huge = AreaEstimate::new(Zc706::LUTS + 1, 0, 0, 0);
+        assert!(!Zc706::fits(&huge));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn reduction_vs_zero_baseline_panics() {
+        let _ = AreaEstimate::ZERO.reduction_vs(&AreaEstimate::ZERO);
+    }
+}

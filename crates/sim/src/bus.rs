@@ -1,0 +1,192 @@
+//! AMBA AXI-style bus latency model.
+//!
+//! RTAD connects the host CPU and the MLPU through an ARM NIC-301 AXI
+//! interconnect. For latency purposes an AXI transfer decomposes into an
+//! address-phase cost, one data beat per bus-width chunk, and a response
+//! phase; bursts amortize the address/response phases over many beats.
+//! That is exactly the level of detail Fig. 7 needs: the SW path's step
+//! (3) is a long CPU-driven copy into ML-MIAOW memory (many small
+//! transactions), while RTAD's step (3) is a short stream of successive
+//! write beats (0.78 µs).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{ClockDomain, Picos};
+
+/// AXI burst addressing mode. Only the latency-relevant distinction is
+/// modelled: `Fixed` bursts re-arbitrate per beat, `Incr` bursts stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BurstKind {
+    /// FIXED burst: every beat pays the arbitration cost again.
+    Fixed,
+    /// INCR burst: address phase paid once, beats stream back-to-back.
+    Incr,
+}
+
+/// Static configuration of an AXI-style bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxiBusConfig {
+    /// Data width in bytes (NIC-301 on the ZC706 carries 32-bit = 4-byte
+    /// and 64-bit ports; RTAD uses the 32-bit GP port).
+    pub data_width_bytes: usize,
+    /// Cycles for the address phase (arbitration + decode).
+    pub address_phase_cycles: u64,
+    /// Cycles per data beat.
+    pub beat_cycles: u64,
+    /// Cycles for the response phase (write response / read last).
+    pub response_phase_cycles: u64,
+    /// Maximum beats per burst (AXI3: 16).
+    pub max_burst_beats: usize,
+}
+
+impl AxiBusConfig {
+    /// The NIC-301 general-purpose port configuration used in the RTAD
+    /// prototype model: 32-bit data, 3-cycle address phase, 1 cycle per
+    /// beat, 1-cycle response, AXI3 16-beat bursts.
+    pub fn nic301_gp() -> Self {
+        AxiBusConfig {
+            data_width_bytes: 4,
+            address_phase_cycles: 3,
+            beat_cycles: 1,
+            response_phase_cycles: 1,
+            max_burst_beats: 16,
+        }
+    }
+}
+
+impl Default for AxiBusConfig {
+    fn default() -> Self {
+        AxiBusConfig::nic301_gp()
+    }
+}
+
+/// An AXI-style bus in a specific clock domain.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_sim::{AxiBus, AxiBusConfig, BurstKind, ClockDomain};
+///
+/// let bus = AxiBus::new(AxiBusConfig::nic301_gp(), ClockDomain::rtad_mlpu());
+/// // A single 32-bit register write: 3 (addr) + 1 (beat) + 1 (resp) = 5
+/// // cycles at 125 MHz = 40 ns.
+/// let t = bus.transfer_time(4, BurstKind::Incr);
+/// assert_eq!(t.as_nanos(), 40);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AxiBus {
+    config: AxiBusConfig,
+    clock: ClockDomain,
+}
+
+impl AxiBus {
+    /// Creates a bus model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured data width or maximum burst length is zero.
+    pub fn new(config: AxiBusConfig, clock: ClockDomain) -> Self {
+        assert!(config.data_width_bytes > 0, "bus data width must be non-zero");
+        assert!(config.max_burst_beats > 0, "burst length must be non-zero");
+        AxiBus { config, clock }
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &AxiBusConfig {
+        &self.config
+    }
+
+    /// The bus clock domain.
+    pub fn clock(&self) -> &ClockDomain {
+        &self.clock
+    }
+
+    /// Number of data beats needed for a payload of `bytes`.
+    pub fn beats_for(&self, bytes: usize) -> u64 {
+        (bytes.max(1)).div_ceil(self.config.data_width_bytes) as u64
+    }
+
+    /// Cycle cost of moving `bytes` across the bus.
+    pub fn transfer_cycles(&self, bytes: usize, kind: BurstKind) -> u64 {
+        let beats = self.beats_for(bytes);
+        let max = self.config.max_burst_beats as u64;
+        match kind {
+            BurstKind::Fixed => {
+                beats
+                    * (self.config.address_phase_cycles
+                        + self.config.beat_cycles
+                        + self.config.response_phase_cycles)
+            }
+            BurstKind::Incr => {
+                // One address+response per burst of up to max_burst_beats.
+                let bursts = beats.div_ceil(max);
+                bursts * (self.config.address_phase_cycles + self.config.response_phase_cycles)
+                    + beats * self.config.beat_cycles
+            }
+        }
+    }
+
+    /// Wall-clock time of moving `bytes` across the bus.
+    pub fn transfer_time(&self, bytes: usize, kind: BurstKind) -> Picos {
+        self.clock.cycles_to_picos(self.transfer_cycles(bytes, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Hertz;
+
+    fn bus() -> AxiBus {
+        AxiBus::new(AxiBusConfig::nic301_gp(), ClockDomain::new("t", Hertz::from_mhz(125)))
+    }
+
+    #[test]
+    fn beats_round_up() {
+        let b = bus();
+        assert_eq!(b.beats_for(1), 1);
+        assert_eq!(b.beats_for(4), 1);
+        assert_eq!(b.beats_for(5), 2);
+        assert_eq!(b.beats_for(64), 16);
+    }
+
+    #[test]
+    fn zero_byte_transfer_still_costs_one_beat() {
+        // An AXI transaction always carries at least one beat.
+        let b = bus();
+        assert_eq!(b.beats_for(0), 1);
+    }
+
+    #[test]
+    fn incr_amortizes_address_phase() {
+        let b = bus();
+        // 64 bytes = 16 beats = one full burst.
+        let incr = b.transfer_cycles(64, BurstKind::Incr);
+        let fixed = b.transfer_cycles(64, BurstKind::Fixed);
+        assert_eq!(incr, 3 + 1 + 16); // addr + resp + 16 beats
+        assert_eq!(fixed, 16 * 5);
+        assert!(incr < fixed);
+    }
+
+    #[test]
+    fn long_incr_splits_into_bursts() {
+        let b = bus();
+        // 128 bytes = 32 beats = 2 bursts of 16.
+        assert_eq!(b.transfer_cycles(128, BurstKind::Incr), 2 * 4 + 32);
+    }
+
+    #[test]
+    fn transfer_time_uses_clock() {
+        let b = bus();
+        // 5 cycles at 125MHz = 40ns.
+        assert_eq!(b.transfer_time(4, BurstKind::Incr), Picos::from_nanos(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "data width")]
+    fn zero_width_rejected() {
+        let mut c = AxiBusConfig::nic301_gp();
+        c.data_width_bytes = 0;
+        let _ = AxiBus::new(c, ClockDomain::rtad_mlpu());
+    }
+}

@@ -1,0 +1,193 @@
+//! A deterministic discrete-event queue.
+//!
+//! The SoC model advances by popping the earliest scheduled event and
+//! letting the owning module react, possibly scheduling more events.
+//! Ties in time are broken by insertion order (a monotonically increasing
+//! sequence number) so simulations are fully deterministic regardless of
+//! the heap's internal layout.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Picos;
+
+/// An event scheduled at a point in simulation time.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: Picos,
+    /// Tie-break sequence number (insertion order).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+// Min-heap ordering by (time, seq). BinaryHeap is a max-heap, so reverse.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_sim::{EventQueue, Picos};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Picos::from_nanos(20), "late");
+/// q.schedule(Picos::from_nanos(10), "early");
+/// q.schedule(Picos::from_nanos(10), "early-too");
+///
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (Picos::from_nanos(10), "early"));
+/// let (_, e) = q.pop().unwrap();
+/// assert_eq!(e, "early-too"); // FIFO among equal timestamps
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Picos,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Picos::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`EventQueue::now`]; scheduling into
+    /// the past would silently reorder causality.
+    pub fn schedule(&mut self, at: Picos, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} < now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after "now".
+    pub fn schedule_in(&mut self, delay: Picos, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing "now" to its timestamp.
+    pub fn pop(&mut self) -> Option<(Picos, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.at;
+            (s.at, s.event)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Picos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_nanos(30), 3);
+        q.schedule(Picos::from_nanos(10), 1);
+        q.schedule(Picos::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Picos::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_nanos(7), ());
+        assert_eq!(q.now(), Picos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Picos::from_nanos(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_nanos(10), "a");
+        q.pop();
+        q.schedule_in(Picos::from_nanos(5), "b");
+        assert_eq!(q.peek_time(), Some(Picos::from_nanos(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Picos::from_nanos(10), ());
+        q.pop();
+        q.schedule(Picos::from_nanos(5), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Picos::from_nanos(1), ());
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Discrete-event simulation substrate for the RTAD MPSoC model.
+//!
+//! The RTAD prototype in the paper runs three clock domains on a Xilinx
+//! ZC706 board: the ARM Cortex-A9 host at 250 MHz, the IGM/MCM logic at
+//! 125 MHz and the ML-MIAOW engine at 50 MHz. Every latency the paper
+//! reports (Figs. 6–8) is a product of cycle counts in one of those
+//! domains, so this crate provides the time arithmetic, event scheduling
+//! and queueing primitives the higher-level crates build on:
+//!
+//! * [`Picos`] — picosecond-resolution simulation time.
+//! * [`Hertz`] / [`ClockDomain`] — frequency-aware cycle accounting and
+//!   cross-domain conversion.
+//! * [`EventQueue`] — a deterministic discrete-event wheel.
+//! * [`HwFifo`] — a bounded hardware FIFO with overflow accounting; the
+//!   paper's §IV-C overflow observation on `471.omnetpp` is reproduced
+//!   through this type's drop statistics.
+//! * [`AxiBus`] — an AMBA AXI-style burst-latency model for the NIC-301
+//!   interconnect between the host CPU and the MLPU.
+//! * [`stats`] — counters, running means and geometric means used by the
+//!   experiment harnesses.
+//!
+//! # Examples
+//!
+//! Cross-domain cycle accounting, as used to convert IGM cycles into the
+//! wall-clock latencies of Fig. 7:
+//!
+//! ```
+//! use rtad_sim::{ClockDomain, Hertz};
+//!
+//! let igm = ClockDomain::new("igm", Hertz::from_mhz(125));
+//! // The paper: the Input Vector Generator takes 2 cycles = 16 ns.
+//! assert_eq!(igm.cycles_to_picos(2).as_nanos_f64(), 16.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod bus;
+pub mod event;
+pub mod fifo;
+pub mod stats;
+pub mod time;
+
+pub use area::{AreaEstimate, Zc706};
+pub use bus::{AxiBus, AxiBusConfig, BurstKind};
+pub use event::{EventQueue, Scheduled};
+pub use fifo::{FifoStats, HwFifo, OverflowPolicy, PushOutcome};
+pub use stats::{Counter, GeoMean, RunningStats};
+pub use time::{ClockDomain, Cycles, Hertz, Picos};

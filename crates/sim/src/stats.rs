@@ -1,0 +1,282 @@
+//! Statistics helpers used by the experiment harnesses.
+//!
+//! The paper reports a geometric-mean overhead across SPEC benchmarks
+//! (Fig. 6) and per-benchmark average latencies (Figs. 7–8); [`GeoMean`]
+//! and [`RunningStats`] provide those aggregations without buffering the
+//! underlying samples.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A simple named monotonically increasing counter.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_sim::Counter;
+///
+/// let mut branches = Counter::new("branches");
+/// branches.add(3);
+/// branches.incr();
+/// assert_eq!(branches.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// Streaming mean / min / max / variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use rtad_sim::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; zero if fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample; `+inf` if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample; `-inf` if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Streaming geometric mean over positive samples (log-domain
+/// accumulation, so long products cannot overflow).
+///
+/// The paper's headline "RTAD introduces an overhead of 0.052%
+/// (geometric mean)" uses exactly this aggregation over the twelve SPEC
+/// CINT2006 overhead ratios.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_sim::GeoMean;
+///
+/// let g: GeoMean = [2.0, 8.0].into_iter().collect();
+/// assert_eq!(g.value(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GeoMean {
+    log_sum: f64,
+    n: u64,
+}
+
+impl GeoMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        GeoMean { log_sum: 0.0, n: 0 }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not strictly positive — a geometric mean over
+    /// non-positive values is undefined.
+    pub fn push(&mut self, x: f64) {
+        assert!(x > 0.0, "geometric mean requires positive samples, got {x}");
+        self.log_sum += x.ln();
+        self.n += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The geometric mean; 1.0 for an empty accumulator (the identity).
+    pub fn value(&self) -> f64 {
+        if self.n == 0 {
+            1.0
+        } else {
+            (self.log_sum / self.n as f64).exp()
+        }
+    }
+}
+
+impl Extend<f64> for GeoMean {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for GeoMean {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut g = GeoMean::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.add(10);
+        c.incr();
+        assert_eq!(c.value(), 11);
+        assert_eq!(format!("{c}"), "x=11");
+    }
+
+    #[test]
+    fn running_stats_mean_var() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn running_stats_empty_is_sane() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn geomean_matches_closed_form() {
+        let g: GeoMean = [1.0, 10.0, 100.0].into_iter().collect();
+        assert!((g.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_empty_is_identity() {
+        assert_eq!(GeoMean::new().value(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive samples")]
+    fn geomean_rejects_zero() {
+        GeoMean::new().push(0.0);
+    }
+}

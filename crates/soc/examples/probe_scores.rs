@@ -1,0 +1,59 @@
+//! Diagnostic: print per-event LSTM score distributions around an attack.
+use rtad_soc::backend::EngineKind;
+use rtad_soc::detection::{DetectionConfig, DetectionRun, ModelKind};
+use rtad_workloads::Benchmark;
+
+fn main() {
+    let cfg = DetectionConfig {
+        train_branches: 900_000,
+        pre_attack_branches: 120_000,
+        post_attack_branches: 4_000,
+        attack_burst: 256,
+        ..DetectionConfig::fig8(Benchmark::Gcc, ModelKind::Lstm, EngineKind::MlMiaow)
+    };
+    let run = DetectionRun::prepare(cfg);
+    println!("threshold = {}", run.threshold());
+    let scores = run.event_scores();
+    let (mut normal, mut attack): (Vec<f64>, Vec<f64>) = (vec![], vec![]);
+    for (cycle, s) in &scores {
+        if *cycle >= run.attack_cycle() && *cycle < run.attack_cycle() + 3000 {
+            attack.push(*s);
+        } else {
+            normal.push(*s);
+        }
+    }
+    normal.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("normal events: {}", normal.len());
+    for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+        let i = ((normal.len() - 1) as f64 * q) as usize;
+        println!("  normal q{q}: {:.2}", normal[i]);
+    }
+    println!("attack-window events: {attack:?}");
+
+    // Arrival-time clustering: how often do k normal events fall within
+    // a window?
+    let cycles: Vec<u64> = scores
+        .iter()
+        .filter(|(c, _)| *c < run.attack_cycle())
+        .map(|(c, _)| *c)
+        .collect();
+    for window_us in [2.0f64, 3.0, 5.0, 10.0] {
+        let window_cycles = (window_us * 250.0) as u64; // 250 MHz
+        let mut max_in_window = 0;
+        for i in 0..cycles.len() {
+            let n = cycles[i..]
+                .iter()
+                .take_while(|&&c| c - cycles[i] <= window_cycles)
+                .count();
+            max_in_window = max_in_window.max(n);
+        }
+        println!("max normal events in {window_us}us window: {max_in_window}");
+    }
+    let attack_cycles: Vec<u64> = scores
+        .iter()
+        .filter(|(c, _)| *c >= run.attack_cycle() && *c < run.attack_cycle() + 3_000)
+        .map(|(c, _)| *c)
+        .collect();
+    println!("attack event cycles (rel): {:?}",
+        attack_cycles.iter().map(|c| c - run.attack_cycle()).collect::<Vec<_>>());
+}

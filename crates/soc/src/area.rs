@@ -1,0 +1,130 @@
+//! Table I: the synthesized RTAD module inventory.
+//!
+//! Assembles every row of Table I from the owning crates' area models
+//! (IGM submodules from `rtad-igm`, MCM submodules from `rtad-mcm`, the
+//! five-CU ML-MIAOW from `rtad-miaow`'s feature table) and checks the
+//! §IV-A utilization claims against the ZC706's capacity.
+
+use rtad_igm::{InputVectorGenerator, P2sConverter, TraceAnalyzer};
+use rtad_miaow::area::{variant_area, EngineVariant};
+use rtad_sim::AreaEstimate;
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleArea {
+    /// The owning top-level module ("IGM" / "MCM").
+    pub module: &'static str,
+    /// The submodule name as Table I spells it.
+    pub submodule: &'static str,
+    /// Synthesized area.
+    pub area: AreaEstimate,
+}
+
+/// Every Table I row, in the paper's order.
+pub fn rtad_module_inventory() -> Vec<ModuleArea> {
+    vec![
+        ModuleArea {
+            module: "IGM",
+            submodule: "Trace Analyzer",
+            area: TraceAnalyzer::area(),
+        },
+        ModuleArea {
+            module: "IGM",
+            submodule: "P2S",
+            area: P2sConverter::area(),
+        },
+        ModuleArea {
+            module: "IGM",
+            submodule: "Input Vector Generator",
+            area: InputVectorGenerator::area(),
+        },
+        ModuleArea {
+            module: "MCM",
+            submodule: "Internal FIFO",
+            area: rtad_mcm::internal_fifo_area(),
+        },
+        ModuleArea {
+            module: "MCM",
+            submodule: "ML-MIAOW Driver",
+            area: rtad_mcm::driver_area(),
+        },
+        ModuleArea {
+            module: "MCM",
+            submodule: "Control FSM",
+            area: rtad_mcm::control_fsm_area(),
+        },
+        ModuleArea {
+            module: "MCM",
+            submodule: "Interrupt Manager",
+            area: rtad_mcm::interrupt_manager_area(),
+        },
+        ModuleArea {
+            module: "MCM",
+            submodule: "ML-MIAOW (5 CUs)",
+            area: variant_area(EngineVariant::MlMiaow)
+                .scaled(EngineVariant::MlMiaow.prototype_cus() as u64),
+        },
+    ]
+}
+
+/// The MLPU total (Table I's "Total" row).
+pub fn mlpu_total() -> AreaEstimate {
+    rtad_module_inventory().into_iter().map(|r| r.area).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtad_sim::Zc706;
+
+    #[test]
+    fn totals_match_table_i() {
+        let total = mlpu_total();
+        // Paper: 199,406 LUTs / 80,953 FFs / 150 BRAMs total.
+        assert_eq!(total.luts, 199_406);
+        assert_eq!(total.ffs, 80_953);
+        assert_eq!(total.brams, 150);
+    }
+
+    #[test]
+    fn gate_total_is_near_table_i() {
+        // Paper: 1,927,294 GE. Our per-feature gate model tracks the
+        // published ratio to within 1%.
+        let total = mlpu_total();
+        let err = (total.gates as f64 - 1_927_294.0).abs() / 1_927_294.0;
+        assert!(err < 0.01, "gates {} vs 1,927,294", total.gates);
+    }
+
+    #[test]
+    fn utilization_matches_section_iv_a() {
+        let total = mlpu_total();
+        let (luts, ffs, brams) = Zc706::utilization(&total);
+        assert!((luts - 0.912).abs() < 0.002, "LUT util {luts}");
+        assert!((ffs - 0.185).abs() < 0.002, "FF util {ffs}");
+        assert!((brams - 0.275).abs() < 0.002, "BRAM util {brams}");
+        assert!(Zc706::fits(&total));
+    }
+
+    #[test]
+    fn one_full_miaow_cu_would_crowd_out_the_rest() {
+        // "only a single CU of the original MIAOW could be fitted":
+        // two full CUs plus the rest of the MLPU exceed the device.
+        let rest: AreaEstimate = rtad_module_inventory()
+            .into_iter()
+            .filter(|r| r.submodule != "ML-MIAOW (5 CUs)")
+            .map(|r| r.area)
+            .sum();
+        let one = rest + variant_area(EngineVariant::Miaow);
+        let two = rest + variant_area(EngineVariant::Miaow).scaled(2);
+        assert!(Zc706::fits(&one), "one full CU fits");
+        assert!(!Zc706::fits(&two), "two full CUs must not fit");
+    }
+
+    #[test]
+    fn inventory_has_eight_rows() {
+        let inv = rtad_module_inventory();
+        assert_eq!(inv.len(), 8);
+        assert!(inv.iter().filter(|r| r.module == "IGM").count() == 3);
+        assert!(inv.iter().filter(|r| r.module == "MCM").count() == 5);
+    }
+}

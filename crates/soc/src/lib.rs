@@ -1,0 +1,60 @@
+//! The RTAD MPSoC: host CPU + MLPU integration and the paper's
+//! experiments.
+//!
+//! This crate assembles the substrates into the system of Fig. 1 — an
+//! ARM-like host CPU whose CoreSight PTM feeds the MLPU (IGM → MCM →
+//! ML-MIAOW) over the NIC-301 interconnect — and implements the
+//! measurement harnesses behind every result in §IV:
+//!
+//! * [`overhead`] — Fig. 6: host slowdown of RTAD vs the SW_SYS /
+//!   SW_FUNC / SW_ALL software tracing baselines on the twelve
+//!   CINT2006-like workloads.
+//! * [`transfer`] — Fig. 7: the three-step data-path latency (collect →
+//!   vectorize → deliver), software vs RTAD hardware.
+//! * [`detection`] — Fig. 8: end-to-end anomaly detection latency of the
+//!   ELM and LSTM models on MIAOW vs ML-MIAOW, with attack injection.
+//! * [`watchlist`] — how the IGM address-mapper tables are derived from
+//!   profiling runs (syscall tables for the ELM, branch watchlists for
+//!   the LSTM).
+//! * [`backend`] — [`rtad_mcm::InferenceEngine`] implementations: the
+//!   full device path and the calibrated hybrid (host-functional,
+//!   device-timed) used for long experiment sweeps.
+//! * [`area`] — Table I assembly: the full RTAD module inventory.
+//!
+//! # Examples
+//!
+//! Reproduce one Fig. 6 bar:
+//!
+//! ```
+//! use rtad_soc::overhead::{OverheadModel, TraceMechanism};
+//! use rtad_workloads::Benchmark;
+//!
+//! let model = OverheadModel::rtad_prototype();
+//! let row = model.measure(Benchmark::Bzip2, 50_000, 0);
+//! let rtad = row.overhead(TraceMechanism::Rtad);
+//! let sw_all = row.overhead(TraceMechanism::SwAll);
+//! assert!(rtad < 0.01, "RTAD overhead is sub-percent");
+//! assert!(sw_all > 10.0 * rtad, "software tracing is far costlier");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod backend;
+pub mod detection;
+pub mod overhead;
+pub mod transfer;
+pub mod watchlist;
+
+pub use area::{mlpu_total, rtad_module_inventory, ModuleArea};
+pub use backend::{
+    measure_elm_cycles, measure_lstm_cycles, profile_trim_plan, DeviceBackend, EngineKind,
+    HybridBackend, PayloadScorer, SequenceBackendModel, VectorBackendModel,
+};
+pub use detection::{DetectionConfig, DetectionOutcome, DetectionRun, ModelKind};
+pub use overhead::{OverheadModel, OverheadRow, TraceMechanism};
+pub use transfer::{measure_rtad_transfer, measure_sw_transfer, SwTransferModel, TransferBreakdown};
+pub use watchlist::{
+    build_lstm_table, hit_fraction, select_watchlist, syscall_table, LstmTable, WatchlistSpec,
+};

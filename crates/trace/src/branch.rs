@@ -1,0 +1,302 @@
+//! Architectural branch events.
+//!
+//! A program's control-flow history is, per the paper's premise, "a
+//! record of program behaviors at runtime": every taken control transfer
+//! is a [`BranchRecord`]. The workload crate produces streams of these;
+//! the PTM model encodes them; ML models learn their normal patterns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit ARM virtual address.
+///
+/// The RTAD prototype hosts a Cortex-A9 (ARMv7-A, 32-bit). ARM-state
+/// instructions are 4-byte aligned, Thumb-state 2-byte; PTM address
+/// compression works on the halfword-granular form (`addr >> 1`).
+///
+/// # Examples
+///
+/// ```
+/// use rtad_trace::VirtAddr;
+///
+/// let a = VirtAddr::new(0x0001_0440);
+/// assert_eq!(format!("{a}"), "0x00010440");
+/// assert_eq!(a.halfword_index(), 0x0001_0440 >> 1);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(u32);
+
+impl VirtAddr {
+    /// The null address.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Creates an address from its raw value.
+    pub const fn new(raw: u32) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The raw 32-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The address in halfword units — the granularity PTM branch-address
+    /// packets are compressed at (Thumb instructions are 2-byte aligned).
+    pub const fn halfword_index(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Reconstructs an address from a halfword index.
+    pub const fn from_halfword_index(idx: u32) -> Self {
+        VirtAddr(idx << 1)
+    }
+
+    /// Address `offset` bytes after this one (wrapping, as hardware would).
+    pub const fn offset(self, offset: u32) -> Self {
+        VirtAddr(self.0.wrapping_add(offset))
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for VirtAddr {
+    fn from(raw: u32) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+impl From<VirtAddr> for u32 {
+    fn from(a: VirtAddr) -> u32 {
+        a.0
+    }
+}
+
+/// The instruction-set state of the CPU at a branch target.
+///
+/// PTM traces ARM/Thumb interworking; the mode is carried in I-sync
+/// packets and affects target-address alignment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
+)]
+pub enum IsetMode {
+    /// ARM state: 4-byte instructions.
+    #[default]
+    Arm,
+    /// Thumb state: 2-byte (or mixed 16/32-bit Thumb-2) instructions.
+    Thumb,
+}
+
+impl IsetMode {
+    /// Instruction alignment in bytes for this state.
+    pub const fn alignment(self) -> u32 {
+        match self {
+            IsetMode::Arm => 4,
+            IsetMode::Thumb => 2,
+        }
+    }
+}
+
+impl fmt::Display for IsetMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsetMode::Arm => write!(f, "ARM"),
+            IsetMode::Thumb => write!(f, "Thumb"),
+        }
+    }
+}
+
+/// The architectural class of a control transfer.
+///
+/// The taxonomy matters twice: (a) PTM encodes direct branches as atoms
+/// (waypoints) but indirect ones as address packets, and (b) the IGM
+/// Address Mapper and the ML models select specific classes as features
+/// (syscalls for the ELM model after Creech & Hu; all branches for the
+/// LSTM model after Yi et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Direct (PC-relative) jump, conditional or not, that was taken.
+    DirectJump,
+    /// Direct function call (`BL`).
+    Call,
+    /// Function return (`BX LR` / `POP {pc}`) — indirect by nature.
+    Return,
+    /// Indirect jump or call through a register (`BLX Rm`, `BX Rm`,
+    /// `LDR pc, [...]`): virtual dispatch, PLT stubs, function pointers.
+    IndirectJump,
+    /// Supervisor call (`SVC`): entry into the OS kernel. The ELM model's
+    /// feature stream.
+    Syscall,
+    /// Exception return back into user code.
+    ExceptionReturn,
+}
+
+impl BranchKind {
+    /// All kinds, in a stable order (useful for tabulation and tests).
+    pub const ALL: [BranchKind; 6] = [
+        BranchKind::DirectJump,
+        BranchKind::Call,
+        BranchKind::Return,
+        BranchKind::IndirectJump,
+        BranchKind::Syscall,
+        BranchKind::ExceptionReturn,
+    ];
+
+    /// Whether the target address is statically encoded in the
+    /// instruction (a PTM *waypoint*, traceable by an atom) rather than
+    /// computed at run time (requires a branch-address packet).
+    pub const fn is_direct(self) -> bool {
+        matches!(self, BranchKind::DirectJump | BranchKind::Call)
+    }
+
+    /// Whether this transfer enters or leaves the kernel.
+    pub const fn is_exception(self) -> bool {
+        matches!(self, BranchKind::Syscall | BranchKind::ExceptionReturn)
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::DirectJump => "direct",
+            BranchKind::Call => "call",
+            BranchKind::Return => "return",
+            BranchKind::IndirectJump => "indirect",
+            BranchKind::Syscall => "syscall",
+            BranchKind::ExceptionReturn => "eret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One taken control transfer observed during execution.
+///
+/// `cycle` is the host-CPU cycle at which the branch retired; the PTM
+/// model uses it to time packet generation, and detection latency is
+/// measured from the retirement of the first anomalous branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Address of the branch instruction itself.
+    pub source: VirtAddr,
+    /// Address control arrived at.
+    pub target: VirtAddr,
+    /// Architectural class.
+    pub kind: BranchKind,
+    /// Instruction-set state at the target.
+    pub mode: IsetMode,
+    /// Host-CPU cycle of retirement.
+    pub cycle: u64,
+    /// Current process context (ASID/context-ID), as PTM reports it.
+    pub context_id: u32,
+}
+
+impl BranchRecord {
+    /// Convenience constructor for tests and generators: an ARM-state
+    /// branch in context 0.
+    pub fn new(source: VirtAddr, target: VirtAddr, kind: BranchKind, cycle: u64) -> Self {
+        BranchRecord {
+            source,
+            target,
+            kind,
+            mode: IsetMode::Arm,
+            cycle,
+            context_id: 0,
+        }
+    }
+}
+
+impl fmt::Display for BranchRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10}] {} {} -> {}",
+            self.cycle, self.kind, self.source, self.target
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halfword_roundtrip() {
+        let a = VirtAddr::new(0xdead_beee);
+        assert_eq!(VirtAddr::from_halfword_index(a.halfword_index()), a);
+    }
+
+    #[test]
+    fn halfword_drops_bit_zero() {
+        // Bit 0 of an ARM address is never a code location (it selects
+        // Thumb state in BX); the halfword form discards it.
+        let a = VirtAddr::new(0x1001);
+        assert_eq!(VirtAddr::from_halfword_index(a.halfword_index()).raw(), 0x1000);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = VirtAddr::new(0xab);
+        assert_eq!(format!("{a}"), "0x000000ab");
+        assert_eq!(format!("{a:x}"), "ab");
+        assert_eq!(format!("{a:X}"), "AB");
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(VirtAddr::new(u32::MAX).offset(1), VirtAddr::new(0));
+    }
+
+    #[test]
+    fn kind_directness() {
+        assert!(BranchKind::DirectJump.is_direct());
+        assert!(BranchKind::Call.is_direct());
+        assert!(!BranchKind::Return.is_direct());
+        assert!(!BranchKind::IndirectJump.is_direct());
+        assert!(!BranchKind::Syscall.is_direct());
+    }
+
+    #[test]
+    fn kind_exceptions() {
+        assert!(BranchKind::Syscall.is_exception());
+        assert!(BranchKind::ExceptionReturn.is_exception());
+        assert!(!BranchKind::Call.is_exception());
+    }
+
+    #[test]
+    fn iset_alignment() {
+        assert_eq!(IsetMode::Arm.alignment(), 4);
+        assert_eq!(IsetMode::Thumb.alignment(), 2);
+    }
+
+    #[test]
+    fn record_display_mentions_kind_and_addrs() {
+        let r = BranchRecord::new(
+            VirtAddr::new(0x100),
+            VirtAddr::new(0x200),
+            BranchKind::Call,
+            42,
+        );
+        let s = format!("{r}");
+        assert!(s.contains("call"));
+        assert!(s.contains("0x00000100"));
+        assert!(s.contains("0x00000200"));
+    }
+}

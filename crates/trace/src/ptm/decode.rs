@@ -1,0 +1,464 @@
+//! Resumable byte-at-a-time PTM packet decoder.
+//!
+//! The decoder is an explicit state machine fed one byte per call —
+//! deliberately, because that is how the IGM Trace Analyzer consumes the
+//! TPIU stream ("decoding for each packet must be done sequentially in
+//! bytes", §III-A). The hardware TA in `rtad-igm` embeds this same state
+//! machine in four per-byte units; this reference implementation is what
+//! it is verified against.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::branch::{IsetMode, VirtAddr};
+use crate::ptm::packet::Packet;
+use crate::ptm::{group_mask, GROUP_SHIFT};
+
+/// An error raised while decoding a PTM byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// A byte that is not a legal packet header arrived in the idle state.
+    InvalidHeader(u8),
+    /// An A-sync terminator (`0x80`) arrived after fewer than five zeros.
+    AsyncTooShort(usize),
+    /// A non-zero, non-terminator byte interrupted an A-sync run.
+    AsyncInterrupted {
+        /// Zeros seen so far.
+        zeros: usize,
+        /// The interrupting byte.
+        byte: u8,
+    },
+    /// The fifth branch-address byte had its continuation bit set.
+    BranchTooLong,
+    /// A reserved bit was set in a final branch-address byte.
+    ReservedBitSet(u8),
+    /// A timestamp ran past the maximum ten payload bytes.
+    TimestampTooLong,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::InvalidHeader(b) => write!(f, "invalid packet header byte 0x{b:02x}"),
+            DecodeError::AsyncTooShort(n) => {
+                write!(f, "a-sync terminator after only {n} zero bytes")
+            }
+            DecodeError::AsyncInterrupted { zeros, byte } => write!(
+                f,
+                "a-sync run of {zeros} zeros interrupted by byte 0x{byte:02x}"
+            ),
+            DecodeError::BranchTooLong => {
+                write!(f, "branch-address packet exceeds five bytes")
+            }
+            DecodeError::ReservedBitSet(b) => {
+                write!(f, "reserved bit set in branch-address byte 0x{b:02x}")
+            }
+            DecodeError::TimestampTooLong => write!(f, "timestamp exceeds ten payload bytes"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[derive(Debug, Clone)]
+enum State {
+    Idle,
+    AsyncZeros(usize),
+    Branch(Vec<u8>),
+    BranchException {
+        target: VirtAddr,
+        mode: IsetMode,
+    },
+    Isync(Vec<u8>),
+    CtxId(Vec<u8>),
+    Timestamp {
+        acc: u64,
+        shift: u32,
+        bytes: usize,
+    },
+}
+
+/// Stateful PTM packet decoder, fed one byte at a time.
+///
+/// Mirrors [`PacketEncoder`](crate::ptm::PacketEncoder)'s
+/// address-compression state so partial branch-address packets can be
+/// expanded back to full addresses.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_trace::ptm::{Packet, PacketDecoder, PacketEncoder};
+/// use rtad_trace::{IsetMode, VirtAddr};
+///
+/// # fn main() -> Result<(), rtad_trace::DecodeError> {
+/// let mut enc = PacketEncoder::new();
+/// let mut dec = PacketDecoder::new();
+/// let sent = Packet::branch(VirtAddr::new(0x20), IsetMode::Arm);
+/// let mut got = None;
+/// for b in enc.encode(&sent) {
+///     got = dec.feed(b)?;
+/// }
+/// assert_eq!(got, Some(sent));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketDecoder {
+    state: State,
+    last_halfword: u32,
+    last_mode: IsetMode,
+    bytes_consumed: u64,
+    packets_decoded: u64,
+}
+
+impl PacketDecoder {
+    /// Creates a decoder in the post-reset state (address 0, ARM mode).
+    pub fn new() -> Self {
+        PacketDecoder {
+            state: State::Idle,
+            last_halfword: 0,
+            last_mode: IsetMode::Arm,
+            bytes_consumed: 0,
+            packets_decoded: 0,
+        }
+    }
+
+    /// Total bytes fed so far.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.bytes_consumed
+    }
+
+    /// Total packets emitted so far.
+    pub fn packets_decoded(&self) -> u64 {
+        self.packets_decoded
+    }
+
+    /// Whether the decoder sits at a packet boundary (no partial packet).
+    pub fn at_packet_boundary(&self) -> bool {
+        matches!(self.state, State::Idle)
+    }
+
+    /// Feeds one byte; returns a completed packet if this byte finished one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed input. After an error the
+    /// decoder resets to the idle state and resynchronizes on the next
+    /// A-sync (feeding further bytes is permitted; anything before the
+    /// next A-sync may mis-decode, exactly like the hardware).
+    pub fn feed(&mut self, byte: u8) -> Result<Option<Packet>, DecodeError> {
+        self.bytes_consumed += 1;
+        let result = self.feed_inner(byte);
+        match &result {
+            Ok(Some(_)) => self.packets_decoded += 1,
+            Err(_) => self.state = State::Idle,
+            _ => {}
+        }
+        result
+    }
+
+    fn feed_inner(&mut self, byte: u8) -> Result<Option<Packet>, DecodeError> {
+        let state = std::mem::replace(&mut self.state, State::Idle);
+        match state {
+            State::Idle => self.start_packet(byte),
+            State::AsyncZeros(n) => {
+                if byte == 0x00 {
+                    self.state = State::AsyncZeros(n + 1);
+                    Ok(None)
+                } else if byte == 0x80 {
+                    if n >= 5 {
+                        self.last_halfword = 0;
+                        self.last_mode = IsetMode::Arm;
+                        Ok(Some(Packet::Async))
+                    } else {
+                        Err(DecodeError::AsyncTooShort(n))
+                    }
+                } else {
+                    Err(DecodeError::AsyncInterrupted { zeros: n, byte })
+                }
+            }
+            State::Branch(mut bytes) => {
+                bytes.push(byte);
+                self.continue_branch(bytes)
+            }
+            State::BranchException { target, mode } => {
+                let exc = byte & 0x7F;
+                Ok(Some(Packet::BranchAddress {
+                    target,
+                    mode,
+                    exception: Some(exc),
+                }))
+            }
+            State::Isync(mut bytes) => {
+                bytes.push(byte);
+                if bytes.len() == 9 {
+                    let addr = VirtAddr::new(u32::from_le_bytes([
+                        bytes[0], bytes[1], bytes[2], bytes[3],
+                    ]));
+                    let mode = if bytes[4] & 0x01 != 0 {
+                        IsetMode::Thumb
+                    } else {
+                        IsetMode::Arm
+                    };
+                    let context_id =
+                        u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+                    self.last_halfword = addr.halfword_index();
+                    self.last_mode = mode;
+                    Ok(Some(Packet::Isync {
+                        addr,
+                        mode,
+                        context_id,
+                    }))
+                } else {
+                    self.state = State::Isync(bytes);
+                    Ok(None)
+                }
+            }
+            State::CtxId(mut bytes) => {
+                bytes.push(byte);
+                if bytes.len() == 4 {
+                    Ok(Some(Packet::ContextId(u32::from_le_bytes([
+                        bytes[0], bytes[1], bytes[2], bytes[3],
+                    ]))))
+                } else {
+                    self.state = State::CtxId(bytes);
+                    Ok(None)
+                }
+            }
+            State::Timestamp { acc, shift, bytes } => {
+                if bytes >= 10 {
+                    return Err(DecodeError::TimestampTooLong);
+                }
+                let acc = acc | (u64::from(byte & 0x7F) << shift.min(63));
+                if byte & 0x80 != 0 {
+                    self.state = State::Timestamp {
+                        acc,
+                        shift: shift + 7,
+                        bytes: bytes + 1,
+                    };
+                    Ok(None)
+                } else {
+                    Ok(Some(Packet::Timestamp(acc)))
+                }
+            }
+        }
+    }
+
+    fn start_packet(&mut self, byte: u8) -> Result<Option<Packet>, DecodeError> {
+        if byte & 0x01 != 0 {
+            // Branch-address packet.
+            return self.continue_branch(vec![byte]);
+        }
+        match byte {
+            0x00 => {
+                self.state = State::AsyncZeros(1);
+                Ok(None)
+            }
+            0x08 => {
+                self.state = State::Isync(Vec::with_capacity(9));
+                Ok(None)
+            }
+            0x6E => {
+                self.state = State::CtxId(Vec::with_capacity(4));
+                Ok(None)
+            }
+            0x42 => {
+                self.state = State::Timestamp {
+                    acc: 0,
+                    shift: 0,
+                    bytes: 0,
+                };
+                Ok(None)
+            }
+            0x76 => Ok(Some(Packet::Overflow)),
+            0x66 => Ok(Some(Packet::Ignore)),
+            b if b & 0x80 != 0 => {
+                // Atom packet: bit6 = N atom, bits 5..1 = E count.
+                let e_count = (b >> 1) & 0x1F;
+                let n_atom = b & 0x40 != 0;
+                if e_count == 0 && !n_atom {
+                    return Err(DecodeError::InvalidHeader(b));
+                }
+                Ok(Some(Packet::Atom { e_count, n_atom }))
+            }
+            b => Err(DecodeError::InvalidHeader(b)),
+        }
+    }
+
+    fn continue_branch(&mut self, bytes: Vec<u8>) -> Result<Option<Packet>, DecodeError> {
+        let last = *bytes.last().expect("branch accumulator is never empty");
+        let n = bytes.len();
+        if last & 0x80 != 0 {
+            // Continuation set.
+            if n >= 5 {
+                return Err(DecodeError::BranchTooLong);
+            }
+            self.state = State::Branch(bytes);
+            return Ok(None);
+        }
+
+        // Final byte seen: reconstruct the halfword index over the
+        // previous address.
+        let mut h = self.last_halfword;
+        for (i, &b) in bytes.iter().enumerate() {
+            let g = match i {
+                0 => u32::from((b >> 1) & 0x3F),
+                4 => u32::from(b & 0x0F),
+                _ => u32::from(b & 0x7F),
+            };
+            h &= !(group_mask(i) << GROUP_SHIFT[i]);
+            h |= g << GROUP_SHIFT[i];
+        }
+
+        let (mode, exception_flag) = if n == 5 {
+            let fin = bytes[4];
+            if fin & 0x40 != 0 {
+                return Err(DecodeError::ReservedBitSet(fin));
+            }
+            let mode = if fin & 0x10 != 0 {
+                IsetMode::Thumb
+            } else {
+                IsetMode::Arm
+            };
+            (mode, fin & 0x20 != 0)
+        } else {
+            (self.last_mode, false)
+        };
+
+        self.last_halfword = h;
+        if n == 5 {
+            self.last_mode = mode;
+        }
+        let target = VirtAddr::from_halfword_index(h);
+
+        if exception_flag {
+            self.state = State::BranchException { target, mode };
+            Ok(None)
+        } else {
+            Ok(Some(Packet::BranchAddress {
+                target,
+                mode,
+                exception: None,
+            }))
+        }
+    }
+}
+
+impl Default for PacketDecoder {
+    fn default() -> Self {
+        PacketDecoder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptm::PacketEncoder;
+
+    fn feed_all(dec: &mut PacketDecoder, bytes: &[u8]) -> Vec<Packet> {
+        bytes
+            .iter()
+            .filter_map(|&b| dec.feed(b).expect("decode error"))
+            .collect()
+    }
+
+    #[test]
+    fn decodes_async() {
+        let mut dec = PacketDecoder::new();
+        let out = feed_all(&mut dec, &[0, 0, 0, 0, 0, 0x80]);
+        assert_eq!(out, vec![Packet::Async]);
+        assert!(dec.at_packet_boundary());
+    }
+
+    #[test]
+    fn long_async_runs_are_accepted() {
+        // Hardware may stretch the zero run; any >= 5 zeros then 0x80 is
+        // one A-sync.
+        let mut dec = PacketDecoder::new();
+        let out = feed_all(&mut dec, &[0, 0, 0, 0, 0, 0, 0, 0, 0x80]);
+        assert_eq!(out, vec![Packet::Async]);
+    }
+
+    #[test]
+    fn short_async_is_error() {
+        let mut dec = PacketDecoder::new();
+        for b in [0u8, 0, 0] {
+            assert_eq!(dec.feed(b).unwrap(), None);
+        }
+        assert_eq!(dec.feed(0x80), Err(DecodeError::AsyncTooShort(3)));
+    }
+
+    #[test]
+    fn interrupted_async_is_error() {
+        let mut dec = PacketDecoder::new();
+        dec.feed(0x00).unwrap();
+        assert_eq!(
+            dec.feed(0x42),
+            Err(DecodeError::AsyncInterrupted { zeros: 1, byte: 0x42 })
+        );
+    }
+
+    #[test]
+    fn invalid_header_is_error_and_recoverable() {
+        let mut dec = PacketDecoder::new();
+        assert_eq!(dec.feed(0x02), Err(DecodeError::InvalidHeader(0x02)));
+        // Recovers at the next A-sync.
+        let out = feed_all(&mut dec, &[0, 0, 0, 0, 0, 0x80]);
+        assert_eq!(out, vec![Packet::Async]);
+    }
+
+    #[test]
+    fn branch_continuation_overflow_is_error() {
+        let mut dec = PacketDecoder::new();
+        for b in [0x81u8, 0x80, 0x80, 0x80] {
+            assert_eq!(dec.feed(b).unwrap(), None);
+        }
+        assert_eq!(dec.feed(0x80), Err(DecodeError::BranchTooLong));
+    }
+
+    #[test]
+    fn reserved_bit_is_error() {
+        let mut dec = PacketDecoder::new();
+        for b in [0x81u8, 0x80, 0x80, 0x80] {
+            dec.feed(b).unwrap();
+        }
+        assert_eq!(dec.feed(0x40), Err(DecodeError::ReservedBitSet(0x40)));
+    }
+
+    #[test]
+    fn partial_branch_inherits_high_bits_and_mode() {
+        let mut enc = PacketEncoder::new();
+        let mut dec = PacketDecoder::new();
+        let mut bytes = Vec::new();
+        bytes.extend(enc.encode(&Packet::Isync {
+            addr: VirtAddr::new(0x0040_1000),
+            mode: IsetMode::Thumb,
+            context_id: 0,
+        }));
+        bytes.extend(enc.encode(&Packet::branch(VirtAddr::new(0x0040_1010), IsetMode::Thumb)));
+        let out = feed_all(&mut dec, &bytes);
+        assert_eq!(
+            out[1],
+            Packet::branch(VirtAddr::new(0x0040_1010), IsetMode::Thumb)
+        );
+    }
+
+    #[test]
+    fn counts_bytes_and_packets() {
+        let mut dec = PacketDecoder::new();
+        feed_all(&mut dec, &[0, 0, 0, 0, 0, 0x80, 0x76]);
+        assert_eq!(dec.bytes_consumed(), 7);
+        assert_eq!(dec.packets_decoded(), 2);
+    }
+
+    #[test]
+    fn timestamp_too_long_is_error() {
+        let mut dec = PacketDecoder::new();
+        dec.feed(0x42).unwrap();
+        for _ in 0..10 {
+            dec.feed(0xFF).unwrap();
+        }
+        assert_eq!(dec.feed(0xFF), Err(DecodeError::TimestampTooLong));
+    }
+}

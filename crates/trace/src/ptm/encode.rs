@@ -1,0 +1,257 @@
+//! PTM packet encoder (the macrocell side).
+
+use crate::branch::{IsetMode, VirtAddr};
+use crate::ptm::packet::Packet;
+use crate::ptm::{group_mask, GROUP_SHIFT};
+
+/// Stateful PTM packet encoder.
+///
+/// The encoder owns the differential address-compression state: each
+/// branch-address packet is emitted with only the low bit-groups that
+/// differ from the previously emitted address, exactly as the PTM
+/// hardware does. Synchronization packets reset the state.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_trace::ptm::{Packet, PacketEncoder};
+/// use rtad_trace::{IsetMode, VirtAddr};
+///
+/// let mut enc = PacketEncoder::new();
+/// enc.encode(&Packet::Async);
+/// let far = enc.encode(&Packet::branch(VirtAddr::new(0x0040_0000), IsetMode::Arm));
+/// let near = enc.encode(&Packet::branch(VirtAddr::new(0x0040_0010), IsetMode::Arm));
+/// assert!(near.len() < far.len()); // near branch compresses
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketEncoder {
+    last_halfword: u32,
+    last_mode: IsetMode,
+}
+
+impl PacketEncoder {
+    /// Creates an encoder in the post-reset state (address 0, ARM mode).
+    pub fn new() -> Self {
+        PacketEncoder {
+            last_halfword: 0,
+            last_mode: IsetMode::Arm,
+        }
+    }
+
+    /// Encodes one packet, returning its wire bytes and updating the
+    /// compression state.
+    pub fn encode(&mut self, packet: &Packet) -> Vec<u8> {
+        match *packet {
+            Packet::Async => {
+                self.reset();
+                vec![0x00, 0x00, 0x00, 0x00, 0x00, 0x80]
+            }
+            Packet::Isync {
+                addr,
+                mode,
+                context_id,
+            } => {
+                self.last_halfword = addr.halfword_index();
+                self.last_mode = mode;
+                let mut out = Vec::with_capacity(10);
+                out.push(0x08);
+                out.extend_from_slice(&addr.raw().to_le_bytes());
+                out.push(match mode {
+                    IsetMode::Arm => 0x00,
+                    IsetMode::Thumb => 0x01,
+                });
+                out.extend_from_slice(&context_id.to_le_bytes());
+                out
+            }
+            Packet::BranchAddress {
+                target,
+                mode,
+                exception,
+            } => self.encode_branch(target, mode, exception),
+            Packet::Atom { e_count, n_atom } => {
+                assert!(
+                    e_count <= 31,
+                    "atom packet carries at most 31 E atoms, got {e_count}"
+                );
+                assert!(
+                    e_count > 0 || n_atom,
+                    "empty atom packet (e_count=0, no N atom) is not encodable"
+                );
+                vec![0x80 | (e_count << 1) | if n_atom { 0x40 } else { 0x00 }]
+            }
+            Packet::ContextId(c) => {
+                let mut out = Vec::with_capacity(5);
+                out.push(0x6E);
+                out.extend_from_slice(&c.to_le_bytes());
+                out
+            }
+            Packet::Timestamp(mut t) => {
+                let mut out = vec![0x42];
+                loop {
+                    let low = (t & 0x7F) as u8;
+                    t >>= 7;
+                    if t == 0 {
+                        out.push(low);
+                        break;
+                    }
+                    out.push(low | 0x80);
+                }
+                out
+            }
+            Packet::Overflow => vec![0x76],
+            Packet::Ignore => vec![0x66],
+        }
+    }
+
+    /// Number of wire bytes `packet` would occupy, without mutating the
+    /// compression state.
+    pub fn peek_len(&self, packet: &Packet) -> usize {
+        self.clone().encode(packet).len()
+    }
+
+    fn encode_branch(
+        &mut self,
+        target: VirtAddr,
+        mode: IsetMode,
+        exception: Option<u8>,
+    ) -> Vec<u8> {
+        let h = target.halfword_index();
+        // Mode changes and exceptions are signalled in byte 4, so they
+        // force the full form.
+        let force_full = mode != self.last_mode || exception.is_some();
+        let mut needed = 0;
+        for i in (0..5).rev() {
+            let g_new = (h >> GROUP_SHIFT[i]) & group_mask(i);
+            let g_old = (self.last_halfword >> GROUP_SHIFT[i]) & group_mask(i);
+            if g_new != g_old {
+                needed = i;
+                break;
+            }
+        }
+        let n_bytes = if force_full { 5 } else { needed + 1 };
+
+        let mut out = Vec::with_capacity(n_bytes + 1);
+        for i in 0..n_bytes {
+            let g = (h >> GROUP_SHIFT[i]) & group_mask(i);
+            let cont = if i + 1 < n_bytes { 0x80 } else { 0x00 };
+            let byte = match i {
+                0 => 0x01 | ((g as u8) << 1) | cont,
+                4 => {
+                    // Final byte: 4 address bits, mode, exception flag.
+                    let mode_bit = match mode {
+                        IsetMode::Arm => 0x00,
+                        IsetMode::Thumb => 0x10,
+                    };
+                    let exc_bit = if exception.is_some() { 0x20 } else { 0x00 };
+                    (g as u8) | mode_bit | exc_bit
+                }
+                _ => (g as u8) | cont,
+            };
+            out.push(byte);
+        }
+        if let Some(exc) = exception {
+            assert!(exc <= 0x7F, "exception number must fit 7 bits, got {exc}");
+            out.push(exc);
+        }
+
+        self.last_halfword = h;
+        if n_bytes == 5 {
+            self.last_mode = mode;
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.last_halfword = 0;
+        self.last_mode = IsetMode::Arm;
+    }
+}
+
+impl Default for PacketEncoder {
+    fn default() -> Self {
+        PacketEncoder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_is_five_zeros_and_terminator() {
+        let mut enc = PacketEncoder::new();
+        assert_eq!(enc.encode(&Packet::Async), vec![0, 0, 0, 0, 0, 0x80]);
+    }
+
+    #[test]
+    fn branch_byte0_has_bit0_set() {
+        let mut enc = PacketEncoder::new();
+        enc.encode(&Packet::Async);
+        let bytes = enc.encode(&Packet::branch(VirtAddr::new(0x1234_5678), IsetMode::Arm));
+        assert_eq!(bytes[0] & 1, 1);
+        // All non-final bytes carry the continuation bit.
+        for b in &bytes[..bytes.len() - 1] {
+            assert_eq!(b & 0x80, 0x80);
+        }
+        assert_eq!(bytes[bytes.len() - 1] & 0x80, 0);
+    }
+
+    #[test]
+    fn same_address_branch_is_single_byte() {
+        let mut enc = PacketEncoder::new();
+        enc.encode(&Packet::Async);
+        let a = VirtAddr::new(0x100);
+        enc.encode(&Packet::branch(a, IsetMode::Arm));
+        // Branching to the exact same target: nothing differs, 1 byte.
+        assert_eq!(enc.encode(&Packet::branch(a, IsetMode::Arm)).len(), 1);
+    }
+
+    #[test]
+    fn mode_change_forces_full_packet() {
+        let mut enc = PacketEncoder::new();
+        enc.encode(&Packet::Async);
+        let a = VirtAddr::new(0x100);
+        enc.encode(&Packet::branch(a, IsetMode::Arm));
+        let bytes = enc.encode(&Packet::branch(a.offset(4), IsetMode::Thumb));
+        assert_eq!(bytes.len(), 5);
+    }
+
+    #[test]
+    fn timestamp_varint_lengths() {
+        let mut enc = PacketEncoder::new();
+        assert_eq!(enc.encode(&Packet::Timestamp(0)).len(), 2); // header + 1
+        assert_eq!(enc.encode(&Packet::Timestamp(127)).len(), 2);
+        assert_eq!(enc.encode(&Packet::Timestamp(128)).len(), 3);
+        assert_eq!(enc.encode(&Packet::Timestamp(u64::MAX)).len(), 11); // header + 10
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 31")]
+    fn oversized_atom_rejected() {
+        PacketEncoder::new().encode(&Packet::Atom {
+            e_count: 32,
+            n_atom: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty atom")]
+    fn empty_atom_rejected() {
+        PacketEncoder::new().encode(&Packet::Atom {
+            e_count: 0,
+            n_atom: false,
+        });
+    }
+
+    #[test]
+    fn peek_len_matches_encode_without_state_change() {
+        let mut enc = PacketEncoder::new();
+        enc.encode(&Packet::Async);
+        let p = Packet::branch(VirtAddr::new(0xdead_0000), IsetMode::Arm);
+        let predicted = enc.peek_len(&p);
+        assert_eq!(enc.encode(&p).len(), predicted);
+        // After encoding, the same packet compresses to one byte — proof
+        // that peek_len did not consume the compression state earlier.
+        assert_eq!(enc.peek_len(&p), 1);
+    }
+}

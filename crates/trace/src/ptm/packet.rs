@@ -1,0 +1,148 @@
+//! The PTM packet taxonomy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::branch::{IsetMode, VirtAddr};
+
+/// One decoded PTM packet.
+///
+/// See the [module documentation](crate::ptm) for the wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Packet {
+    /// Alignment synchronization: lets a decoder (or an IGM hot-plugged
+    /// mid-stream) find a packet boundary.
+    Async,
+    /// Instruction synchronization: full target address, instruction-set
+    /// mode and context ID. Resets the decoder's address-compression
+    /// state.
+    Isync {
+        /// Full current instruction address.
+        addr: VirtAddr,
+        /// Instruction-set state.
+        mode: IsetMode,
+        /// Current process context ID.
+        context_id: u32,
+    },
+    /// A taken branch whose target is not statically known to the
+    /// decoder: indirect branches, returns, and (with branch broadcast
+    /// enabled) every branch. Differentially compressed, 1–5 bytes.
+    BranchAddress {
+        /// Branch target address.
+        target: VirtAddr,
+        /// Instruction-set state at the target.
+        mode: IsetMode,
+        /// Exception number if this transfer entered an exception
+        /// (e.g. SVC); `None` for ordinary branches.
+        exception: Option<u8>,
+    },
+    /// Waypoint atoms: `e_count` taken direct branches (`E` atoms),
+    /// optionally followed by one not-taken (`N`) atom. Carries no
+    /// addresses; the consumer needs the program image to follow them.
+    Atom {
+        /// Number of E (branch taken) atoms, 1..=31 (0 only if `n_atom`).
+        e_count: u8,
+        /// Whether a trailing N (not taken) atom is present.
+        n_atom: bool,
+    },
+    /// The process context ID changed (context switch).
+    ContextId(u32),
+    /// A (global timestamp counter) timestamp.
+    Timestamp(u64),
+    /// The PTM's internal FIFO overflowed and trace was lost.
+    Overflow,
+    /// Padding; carries no information.
+    Ignore,
+}
+
+impl Packet {
+    /// Convenience constructor for an ordinary (non-exception) branch
+    /// address packet.
+    pub fn branch(target: VirtAddr, mode: IsetMode) -> Self {
+        Packet::BranchAddress {
+            target,
+            mode,
+            exception: None,
+        }
+    }
+
+    /// Whether this packet resets the address-compression state.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, Packet::Async | Packet::Isync { .. })
+    }
+
+    /// Whether this packet carries a branch target address.
+    pub fn carries_address(&self) -> bool {
+        matches!(self, Packet::BranchAddress { .. } | Packet::Isync { .. })
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Async => write!(f, "ASYNC"),
+            Packet::Isync {
+                addr,
+                mode,
+                context_id,
+            } => write!(f, "ISYNC addr={addr} mode={mode} ctx={context_id}"),
+            Packet::BranchAddress {
+                target,
+                mode,
+                exception,
+            } => match exception {
+                Some(e) => write!(f, "BRANCH {target} mode={mode} exc={e}"),
+                None => write!(f, "BRANCH {target} mode={mode}"),
+            },
+            Packet::Atom { e_count, n_atom } => {
+                write!(f, "ATOM E*{e_count}{}", if *n_atom { "+N" } else { "" })
+            }
+            Packet::ContextId(c) => write!(f, "CTXID {c}"),
+            Packet::Timestamp(t) => write!(f, "TS {t}"),
+            Packet::Overflow => write!(f, "OVERFLOW"),
+            Packet::Ignore => write!(f, "IGNORE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_classification() {
+        assert!(Packet::Async.is_sync());
+        assert!(Packet::Isync {
+            addr: VirtAddr::NULL,
+            mode: IsetMode::Arm,
+            context_id: 0
+        }
+        .is_sync());
+        assert!(!Packet::Overflow.is_sync());
+        assert!(!Packet::branch(VirtAddr::new(4), IsetMode::Arm).is_sync());
+    }
+
+    #[test]
+    fn address_classification() {
+        assert!(Packet::branch(VirtAddr::new(4), IsetMode::Arm).carries_address());
+        assert!(!Packet::Atom {
+            e_count: 1,
+            n_atom: false
+        }
+        .carries_address());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = Packet::BranchAddress {
+            target: VirtAddr::new(0x40),
+            mode: IsetMode::Thumb,
+            exception: Some(11),
+        };
+        let s = format!("{p}");
+        assert!(s.contains("BRANCH"));
+        assert!(s.contains("exc=11"));
+        assert!(s.contains("Thumb"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the PTM codec and TPIU framing.
+//!
+//! Invariant under test: anything the encoder can produce, the decoder
+//! recovers exactly — over arbitrary packet sequences, arbitrary source
+//! interleavings and arbitrary branch runs through the full pipeline.
+
+use proptest::prelude::*;
+
+use rtad_trace::ptm::{Packet, PacketDecoder, PacketEncoder};
+use rtad_trace::tpiu::{TpiuDeframer, TpiuFormatter, FRAME_BYTES};
+use rtad_trace::{
+    BranchKind, BranchRecord, IsetMode, PtmConfig, StreamEncoder, TraceId, VirtAddr,
+};
+
+fn arb_mode() -> impl Strategy<Value = IsetMode> {
+    prop_oneof![Just(IsetMode::Arm), Just(IsetMode::Thumb)]
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        Just(Packet::Async),
+        (any::<u32>(), arb_mode(), any::<u32>()).prop_map(|(a, m, c)| Packet::Isync {
+            // Addresses are halfword-aligned code locations.
+            addr: VirtAddr::new(a & !1),
+            mode: m,
+            context_id: c,
+        }),
+        (any::<u32>(), arb_mode(), proptest::option::of(0u8..=0x7F)).prop_map(
+            |(a, m, e)| Packet::BranchAddress {
+                target: VirtAddr::new(a & !1),
+                mode: m,
+                exception: e,
+            }
+        ),
+        (1u8..=31, any::<bool>()).prop_map(|(e, n)| Packet::Atom {
+            e_count: e,
+            n_atom: n
+        }),
+        any::<u32>().prop_map(Packet::ContextId),
+        any::<u64>().prop_map(Packet::Timestamp),
+        Just(Packet::Overflow),
+        Just(Packet::Ignore),
+    ]
+}
+
+fn arb_branch_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::DirectJump),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+        Just(BranchKind::IndirectJump),
+        Just(BranchKind::Syscall),
+        Just(BranchKind::ExceptionReturn),
+    ]
+}
+
+proptest! {
+    /// Any packet sequence survives an encode/decode round trip.
+    #[test]
+    fn packet_stream_roundtrips(packets in proptest::collection::vec(arb_packet(), 0..200)) {
+        let mut enc = PacketEncoder::new();
+        let mut bytes = Vec::new();
+        for p in &packets {
+            bytes.extend(enc.encode(p));
+        }
+        let mut dec = PacketDecoder::new();
+        let mut decoded = Vec::new();
+        for b in bytes {
+            if let Some(p) = dec.feed(b).expect("valid encodings must decode") {
+                decoded.push(p);
+            }
+        }
+        prop_assert_eq!(decoded, packets);
+        prop_assert!(dec.at_packet_boundary());
+    }
+
+    /// Any (source, byte) interleaving survives TPIU framing.
+    #[test]
+    fn tpiu_roundtrips(
+        stream in proptest::collection::vec((1u8..=0x6F, any::<u8>()), 0..300)
+    ) {
+        let input: Vec<(TraceId, u8)> = stream
+            .into_iter()
+            .map(|(id, b)| (TraceId::new(id).expect("range is valid"), b))
+            .collect();
+        let mut f = TpiuFormatter::new();
+        for &(id, b) in &input {
+            f.push(id, b);
+        }
+        let mut d = TpiuDeframer::new();
+        let mut out = Vec::new();
+        for frame in f.flush() {
+            out.extend(d.feed_frame(&frame).expect("own frames must deframe"));
+        }
+        prop_assert_eq!(out, input);
+    }
+
+    /// The full PTM pipeline (packetize -> FIFO -> TPIU) delivers every
+    /// non-overflowed packet, bytes in non-decreasing time order.
+    #[test]
+    fn full_pipeline_roundtrips(
+        targets in proptest::collection::vec((any::<u32>(), arb_branch_kind(), 1u64..500), 1..300)
+    ) {
+        let mut cycle = 0u64;
+        let run: Vec<BranchRecord> = targets
+            .into_iter()
+            .enumerate()
+            .map(|(i, (t, k, gap))| {
+                cycle += gap;
+                BranchRecord::new(
+                    VirtAddr::new(0x1000 + (i as u32) * 4),
+                    VirtAddr::new(t & !1),
+                    k,
+                    cycle,
+                )
+            })
+            .collect();
+
+        let mut cfg = PtmConfig::rtad();
+        cfg.fifo_bytes = 4096; // generous: this property is about integrity
+        let mut enc = StreamEncoder::new(cfg);
+        let trace = enc.encode_run(&run);
+        prop_assert_eq!(trace.stats.overflow_packets, 0);
+
+        prop_assert!(trace.bytes.windows(2).all(|w| w[0].at <= w[1].at));
+
+        let mut deframer = TpiuDeframer::new();
+        let mut decoder = PacketDecoder::new();
+        let mut decoded = Vec::new();
+        let raw: Vec<u8> = trace.bytes.iter().map(|tb| tb.byte).collect();
+        prop_assert_eq!(raw.len() % FRAME_BYTES, 0);
+        for frame in raw.chunks_exact(FRAME_BYTES) {
+            let mut f = [0u8; FRAME_BYTES];
+            f.copy_from_slice(frame);
+            for (_, byte) in deframer.feed_frame(&f).expect("deframe") {
+                if let Some(p) = decoder.feed(byte).expect("decode") {
+                    decoded.push(p);
+                }
+            }
+        }
+        let sent: Vec<Packet> = trace.packet_times.iter().map(|&(_, p)| p).collect();
+        prop_assert_eq!(decoded, sent);
+    }
+
+    /// Branch-address compression never exceeds 5 bytes (+1 exception)
+    /// and single-byte encodings imply nearby targets.
+    #[test]
+    fn branch_encoding_length_bounds(addrs in proptest::collection::vec(any::<u32>(), 1..100)) {
+        let mut enc = PacketEncoder::new();
+        enc.encode(&Packet::Async);
+        for a in addrs {
+            let bytes = enc.encode(&Packet::branch(VirtAddr::new(a & !1), IsetMode::Arm));
+            prop_assert!((1..=5).contains(&bytes.len()));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Attack emulation: splicing legitimate-but-out-of-context branches.
+//!
+//! The paper (§IV-C): "we emulate attacks by randomly inserting
+//! legitimate branch data (i.e., branch addresses that can be observed
+//! during normal execution) in normal branch traces because inserting
+//! any random branch address would be trivial for detection. This
+//! resembles myriads of recent attacks that manipulate the program
+//! execution flow by exploiting software vulnerabilities" — i.e. the
+//! gadget-chaining shape of code-reuse attacks (ROP/JOP) and data-only
+//! control-flow bending, where every executed address is valid code but
+//! the *sequence* is abnormal.
+//!
+//! [`AttackInjector`] takes a normal trace and splices in a burst of
+//! such branches at a chosen point, recording exactly where the anomaly
+//! begins so detection latency can be measured from the first aberrant
+//! branch.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use rtad_trace::{BranchKind, BranchRecord, VirtAddr};
+
+use crate::program::ProgramModel;
+
+/// Parameters of one injected attack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackSpec {
+    /// Index in the normal trace at which the attack burst is spliced.
+    pub position: usize,
+    /// Number of anomalous branches in the burst (a gadget chain is
+    /// typically tens to hundreds of branches).
+    pub burst_len: usize,
+    /// Mean cycles between attack branches (gadgets are short: the
+    /// attack branches arrive *faster* than normal code's).
+    pub gadget_gap_cycles: u64,
+    /// Fraction of burst branches that target kernel entry points —
+    /// real payloads culminate in syscalls (`mprotect`, `execve`, ...),
+    /// which is what syscall-feature models like the ELM detect.
+    pub syscall_fraction: f64,
+    /// Fraction of burst branches that target *mid-block* instruction
+    /// addresses — how real ROP/JOP chains enter code (at gadget
+    /// offsets, not at legitimate branch targets).
+    pub gadget_fraction: f64,
+}
+
+impl Default for AttackSpec {
+    fn default() -> Self {
+        AttackSpec {
+            position: 0,
+            burst_len: 64,
+            gadget_gap_cycles: 6,
+            syscall_fraction: 0.15,
+            gadget_fraction: 0.35,
+        }
+    }
+}
+
+/// A trace with an injected attack and ground truth about it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackTrace {
+    /// The full branch trace (normal prefix, attack burst, normal suffix).
+    pub records: Vec<BranchRecord>,
+    /// Index of the first anomalous record.
+    pub attack_start: usize,
+    /// Number of anomalous records.
+    pub attack_len: usize,
+    /// Host-CPU cycle of the first anomalous branch — detection latency
+    /// is measured from here.
+    pub attack_cycle: u64,
+}
+
+impl AttackTrace {
+    /// Whether record `i` is part of the injected burst.
+    pub fn is_attack_index(&self, i: usize) -> bool {
+        (self.attack_start..self.attack_start + self.attack_len).contains(&i)
+    }
+}
+
+/// Splices attack bursts into normal traces of a program model.
+///
+/// # Examples
+///
+/// ```
+/// use rtad_workloads::{AttackInjector, AttackSpec, Benchmark, ProgramModel};
+///
+/// let model = ProgramModel::build(Benchmark::Mcf, 3);
+/// let normal = model.generate(5_000, 0);
+/// let injector = AttackInjector::new(&model, 99);
+/// let attacked = injector.inject(
+///     &normal,
+///     AttackSpec { position: 2_500, burst_len: 40, ..AttackSpec::default() },
+/// );
+/// assert_eq!(attacked.records.len(), 5_040);
+/// assert_eq!(attacked.attack_start, 2_500);
+/// // Attack targets are all *executable code* addresses (legitimate
+/// // branch targets, kernel entries, or mid-block gadget addresses).
+/// let code: std::collections::BTreeSet<_> = model
+///     .instruction_addresses()
+///     .into_iter()
+///     .chain(model.legitimate_targets())
+///     .collect();
+/// for i in 0..attacked.attack_len {
+///     assert!(code.contains(&attacked.records[attacked.attack_start + i].target));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackInjector {
+    /// Sorted universe of legitimate targets.
+    targets: Vec<VirtAddr>,
+    /// Kernel entry points (syscall payload targets).
+    kernel_targets: Vec<VirtAddr>,
+    /// Mid-block instruction addresses (gadget entry points).
+    gadget_targets: Vec<VirtAddr>,
+    /// Sorted list of legitimate branch-source addresses.
+    sources: Vec<VirtAddr>,
+    seed: u64,
+}
+
+impl AttackInjector {
+    /// Builds an injector from the program's legitimate address universe.
+    pub fn new(model: &ProgramModel, seed: u64) -> Self {
+        let targets: Vec<VirtAddr> = model.legitimate_targets().into_iter().collect();
+        let sources: Vec<VirtAddr> = model
+            .blocks
+            .iter()
+            .map(|b| b.branch_addr)
+            .collect();
+        AttackInjector {
+            targets,
+            kernel_targets: model.syscall_entries().to_vec(),
+            gadget_targets: model.gadget_addresses(),
+            sources,
+            seed,
+        }
+    }
+
+    /// Splices one attack burst into `normal` per `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.position` exceeds the trace length or
+    /// `spec.burst_len` is zero.
+    pub fn inject(&self, normal: &[BranchRecord], spec: AttackSpec) -> AttackTrace {
+        assert!(
+            spec.position <= normal.len(),
+            "attack position {} beyond trace length {}",
+            spec.position,
+            normal.len()
+        );
+        assert!(spec.burst_len > 0, "attack burst must be non-empty");
+
+        let mut rng = ChaCha12Rng::seed_from_u64(
+            self.seed ^ (spec.position as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        );
+
+        let base_cycle = if spec.position == 0 {
+            normal.first().map_or(0, |r| r.cycle)
+        } else {
+            normal[spec.position - 1].cycle
+        };
+        let context_id = normal.first().map_or(1, |r| r.context_id);
+
+        let mut records = Vec::with_capacity(normal.len() + spec.burst_len);
+        records.extend_from_slice(&normal[..spec.position]);
+
+        // The burst: legitimate addresses chained in an order normal
+        // execution never produces (random gadget hops).
+        let mut cycle = base_cycle;
+        let mut attack_cycle = 0;
+        for i in 0..spec.burst_len {
+            cycle += rng.gen_range(1..=spec.gadget_gap_cycles.max(1) * 2);
+            if i == 0 {
+                attack_cycle = cycle;
+            }
+            let source = *self
+                .sources
+                .choose(&mut rng)
+                .expect("program has at least one block");
+            let roll: f64 = rng.gen();
+            let (target, kind) = if roll < spec.syscall_fraction.clamp(0.0, 1.0) {
+                // The payload invokes a syscall (a legitimate kernel
+                // entry, but out of any normal phase pattern).
+                (
+                    *self
+                        .kernel_targets
+                        .choose(&mut rng)
+                        .expect("program has kernel entries"),
+                    BranchKind::Syscall,
+                )
+            } else if roll < (spec.syscall_fraction + spec.gadget_fraction).clamp(0.0, 1.0)
+                && !self.gadget_targets.is_empty()
+            {
+                // A gadget hop: into the middle of an instruction stream.
+                (
+                    *self
+                        .gadget_targets
+                        .choose(&mut rng)
+                        .expect("non-empty checked above"),
+                    if rng.gen_bool(0.5) {
+                        BranchKind::Return
+                    } else {
+                        BranchKind::IndirectJump
+                    },
+                )
+            } else {
+                (
+                    *self
+                        .targets
+                        .choose(&mut rng)
+                        .expect("program has at least one target"),
+                    // Gadget chains pivot through indirect branches and
+                    // returns.
+                    if rng.gen_bool(0.5) {
+                        BranchKind::Return
+                    } else {
+                        BranchKind::IndirectJump
+                    },
+                )
+            };
+            records.push(BranchRecord {
+                source,
+                target,
+                kind,
+                mode: rtad_trace::IsetMode::Arm,
+                cycle,
+                context_id,
+            });
+        }
+
+        // Normal suffix, time-shifted past the burst.
+        let shift = cycle.saturating_sub(base_cycle);
+        for r in &normal[spec.position..] {
+            let mut r = *r;
+            r.cycle += shift;
+            records.push(r);
+        }
+
+        AttackTrace {
+            records,
+            attack_start: spec.position,
+            attack_len: spec.burst_len,
+            attack_cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Benchmark;
+
+    fn setup() -> (ProgramModel, Vec<BranchRecord>) {
+        let m = ProgramModel::build(Benchmark::Sjeng, 8);
+        let t = m.generate(3_000, 1);
+        (m, t)
+    }
+
+    #[test]
+    fn injection_preserves_prefix_and_suffix_order() {
+        let (m, normal) = setup();
+        let inj = AttackInjector::new(&m, 1);
+        let spec = AttackSpec {
+            position: 1_000,
+            burst_len: 25,
+            gadget_gap_cycles: 4,
+            syscall_fraction: 0.15,
+            gadget_fraction: 0.35,
+        };
+        let attacked = inj.inject(&normal, spec);
+        assert_eq!(&attacked.records[..1_000], &normal[..1_000]);
+        assert_eq!(attacked.records.len(), normal.len() + 25);
+        // Suffix content preserved modulo time shift.
+        for (a, b) in attacked.records[1_025..].iter().zip(&normal[1_000..]) {
+            assert_eq!(a.target, b.target);
+            assert_eq!(a.kind, b.kind);
+            assert!(a.cycle >= b.cycle);
+        }
+        // Cycles remain non-decreasing overall.
+        assert!(attacked
+            .records
+            .windows(2)
+            .all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    fn attack_uses_only_executable_addresses() {
+        // Every attack target is real code: a legitimate branch target,
+        // a kernel entry, or a mid-block gadget address.
+        let (m, normal) = setup();
+        let inj = AttackInjector::new(&m, 2);
+        let attacked = inj.inject(&normal, AttackSpec::default());
+        let legit = m.legitimate_targets();
+        let instrs: std::collections::BTreeSet<_> =
+            m.instruction_addresses().into_iter().collect();
+        for i in 0..attacked.attack_len {
+            let r = &attacked.records[attacked.attack_start + i];
+            assert!(
+                legit.contains(&r.target) || instrs.contains(&r.target),
+                "non-code target {}",
+                r.target
+            );
+            assert!(attacked.is_attack_index(attacked.attack_start + i));
+        }
+    }
+
+    #[test]
+    fn gadget_fraction_targets_mid_block_addresses() {
+        let (m, normal) = setup();
+        let inj = AttackInjector::new(&m, 4);
+        let spec = AttackSpec {
+            position: 100,
+            burst_len: 400,
+            ..AttackSpec::default()
+        };
+        let attacked = inj.inject(&normal, spec);
+        let entries = m.legitimate_targets();
+        let mid_block = (0..spec.burst_len)
+            .filter(|&i| !entries.contains(&attacked.records[attacked.attack_start + i].target))
+            .count() as f64
+            / spec.burst_len as f64;
+        // ~35% configured, allow sampling slack.
+        assert!(
+            (0.2..0.5).contains(&mid_block),
+            "mid-block fraction {mid_block}"
+        );
+    }
+
+    #[test]
+    fn attack_cycle_matches_first_burst_record() {
+        let (m, normal) = setup();
+        let inj = AttackInjector::new(&m, 3);
+        let spec = AttackSpec {
+            position: 500,
+            burst_len: 10,
+            gadget_gap_cycles: 3,
+            syscall_fraction: 0.15,
+            gadget_fraction: 0.35,
+        };
+        let attacked = inj.inject(&normal, spec);
+        assert_eq!(attacked.records[500].cycle, attacked.attack_cycle);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let (m, normal) = setup();
+        let a = AttackInjector::new(&m, 5).inject(&normal, AttackSpec::default());
+        let b = AttackInjector::new(&m, 5).inject(&normal, AttackSpec::default());
+        assert_eq!(a.records, b.records);
+        let c = AttackInjector::new(&m, 6).inject(&normal, AttackSpec::default());
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn injection_at_start_and_end() {
+        let (m, normal) = setup();
+        let inj = AttackInjector::new(&m, 7);
+        let at_start = inj.inject(
+            &normal,
+            AttackSpec {
+                position: 0,
+                ..AttackSpec::default()
+            },
+        );
+        assert_eq!(at_start.attack_start, 0);
+        let at_end = inj.inject(
+            &normal,
+            AttackSpec {
+                position: normal.len(),
+                ..AttackSpec::default()
+            },
+        );
+        assert_eq!(at_end.attack_start, normal.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace length")]
+    fn position_out_of_range_panics() {
+        let (m, normal) = setup();
+        AttackInjector::new(&m, 0).inject(
+            &normal,
+            AttackSpec {
+                position: normal.len() + 1,
+                ..AttackSpec::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_burst_panics() {
+        let (m, normal) = setup();
+        AttackInjector::new(&m, 0).inject(
+            &normal,
+            AttackSpec {
+                position: 0,
+                burst_len: 0,
+                gadget_gap_cycles: 1,
+                syscall_fraction: 0.0,
+                gadget_fraction: 0.0,
+            },
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic SPEC CINT2006-like workloads for the RTAD experiments.
+//!
+//! The paper trains and evaluates on the twelve SPEC CINT2006 benchmarks
+//! with reference inputs. We cannot ship SPEC, so this crate substitutes
+//! **statistical program models**: each benchmark is a seeded synthetic
+//! control-flow graph ([`ProgramModel`]) whose random walk reproduces the
+//! branch-level characteristics the RTAD results actually depend on —
+//! branch density (how hard the PTM/IGM path is pressed), indirect-branch
+//! and call/return mix (how many address packets vs atoms), syscall
+//! interval (the ELM model's input rate) and control-flow locality (how
+//! well PTM address compression works and how predictable the stream is
+//! for the LSTM). The per-benchmark parameters ([`BenchProfile`]) are
+//! drawn from published characterizations of CINT2006 and are documented
+//! field by field in [`spec`].
+//!
+//! [`AttackInjector`] reproduces the paper's attack emulation: "we
+//! emulate attacks by randomly inserting legitimate branch data (i.e.,
+//! branch addresses that can be observed during normal execution) in
+//! normal branch traces".
+//!
+//! # Examples
+//!
+//! ```
+//! use rtad_workloads::{Benchmark, ProgramModel};
+//!
+//! let model = ProgramModel::build(Benchmark::Omnetpp, 42);
+//! let trace = model.generate(10_000, 1);
+//! assert_eq!(trace.len(), 10_000);
+//! // omnetpp is the branch-pressure worst case of Fig. 8.
+//! assert!(model.profile().branch_density > 0.15);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod generator;
+pub mod program;
+pub mod spec;
+
+pub use attack::{AttackInjector, AttackSpec, AttackTrace};
+pub use generator::TraceGenerator;
+pub use program::{BlockId, ProgramModel};
+pub use spec::{BenchProfile, Benchmark};

@@ -1,0 +1,111 @@
+//! Property tests for the workload generators: structural invariants
+//! over arbitrary valid benchmark profiles and seeds.
+
+use proptest::prelude::*;
+
+use rtad_trace::BranchKind;
+use rtad_workloads::{AttackInjector, AttackSpec, BenchProfile, Benchmark, ProgramModel};
+
+fn arb_profile() -> impl Strategy<Value = BenchProfile> {
+    (
+        0.02f64..0.2,   // branch_density
+        0.0f64..0.15,   // indirect_ratio
+        0.01f64..0.15,  // call_ratio
+        2_000f64..30_000.0, // syscall_interval
+        4usize..60,     // functions
+        4usize..16,     // blocks_per_function
+        0.4f64..0.95,   // locality
+        0.3f64..1.5,    // ipc
+    )
+        .prop_map(
+            |(branch_density, indirect_ratio, call_ratio, syscall_interval, functions,
+              blocks_per_function, locality, ipc)| BenchProfile {
+                bench: Benchmark::Gcc, // label only
+                branch_density,
+                indirect_ratio,
+                call_ratio,
+                syscall_interval,
+                functions,
+                blocks_per_function,
+                locality,
+                ipc,
+            },
+        )
+        .prop_filter("branch mix must fit", |p| {
+            p.indirect_ratio + 2.0 * p.call_ratio < 0.95
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid profile builds a consistent CFG whose walks only ever
+    /// branch to legitimate targets, with strictly increasing cycles.
+    #[test]
+    fn walks_are_structurally_sound(profile in arb_profile(), seed in any::<u64>()) {
+        let model = ProgramModel::from_profile(profile, seed);
+        prop_assert_eq!(
+            model.block_count(),
+            profile.functions * profile.blocks_per_function
+        );
+        let run = model.generate(2_000, seed ^ 1);
+        prop_assert_eq!(run.len(), 2_000);
+        prop_assert!(run.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        let legit = model.legitimate_targets();
+        prop_assert!(run.iter().all(|r| legit.contains(&r.target)));
+    }
+
+    /// Calls and returns stay balanced (within the open stack) for any
+    /// profile.
+    #[test]
+    fn calls_and_returns_balance(profile in arb_profile(), seed in any::<u64>()) {
+        let model = ProgramModel::from_profile(profile, seed);
+        let run = model.generate(20_000, seed ^ 2);
+        let calls = run.iter().filter(|r| r.kind == BranchKind::Call).count() as i64;
+        let rets = run.iter().filter(|r| r.kind == BranchKind::Return).count() as i64;
+        // Returns can never exceed calls; imbalance is bounded by the
+        // open call depth (<= 128).
+        prop_assert!(rets <= calls);
+        prop_assert!(calls - rets <= 128, "calls {calls} rets {rets}");
+    }
+
+    /// Attack injection preserves the normal prefix/suffix content and
+    /// time order for any position/burst.
+    #[test]
+    fn injection_preserves_structure(
+        seed in any::<u64>(),
+        pos_frac in 0.0f64..1.0,
+        burst in 1usize..200,
+    ) {
+        let model = ProgramModel::build(Benchmark::Astar, seed);
+        let normal = model.generate(3_000, seed ^ 3);
+        let position = ((normal.len() as f64) * pos_frac) as usize;
+        let attacked = AttackInjector::new(&model, seed ^ 4).inject(
+            &normal,
+            AttackSpec {
+                position,
+                burst_len: burst,
+                ..AttackSpec::default()
+            },
+        );
+        prop_assert_eq!(attacked.records.len(), normal.len() + burst);
+        prop_assert!(attacked.records.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        prop_assert_eq!(&attacked.records[..position], &normal[..position]);
+        // Suffix preserved modulo the time shift.
+        for (a, b) in attacked.records[position + burst..].iter().zip(&normal[position..]) {
+            prop_assert_eq!(a.target, b.target);
+            prop_assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    /// Same (profile, seed) is bit-for-bit reproducible; different seeds
+    /// diverge.
+    #[test]
+    fn determinism(profile in arb_profile(), seed in any::<u64>()) {
+        let a = ProgramModel::from_profile(profile, seed).generate(500, 9);
+        let b = ProgramModel::from_profile(profile, seed).generate(500, 9);
+        prop_assert_eq!(&a, &b);
+        let c = ProgramModel::from_profile(profile, seed ^ 0xFFFF).generate(500, 9);
+        prop_assert_ne!(&a, &c);
+    }
+}

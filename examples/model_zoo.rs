@@ -1,0 +1,126 @@
+//! Model zoo: compare the paper's two models against classic baselines
+//! on the same attack traces (host-side, accuracy only).
+//!
+//! ```text
+//! cargo run --release --example model_zoo
+//! ```
+//!
+//! The paper motivates the ELM as "more lightweight than a traditional
+//! MLP while providing similar accuracy" and the LSTM as the
+//! state-of-the-art sequence model; the n-gram (STIDE) detector is the
+//! classic syscall-window baseline they all improve on. This example
+//! scores all four on identical normal/attack event streams.
+
+use rtad::igm::{AddressMapper, VectorEncoder, VectorFormat};
+use rtad::ml::{
+    calibrate_threshold, Elm, ElmConfig, Lstm, LstmConfig, Mlp, MlpConfig, NgramModel,
+    SequenceModel, ThresholdPolicy, VectorModel,
+};
+use rtad::soc::watchlist::{build_lstm_table, syscall_table, WatchlistSpec};
+use rtad::workloads::{AttackInjector, AttackSpec, Benchmark, ProgramModel};
+
+/// Fraction of attack events scoring above the normal-calibrated
+/// threshold (higher = more detectable).
+fn hit_rate(scores: &[f64], threshold: f64) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().filter(|&&s| s > threshold).count() as f64 / scores.len() as f64
+}
+
+fn main() {
+    println!("== Model zoo on {} ==\n", Benchmark::Perlbench);
+    let model = ProgramModel::build(Benchmark::Perlbench, 13);
+    let train = model.generate(1_000_000, 1);
+    let validate = model.generate(250_000, 2);
+    let attacked = AttackInjector::new(&model, 5).inject(
+        &model.generate(40_000, 3),
+        AttackSpec {
+            position: 20_000,
+            burst_len: 512,
+            ..AttackSpec::default()
+        },
+    );
+    let policy = ThresholdPolicy::Quantile {
+        quantile: 0.99,
+        margin: 1.1,
+    };
+
+    // ---- syscall-feature models: ELM vs MLP vs n-gram ----
+    let sys_mapper = AddressMapper::from_targets(syscall_table(&model));
+    let tokens = |records: &[rtad::trace::BranchRecord]| -> Vec<u32> {
+        records.iter().filter_map(|r| sys_mapper.map(r.target)).collect()
+    };
+    let histograms = |toks: &[u32]| -> Vec<Vec<f32>> {
+        let mut enc = VectorEncoder::new(VectorFormat::WindowHistogram { window: 16 }, 16);
+        toks.iter()
+            .map(|&t| enc.encode(t).as_dense().expect("dense").to_vec())
+            .collect()
+    };
+    let train_h = histograms(&tokens(&train));
+    let val_h = histograms(&tokens(&validate));
+    let atk_toks = tokens(&attacked.records[attacked.attack_start..]);
+    let atk_h = histograms(&atk_toks);
+    println!(
+        "syscall events: train {} / validate {} / post-attack {}",
+        train_h.len(),
+        val_h.len(),
+        atk_h.len()
+    );
+
+    let elm = Elm::train(&ElmConfig::rtad(), &train_h, 4);
+    let mlp = Mlp::train(&MlpConfig::rtad(), &train_h, 4);
+    let scorers: Vec<(&str, Box<dyn Fn(&[f32]) -> f64>)> = vec![
+        ("ELM", Box::new(|x: &[f32]| elm.score(x))),
+        ("MLP", Box::new(|x: &[f32]| mlp.score(x))),
+    ];
+    for (name, score) in &scorers {
+        let val_scores: Vec<f64> = val_h.iter().map(|v| score(v)).collect();
+        let threshold = calibrate_threshold(&val_scores, policy);
+        let atk_scores: Vec<f64> = atk_h.iter().map(|v| score(v)).collect();
+        println!(
+            "  {name:<6} threshold {threshold:10.5}  attack hit rate {:5.1}%",
+            hit_rate(&atk_scores, threshold) * 100.0
+        );
+    }
+
+    let mut ngram = NgramModel::train(5, 16, &tokens(&train));
+    ngram.reset();
+    let val_scores: Vec<f64> = tokens(&validate).iter().map(|&t| ngram.score_next(t)).collect();
+    let fp = val_scores.iter().sum::<f64>() / val_scores.len().max(1) as f64;
+    ngram.reset();
+    let atk_scores: Vec<f64> = atk_toks.iter().map(|&t| ngram.score_next(t)).collect();
+    println!(
+        "  {:<6} normal mismatch {:5.1}%   attack mismatch {:5.1}%",
+        "STIDE",
+        fp * 100.0,
+        hit_rate(&atk_scores, 0.5) * 100.0
+    );
+
+    // ---- branch-sequence model: LSTM over the watchlist ----
+    let table = build_lstm_table(&model, &train, WatchlistSpec::rtad());
+    let mapper = AddressMapper::from_entries(table.entries.iter().copied());
+    let toks = |records: &[rtad::trace::BranchRecord]| -> Vec<u32> {
+        records.iter().filter_map(|r| mapper.map(r.target)).collect()
+    };
+    let train_t = toks(&train);
+    let mut cfg = LstmConfig::rtad();
+    cfg.vocab = table.vocab;
+    cfg.epochs = (60_000 / train_t.len().max(1)).clamp(4, 80);
+    let mut lstm = Lstm::train(&cfg, &train_t, 4);
+
+    lstm.reset();
+    let val_scores: Vec<f64> = toks(&validate).iter().map(|&t| lstm.score_next(t)).collect();
+    let threshold = calibrate_threshold(&val_scores, policy);
+    lstm.reset();
+    let atk_scores: Vec<f64> = toks(&attacked.records[attacked.attack_start..])
+        .iter()
+        .map(|&t| lstm.score_next(t))
+        .collect();
+    println!(
+        "  {:<6} threshold {threshold:10.5}  attack hit rate {:5.1}%  ({} attack events)",
+        "LSTM",
+        hit_rate(&atk_scores, threshold) * 100.0,
+        atk_scores.len()
+    );
+}

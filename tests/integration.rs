@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: the whole RTAD stack wired together.
+
+use rtad::igm::{Igm, IgmConfig};
+use rtad::mcm::{InferenceEngine, InferenceResult, Mcm, McmConfig};
+use rtad::miaow::area::{variant_area, EngineVariant};
+use rtad::ml::{Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice};
+use rtad::sim::{ClockDomain, Picos, Zc706};
+use rtad::soc::backend::{profile_trim_plan, DeviceBackend, EngineKind};
+use rtad::soc::{mlpu_total, rtad_module_inventory};
+use rtad::trace::{PtmConfig, StreamEncoder};
+use rtad::workloads::{AttackInjector, AttackSpec, Benchmark, ProgramModel};
+use rtad::{Deployment, EngineChoice, ModelChoice};
+
+/// The full hardware path with a *device-executed* backend: branch run →
+/// PTM → TPIU → IGM → MCM → real kernels on a trimmed 5-CU engine.
+#[test]
+fn full_stack_with_device_backend() {
+    let model = ProgramModel::build(Benchmark::Mcf, 17);
+    let run = model.generate(3_000, 4);
+
+    // A small LSTM over the 16 hottest targets of this run (devices need
+    // vocab % 16 == 0).
+    let mut freq = std::collections::HashMap::new();
+    for r in &run {
+        *freq.entry(r.target).or_insert(0u64) += 1;
+    }
+    let mut hot: Vec<_> = freq.into_iter().collect();
+    hot.sort_by_key(|&(a, c)| (std::cmp::Reverse(c), a));
+    let targets: Vec<_> = hot.into_iter().take(16).map(|(a, _)| a).collect();
+    assert_eq!(targets.len(), 16);
+
+    let igm_config = IgmConfig::token_stream(&targets);
+    let tokens: Vec<u32> = rtad::soc::detection::functional_vectors(&igm_config, &run)
+        .into_iter()
+        .filter_map(|p| p.as_token())
+        .collect();
+    assert!(tokens.len() > 100, "hot targets must produce events");
+
+    let mut cfg = LstmConfig::rtad();
+    cfg.vocab = 16;
+    cfg.epochs = 1;
+    let lstm = Lstm::train(&cfg, &tokens, 1);
+    let lstm_dev = LstmDevice::compile(&lstm);
+
+    // Trim from this model's own coverage (plus an aux ELM).
+    let aux: Vec<Vec<f32>> = (0..40)
+        .map(|i| {
+            let mut v = vec![0.0; 16];
+            v[i % 4] = 1.0;
+            v
+        })
+        .collect();
+    let elm_dev = ElmDevice::compile(&Elm::train(&ElmConfig::rtad(), &aux, 2));
+    let plan = profile_trim_plan(&elm_dev, &lstm_dev);
+
+    // Device backend on the trimmed 5-CU engine, driven by the MCM.
+    let mut backend = DeviceBackend::lstm(lstm_dev, EngineKind::MlMiaow.engine_config(&plan));
+    backend.reset();
+
+    let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(&run[..600]);
+    let vectors = Igm::new(igm_config).process_trace(&trace).vectors;
+    assert!(!vectors.is_empty());
+
+    let mut mcm = Mcm::new(McmConfig::rtad(), backend);
+    let result = mcm.run(&vectors);
+    assert_eq!(result.events.len() + result.fifo.dropped as usize, vectors.len());
+    for e in &result.events {
+        assert!(e.score.is_finite());
+        assert!(e.engine_cycles > 0);
+        assert!(e.done > e.arrived);
+    }
+}
+
+/// Host-model scores and full-device scores agree through the whole MCM
+/// path, not just kernel-by-kernel.
+#[test]
+fn hybrid_and_device_paths_agree_through_mcm() {
+    struct HostBackend {
+        lstm: Lstm,
+    }
+    impl InferenceEngine for HostBackend {
+        fn infer_event(
+            &mut self,
+            p: &rtad::igm::VectorPayload,
+            _at: Picos,
+        ) -> InferenceResult {
+            use rtad::ml::SequenceModel;
+            InferenceResult {
+                score: self.lstm.score_next(p.as_token().expect("token")),
+                flagged: false,
+                engine_cycles: 1,
+            }
+        }
+        fn engine_clock(&self) -> ClockDomain {
+            ClockDomain::rtad_miaow()
+        }
+    }
+
+    let corpus: Vec<u32> = (0..400).map(|i| (i % 16) as u32).collect();
+    let mut cfg = LstmConfig::rtad();
+    cfg.vocab = 16;
+    cfg.epochs = 1;
+    let mut host = Lstm::train(&cfg, &corpus, 9);
+    let lstm_dev = LstmDevice::compile(&host);
+    {
+        use rtad::ml::SequenceModel;
+        host.reset();
+    }
+
+    let aux: Vec<Vec<f32>> = (0..40)
+        .map(|i| {
+            let mut v = vec![0.0; 16];
+            v[i % 4] = 1.0;
+            v
+        })
+        .collect();
+    let elm_dev = ElmDevice::compile(&Elm::train(&ElmConfig::rtad(), &aux, 2));
+    let plan = profile_trim_plan(&elm_dev, &lstm_dev);
+    let mut device = DeviceBackend::lstm(lstm_dev, EngineKind::Miaow.engine_config(&plan));
+    device.reset();
+
+    let vectors: Vec<rtad::igm::TimedVector> = (0..32)
+        .map(|i| rtad::igm::TimedVector {
+            at: Picos::from_micros(200 * (i as u64 + 1)),
+            target: rtad::trace::VirtAddr::new(0x40),
+            context_id: 1,
+            payload: rtad::igm::VectorPayload::Token((i % 16) as u32),
+        })
+        .collect();
+
+    let host_run = Mcm::new(McmConfig::rtad(), HostBackend { lstm: host }).run(&vectors);
+    let dev_run = Mcm::new(McmConfig::rtad(), device).run(&vectors);
+    assert_eq!(host_run.events.len(), dev_run.events.len());
+    for (h, d) in host_run.events.iter().zip(&dev_run.events) {
+        assert!(
+            (h.score - d.score).abs() < 5e-3,
+            "host {} vs device {}",
+            h.score,
+            d.score
+        );
+    }
+}
+
+/// Table I totals assemble from the crate-level area models and fit the
+/// ZC706 with the paper's §IV-A utilizations.
+#[test]
+fn table_i_assembles_and_fits() {
+    let inventory = rtad_module_inventory();
+    assert_eq!(inventory.len(), 8);
+    let total = mlpu_total();
+    assert_eq!(total.luts, 199_406);
+    assert_eq!(total.ffs, 80_953);
+    assert_eq!(total.brams, 150);
+    assert!(Zc706::fits(&total));
+}
+
+/// Table II regenerates from the feature table and the reductions hold.
+#[test]
+fn table_ii_regenerates() {
+    let full = variant_area(EngineVariant::Miaow);
+    let m2 = variant_area(EngineVariant::Miaow2);
+    let ml = variant_area(EngineVariant::MlMiaow);
+    assert_eq!(full.lut_ff_sum(), 287_903);
+    assert_eq!(m2.lut_ff_sum(), 167_721);
+    assert_eq!(ml.lut_ff_sum(), 52_018);
+    assert!((ml.reduction_vs(&full) - 0.82).abs() < 0.005);
+    assert!((m2.reduction_vs(&full) - 0.42).abs() < 0.005);
+}
+
+/// The façade deployment detects the attack and the ML-MIAOW engine is
+/// cheaper per event than MIAOW for the same deployment.
+#[test]
+fn facade_deployment_detects_and_engines_order() {
+    let ml = Deployment::builder(Benchmark::Mcf)
+        .model(ModelChoice::Lstm)
+        .engine(EngineChoice::MlMiaow)
+        .train_branches(500_000)
+        .seed(5)
+        .build();
+    let miaow = Deployment::builder(Benchmark::Mcf)
+        .model(ModelChoice::Lstm)
+        .engine(EngineChoice::Miaow)
+        .train_branches(500_000)
+        .seed(5)
+        .build();
+    assert!(ml.cycles_per_event() < miaow.cycles_per_event());
+    let out = ml.detect_injected_attack();
+    assert!(out.detected, "{out:?}");
+}
+
+/// Attack traces keep monotone time and the injected burst is where the
+/// ground truth says.
+#[test]
+fn attack_injection_ground_truth_is_consistent() {
+    let model = ProgramModel::build(Benchmark::H264ref, 3);
+    let normal = model.generate(10_000, 1);
+    let attacked = AttackInjector::new(&model, 9).inject(
+        &normal,
+        AttackSpec {
+            position: 5_000,
+            burst_len: 128,
+            ..AttackSpec::default()
+        },
+    );
+    assert!(attacked
+        .records
+        .windows(2)
+        .all(|w| w[0].cycle <= w[1].cycle));
+    assert_eq!(attacked.records[5_000].cycle, attacked.attack_cycle);
+    assert_eq!(attacked.records.len(), 10_128);
+}
