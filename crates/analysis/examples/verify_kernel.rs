@@ -1,0 +1,60 @@
+//! Load-time kernel verification walkthrough.
+//!
+//! ```text
+//! cargo run -p rtad-analysis --example verify_kernel
+//! ```
+//!
+//! Shows the three verdicts the static verifier produces: a clean
+//! kernel, a def-before-use rejection, and a trim-incompatibility
+//! rejection on a [`VerifiedEngine`] whose launch never starts.
+
+use rtad_analysis::{LaunchError, VerifiedEngine, VerifiedKernel};
+use rtad_miaow::asm::assemble;
+use rtad_miaow::{Engine, EngineConfig, GpuMemory, TrimPlan};
+
+fn main() {
+    // A clean kernel verifies and reports its static feature closure.
+    let clean = assemble(
+        "v_lshl_b32 v1, v0, 2\n\
+         v_mov_b32 v2, 3.0\n\
+         buffer_store_dword v2, v1, s0\n\
+         s_endpgm",
+    )
+    .unwrap();
+    let vk = VerifiedKernel::new(clean.clone(), 1).expect("clean kernel verifies");
+    println!(
+        "clean kernel: {} blocks, {} static features, {} findings\n",
+        vk.report().blocks,
+        vk.static_features().iter().count(),
+        vk.report().findings.len()
+    );
+
+    // Reading a register nothing wrote is rejected at construction.
+    let bad = assemble("v_add_f32 v2, v1, v1\ns_endpgm").unwrap();
+    let report = VerifiedKernel::new(bad, 0).expect_err("use-before-def rejects");
+    println!("use-before-def report:\n{report}");
+
+    // A trimmed engine wrapped in VerifiedEngine refuses incompatible
+    // kernels before execution instead of trapping mid-run.
+    let mut profiler = Engine::new(EngineConfig::miaow());
+    let mut mem = GpuMemory::new(512);
+    profiler.launch(&clean, 1, &[0], &mut mem).unwrap();
+    let plan = TrimPlan::from_coverage(profiler.observed_coverage());
+
+    let needs_exp = assemble(
+        "v_lshl_b32 v1, v0, 2\n\
+         v_mov_b32 v2, 7.0\n\
+         v_exp_f32 v3, v2\n\
+         buffer_store_dword v3, v1, s0\n\
+         s_endpgm",
+    )
+    .unwrap();
+    let mut engine = VerifiedEngine::new(Engine::new(EngineConfig::ml_miaow(&plan)));
+    let mut mem = GpuMemory::new(512);
+    match engine.launch(&needs_exp, 1, &[0], &mut mem) {
+        Err(LaunchError::Rejected(report)) => {
+            println!("trimmed-engine launch rejected before execution:\n{report}");
+        }
+        other => panic!("expected a static rejection, got {other:?}"),
+    }
+}

@@ -1,0 +1,96 @@
+//! Static feature closure: every [`Feature`] a kernel *can* exercise.
+//!
+//! The closure is the union of [`Feature::of_instr`] over every
+//! instruction in a CFG-reachable block, plus the always-on core
+//! features (fetch, issue, wavefront control, register files — the
+//! execution loop records those implicitly on every run). Because any
+//! dynamic execution only ever reaches a subset of the statically
+//! reachable instructions, the closure is a superset of the
+//! [`CoverageSet`] any launch records — which is exactly the property
+//! that makes it a sound input to trim-compatibility proofs.
+
+use rtad_miaow::coverage::{CoverageSet, Feature};
+use rtad_miaow::isa::Instr;
+
+use crate::cfg::Cfg;
+
+/// The features every instruction in a reachable block can exercise,
+/// plus the untrimmable core.
+pub fn static_features(cfg: &Cfg, code: &[Instr]) -> CoverageSet {
+    let reachable = cfg.reachable();
+    let mut set: CoverageSet = Feature::all().into_iter().filter(|f| f.is_core()).collect();
+    for (b, block) in cfg.blocks().iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        for pc in block.range() {
+            set.extend(Feature::of_instr(&code[pc]));
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtad_miaow::asm::assemble;
+    use rtad_miaow::exec::{ComputeUnit, Dispatch};
+    use rtad_miaow::GpuMemory;
+
+    fn features_of(src: &str) -> CoverageSet {
+        let k = assemble(src).unwrap();
+        let cfg = Cfg::build(&k);
+        static_features(&cfg, &k.code)
+    }
+
+    #[test]
+    fn closure_includes_core_and_instruction_features() {
+        let set = features_of("v_exp_f32 v1, 1.0\ns_endpgm");
+        assert!(set.contains(Feature::Fetch), "core is implicit");
+        assert!(set.contains(Feature::VgprFile), "core is implicit");
+        assert!(set.contains(Feature::DecValuTrans));
+        assert!(set.contains(Feature::ValuExp));
+    }
+
+    #[test]
+    fn unreachable_instructions_contribute_nothing() {
+        let set = features_of("s_branch end\nv_exp_f32 v1, 1.0\nend:\ns_endpgm");
+        assert!(
+            !set.contains(Feature::ValuExp),
+            "dead v_exp_f32 must not inflate the closure"
+        );
+        assert!(set.contains(Feature::SaluBranchUnit));
+    }
+
+    #[test]
+    fn closure_is_superset_of_a_dynamic_run() {
+        // Kernel with a branch: dynamically only one arm executes, but
+        // the closure covers both.
+        let src = "s_cmp_lt_i32 s0, 100\n\
+                   s_cbranch_scc1 cold\n\
+                   v_exp_f32 v1, 1.0\n\
+                   s_branch end\n\
+                   cold:\n\
+                   v_log_f32 v1, 1.0\n\
+                   end:\n\
+                   s_endpgm";
+        let k = assemble(src).unwrap();
+        let cfg = Cfg::build(&k);
+        let stat = static_features(&cfg, &k.code);
+
+        let mut cu = ComputeUnit::new();
+        let mut mem = GpuMemory::new(64);
+        let mut dynamic = CoverageSet::new();
+        // s0 = 0 < 100: takes the cold arm only.
+        cu.run(&k, &Dispatch::single_wave(&[0]), &mut mem, &mut dynamic)
+            .unwrap();
+
+        assert!(dynamic.is_subset(&stat), "static must cover dynamic");
+        assert!(dynamic.contains(Feature::ValuLog));
+        assert!(
+            !dynamic.contains(Feature::ValuExp),
+            "dynamic run skipped the hot arm"
+        );
+        assert!(stat.contains(Feature::ValuExp), "closure keeps both arms");
+    }
+}

@@ -68,7 +68,7 @@ fn ablate_fifo_depth(c: &mut Criterion) {
             );
         }
         group.bench_with_input(BenchmarkId::from_parameter(depth), &config, |b, config| {
-            b.iter(|| Mcm::new(config.clone(), FixedLatency(2_000)).run(&vectors))
+            b.iter(|| Mcm::new(config.clone(), FixedLatency(2_000)).run(&vectors));
         });
     }
     group.finish();
@@ -91,7 +91,7 @@ fn ablate_ptm_threshold(c: &mut Criterion) {
             );
         }
         group.bench_with_input(BenchmarkId::from_parameter(threshold), &ptm, |b, ptm| {
-            b.iter(|| measure_rtad_transfer(&run, ptm.clone()))
+            b.iter(|| measure_rtad_transfer(&run, ptm.clone()));
         });
     }
     group.finish();

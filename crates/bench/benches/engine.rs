@@ -42,7 +42,10 @@ fn bench_inference(c: &mut Criterion) {
                 .cycles;
             let mut mem = lstm_dev.load(&mut engine);
             lstm_dev.reset(&mut mem);
-            let lstm_cycles = lstm_dev.step(&mut engine, &mut mem, 1).expect("runs").cycles;
+            let lstm_cycles = lstm_dev
+                .step(&mut engine, &mut mem, 1)
+                .expect("runs")
+                .cycles;
             println!(
                 "[simulated] {engine_kind}: ELM {elm_cycles} cycles ({:.2}us @50MHz), \
                  LSTM {lstm_cycles} cycles ({:.2}us @50MHz)",
@@ -57,7 +60,11 @@ fn bench_inference(c: &mut Criterion) {
             |b, &kind| {
                 let mut engine = Engine::new(kind.engine_config(&plan));
                 let mut mem = elm_dev.load(&mut engine);
-                b.iter(|| elm_dev.infer(&mut engine, &mut mem, &[0.05; 16]).expect("runs"))
+                b.iter(|| {
+                    elm_dev
+                        .infer(&mut engine, &mut mem, &[0.05; 16])
+                        .expect("runs")
+                });
             },
         );
         group.bench_with_input(
@@ -71,7 +78,7 @@ fn bench_inference(c: &mut Criterion) {
                 b.iter(|| {
                     t = (t + 1) % 16;
                     lstm_dev.step(&mut engine, &mut mem, t).expect("runs")
-                })
+                });
             },
         );
     }
@@ -81,7 +88,7 @@ fn bench_inference(c: &mut Criterion) {
 fn bench_trim_flow(c: &mut Criterion) {
     let (elm_dev, lstm_dev) = trained_devices();
     c.bench_function("coverage_profile_and_trim", |b| {
-        b.iter(|| profile_trim_plan(&elm_dev, &lstm_dev))
+        b.iter(|| profile_trim_plan(&elm_dev, &lstm_dev));
     });
 }
 
@@ -101,7 +108,10 @@ fn bench_engine_scaling(c: &mut Criterion) {
             let mut engine = Engine::new(config.clone());
             let mut mem = lstm_dev.load(&mut engine);
             lstm_dev.reset(&mut mem);
-            let cycles = lstm_dev.step(&mut engine, &mut mem, 1).expect("runs").cycles;
+            let cycles = lstm_dev
+                .step(&mut engine, &mut mem, 1)
+                .expect("runs")
+                .cycles;
             println!(
                 "[simulated] {cus} CU(s): LSTM step {cycles} cycles ({:.2}us @50MHz)",
                 cycles as f64 / 50.0
@@ -111,11 +121,16 @@ fn bench_engine_scaling(c: &mut Criterion) {
             let mut engine = Engine::new(config.clone());
             let mut mem = lstm_dev.load(&mut engine);
             lstm_dev.reset(&mut mem);
-            b.iter(|| lstm_dev.step(&mut engine, &mut mem, 1).expect("runs"))
+            b.iter(|| lstm_dev.step(&mut engine, &mut mem, 1).expect("runs"));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_inference, bench_trim_flow, bench_engine_scaling);
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_trim_flow,
+    bench_engine_scaling
+);
 criterion_main!(benches);

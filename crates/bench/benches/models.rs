@@ -27,18 +27,18 @@ fn bench_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("train");
     group.sample_size(10);
     group.bench_function("elm_closed_form", |b| {
-        b.iter(|| Elm::train(&ElmConfig::rtad(), &data, 1))
+        b.iter(|| Elm::train(&ElmConfig::rtad(), &data, 1));
     });
     group.bench_function("mlp_backprop", |b| {
-        b.iter(|| Mlp::train(&MlpConfig::rtad(), &data, 1))
+        b.iter(|| Mlp::train(&MlpConfig::rtad(), &data, 1));
     });
     group.bench_function("lstm_bptt_1_epoch", |b| {
         let mut cfg = LstmConfig::rtad();
         cfg.epochs = 1;
-        b.iter(|| Lstm::train(&cfg, &corpus, 1))
+        b.iter(|| Lstm::train(&cfg, &corpus, 1));
     });
     group.bench_function("ngram", |b| {
-        b.iter(|| NgramModel::train(5, 64, &corpus))
+        b.iter(|| NgramModel::train(5, 64, &corpus));
     });
     group.finish();
 }
@@ -57,11 +57,11 @@ fn bench_scoring(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     group.bench_function("elm", |b| {
         let x = &data[3];
-        b.iter(|| elm.score(x))
+        b.iter(|| elm.score(x));
     });
     group.bench_function("mlp", |b| {
         let x = &data[3];
-        b.iter(|| mlp.score(x))
+        b.iter(|| mlp.score(x));
     });
     group.bench_function("lstm", |b| {
         lstm.reset();
@@ -69,7 +69,7 @@ fn bench_scoring(c: &mut Criterion) {
         b.iter(|| {
             t = (t + 3) % 64;
             lstm.score_next(t)
-        })
+        });
     });
     group.bench_function("ngram", |b| {
         ngram.reset();
@@ -77,7 +77,7 @@ fn bench_scoring(c: &mut Criterion) {
         b.iter(|| {
             t = (t + 3) % 64;
             ngram.score_next(t)
-        })
+        });
     });
     group.finish();
 }

@@ -16,7 +16,7 @@ fn bench_ptm_encode(c: &mut Criterion) {
         let run = model.generate(n, 2);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &run, |b, run| {
-            b.iter(|| StreamEncoder::new(PtmConfig::rtad()).encode_run(run))
+            b.iter(|| StreamEncoder::new(PtmConfig::rtad()).encode_run(run));
         });
     }
     group.finish();
@@ -29,10 +29,7 @@ fn bench_packet_codec(c: &mut Criterion) {
     let mut enc = StreamEncoder::new(PtmConfig::rtad());
     let packets = enc.encode_packets(&run);
     let mut penc = PacketEncoder::new();
-    let bytes: Vec<u8> = packets
-        .iter()
-        .flat_map(|(_, p)| penc.encode(p))
-        .collect();
+    let bytes: Vec<u8> = packets.iter().flat_map(|(_, p)| penc.encode(p)).collect();
 
     let mut group = c.benchmark_group("packet_decode");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
@@ -46,7 +43,7 @@ fn bench_packet_codec(c: &mut Criterion) {
                 }
             }
             n
-        })
+        });
     });
     group.finish();
 }
@@ -67,7 +64,7 @@ fn bench_tpiu(c: &mut Criterion) {
                 n += d.feed_frame(frame).expect("own frames").len();
             }
             n
-        })
+        });
     });
     group.finish();
 }
@@ -86,7 +83,7 @@ fn bench_igm(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(trace.bytes.len() as u64));
     assert_eq!(trace.bytes.len() % FRAME_BYTES, 0);
     group.bench_function("process_trace", |b| {
-        b.iter(|| Igm::new(IgmConfig::token_stream(&targets)).process_trace(&trace))
+        b.iter(|| Igm::new(IgmConfig::token_stream(&targets)).process_trace(&trace));
     });
     group.finish();
 }

@@ -44,7 +44,16 @@ fn main() {
         println!("{}\n", Fig8::run(&Benchmark::ALL));
     }
     if wanted.iter().all(|w| {
-        !["all", "table1", "table2", "fig6", "fig7", "fig8", "fig8-full"].contains(w)
+        ![
+            "all",
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig8-full",
+        ]
+        .contains(w)
     }) {
         eprintln!(
             "unknown target(s) {wanted:?}; expected any of: \

@@ -3,9 +3,6 @@
 //! structured result whose `Display` prints the same rows/series the
 //! paper reports.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::fmt;
 
 use rtad::miaow::area::{variant_area, EngineVariant};
@@ -48,7 +45,11 @@ impl fmt::Display for Table1 {
             writeln!(
                 f,
                 "{:<6} {:<24} {:>9} {:>8} {:>7} {:>12}",
-                row.module, row.submodule, row.area.luts, row.area.ffs, row.area.brams,
+                row.module,
+                row.submodule,
+                row.area.luts,
+                row.area.ffs,
+                row.area.brams,
                 row.area.gates
             )?;
         }
@@ -113,7 +114,9 @@ impl Table2 {
             .expect("profiling run");
         let mut mem = lstm_dev.load(&mut profiler);
         lstm_dev.reset(&mut mem);
-        lstm_dev.step(&mut profiler, &mut mem, 1).expect("profiling run");
+        lstm_dev
+            .step(&mut profiler, &mut mem, 1)
+            .expect("profiling run");
 
         let mut merged = CoverageSet::new();
         merged.merge(profiler.observed_coverage());
@@ -343,7 +346,7 @@ impl Fig8 {
             .cells
             .iter()
             .filter(|c| c.model == model && c.engine == engine)
-            .filter_map(|c| c.outcome.latency.map(|l| l.as_micros_f64()))
+            .filter_map(|c| c.outcome.latency.map(rtad::sim::Picos::as_micros_f64))
             .collect();
         if v.is_empty() {
             f64::NAN
@@ -358,8 +361,8 @@ impl fmt::Display for Fig8 {
         writeln!(f, "=== Fig. 8: latencies of anomaly detection (us) ===")?;
         writeln!(
             f,
-            "{:<16} {:>11} {:>11} {:>11} {:>11}  {}",
-            "benchmark", "ELM/MIAOW", "ELM/ML-M", "LSTM/MIAOW", "LSTM/ML-M", "overflow(LSTM/MIAOW)"
+            "{:<16} {:>11} {:>11} {:>11} {:>11}  overflow(LSTM/MIAOW)",
+            "benchmark", "ELM/MIAOW", "ELM/ML-M", "LSTM/MIAOW", "LSTM/ML-M"
         )?;
         let benches: Vec<Benchmark> = {
             let mut v: Vec<Benchmark> = self.cells.iter().map(|c| c.bench).collect();

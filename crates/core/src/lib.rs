@@ -51,9 +51,6 @@
 //! binary; see EXPERIMENTS.md at the repository root for the
 //! paper-vs-measured record.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 /// Simulation substrate re-exports (`rtad-sim`).
 pub mod sim {
     pub use rtad_sim::*;

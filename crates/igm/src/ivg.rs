@@ -221,9 +221,7 @@ impl VectorEncoder {
                 self.head = (self.head + 1) % window;
                 self.counts[token as usize] += 1;
                 let denom = self.filled as f32;
-                VectorPayload::Dense(
-                    self.counts.iter().map(|&c| c as f32 / denom).collect(),
-                )
+                VectorPayload::Dense(self.counts.iter().map(|&c| c as f32 / denom).collect())
             }
         }
     }
@@ -362,11 +360,8 @@ mod tests {
     #[test]
     fn ivg_filters_and_timestamps() {
         let mapper = AddressMapper::from_targets([VirtAddr::new(0x100)]);
-        let mut ivg = InputVectorGenerator::new(
-            mapper,
-            VectorFormat::TokenStream,
-            ClockDomain::rtad_mlpu(),
-        );
+        let mut ivg =
+            InputVectorGenerator::new(mapper, VectorFormat::TokenStream, ClockDomain::rtad_mlpu());
         assert!(ivg.process(&decoded(0x999, 8)).is_none());
         let (t, payload) = ivg.process(&decoded(0x100, 8)).unwrap();
         // 2 cycles at 125 MHz = 16 ns after the 8 ns input.

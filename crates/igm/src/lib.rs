@@ -47,9 +47,6 @@
 //! assert_eq!(out.vectors.len(), 100);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ivg;
 pub mod module;
 pub mod p2s;

@@ -235,7 +235,9 @@ mod tests {
     use rtad_trace::{BranchKind, BranchRecord, PtmConfig, StreamEncoder};
 
     fn run_with_targets(n: usize) -> (Vec<BranchRecord>, Vec<VirtAddr>) {
-        let targets: Vec<VirtAddr> = (0..8u32).map(|k| VirtAddr::new(0x2000 + k * 0x80)).collect();
+        let targets: Vec<VirtAddr> = (0..8u32)
+            .map(|k| VirtAddr::new(0x2000 + k * 0x80))
+            .collect();
         let run: Vec<BranchRecord> = (0..n)
             .map(|i| {
                 BranchRecord::new(
@@ -316,7 +318,9 @@ mod tests {
     #[test]
     fn context_filter_passes_only_the_victim_process() {
         // Two interleaved contexts; only context 7 is monitored.
-        let targets: Vec<VirtAddr> = (0..4u32).map(|k| VirtAddr::new(0x2000 + k * 0x80)).collect();
+        let targets: Vec<VirtAddr> = (0..4u32)
+            .map(|k| VirtAddr::new(0x2000 + k * 0x80))
+            .collect();
         let run: Vec<BranchRecord> = (0..200)
             .map(|i| {
                 let mut r = BranchRecord::new(

@@ -83,14 +83,12 @@ impl P2sConverter {
 
     fn drain_from(&mut self, now: Picos) -> Vec<DecodedAddress> {
         let period = self.clock.freq().period();
-        let mut t = self
-            .clock
-            .next_edge_at_or_after(self.next_free.max(now));
+        let mut t = self.clock.next_edge_at_or_after(self.next_free.max(now));
         let mut out = Vec::with_capacity(self.fifo.len());
         while let Some(mut a) = self.fifo.pop() {
             a.at = t;
             out.push(a);
-            t = t + period;
+            t += period;
         }
         self.next_free = t;
         out

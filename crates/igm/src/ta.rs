@@ -126,7 +126,7 @@ impl TraceAnalyzer {
             let word: Vec<u8> = self.lane_buffer.drain(..4).collect();
             let addrs = self.decode_word(&word, word_time);
             out.extend(addrs);
-            word_time = word_time + period;
+            word_time += period;
         }
         Ok(out)
     }

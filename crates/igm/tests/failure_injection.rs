@@ -8,7 +8,9 @@ use rtad_trace::stream::{TimedByte, TimedTrace};
 use rtad_trace::{BranchKind, BranchRecord, PtmConfig, StreamEncoder, VirtAddr};
 
 fn targets() -> Vec<VirtAddr> {
-    (0..8u32).map(|k| VirtAddr::new(0x2000 + k * 0x80)).collect()
+    (0..8u32)
+        .map(|k| VirtAddr::new(0x2000 + k * 0x80))
+        .collect()
 }
 
 fn clean_run(n: usize) -> (Vec<BranchRecord>, TimedTrace) {

@@ -56,15 +56,12 @@
 //! # fn rtad_trace_addr() -> rtad_trace::VirtAddr { rtad_trace::VirtAddr::new(0x40) }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use serde::{Deserialize, Serialize};
 
 use rtad_igm::{TimedVector, VectorPayload};
 use rtad_sim::{
-    AreaEstimate, AxiBus, AxiBusConfig, BurstKind, ClockDomain, FifoStats, HwFifo,
-    OverflowPolicy, Picos,
+    AreaEstimate, AxiBus, AxiBusConfig, BurstKind, ClockDomain, FifoStats, HwFifo, OverflowPolicy,
+    Picos,
 };
 
 /// Result of one inference event from the engine backend.
@@ -85,6 +82,14 @@ pub trait InferenceEngine {
     fn infer_event(&mut self, payload: &VectorPayload, at: Picos) -> InferenceResult;
     /// The engine's clock domain (converts cycles to time).
     fn engine_clock(&self) -> ClockDomain;
+    /// Load-time verification of whatever the backend has staged
+    /// (statically proving its kernels run trap-free on its engine,
+    /// say), so a bad configuration is rejected before the stream
+    /// starts rather than mid-event. The default backend has nothing to
+    /// verify. The error is the backend's human-readable report.
+    fn preflight(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// The control-FSM states of Fig. 3.
@@ -243,6 +248,17 @@ impl<B: InferenceEngine> Mcm<B> {
         self.backend
     }
 
+    /// Runs the backend's load-time verification
+    /// ([`InferenceEngine::preflight`]) — call once after construction,
+    /// before streaming vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's verification report.
+    pub fn preflight(&self) -> Result<(), String> {
+        self.backend.preflight()
+    }
+
     /// Table I synthesis results for the MCM's own logic (FIFO, driver,
     /// FSM, interrupt manager — the engine is accounted separately).
     pub fn area() -> AreaEstimate {
@@ -296,8 +312,8 @@ impl<B: InferenceEngine> Mcm<B> {
             self.transition(FsmState::WriteInput, &mut out);
             let payload_bytes = item.payload.wire_bytes();
             let t_payload = self.bus.transfer_time(payload_bytes, BurstKind::Incr);
-            let t_control = self.bus.transfer_time(4, BurstKind::Fixed)
-                * self.config.control_writes as u64;
+            let t_control =
+                self.bus.transfer_time(4, BurstKind::Fixed) * self.config.control_writes as u64;
             let compute_started = started + t_read + t_payload + t_control;
 
             // WAIT_DONE: the engine computes.
@@ -434,10 +450,7 @@ mod tests {
     #[test]
     fn sparse_arrivals_have_no_queue_wait() {
         // 500 engine cycles at 50MHz = 10us; arrivals every 100us.
-        let mut mcm = Mcm::new(
-            McmConfig::rtad(),
-            FixedBackend::new(500, vec![0.0; 4], 1.0),
-        );
+        let mut mcm = Mcm::new(McmConfig::rtad(), FixedBackend::new(500, vec![0.0; 4], 1.0));
         let run = mcm.run(&vectors(&[100, 200, 300, 400]));
         assert_eq!(run.events.len(), 4);
         for e in &run.events {
@@ -451,15 +464,15 @@ mod tests {
 
     #[test]
     fn burst_arrivals_queue_and_latency_grows() {
-        let mut mcm = Mcm::new(
-            McmConfig::rtad(),
-            FixedBackend::new(500, vec![0.0; 5], 1.0),
-        );
+        let mut mcm = Mcm::new(McmConfig::rtad(), FixedBackend::new(500, vec![0.0; 5], 1.0));
         // All five arrive at t=10us; service is ~10us each.
         let run = mcm.run(&vectors(&[10, 10, 10, 10, 10]));
         assert_eq!(run.events.len(), 5);
-        let waits: Vec<_> = run.events.iter().map(|e| e.queue_wait()).collect();
-        assert!(waits.windows(2).all(|w| w[1] > w[0]), "waits grow: {waits:?}");
+        let waits: Vec<_> = run.events.iter().map(super::McmEvent::queue_wait).collect();
+        assert!(
+            waits.windows(2).all(|w| w[1] > w[0]),
+            "waits grow: {waits:?}"
+        );
         assert!(run.events[4].total_latency() > Picos::from_micros(40));
     }
 
@@ -503,23 +516,19 @@ mod tests {
             assert!(!s.successors().is_empty());
         }
         // ReadResult may loop straight to ReadInput (FIFO non-empty).
-        assert!(FsmState::ReadResult.successors().contains(&FsmState::ReadInput));
+        assert!(FsmState::ReadResult
+            .successors()
+            .contains(&FsmState::ReadInput));
     }
 
     #[test]
     fn dense_payload_takes_longer_to_transfer_than_token() {
         let token_run = {
-            let mut mcm = Mcm::new(
-                McmConfig::rtad(),
-                FixedBackend::new(100, vec![0.0], 1.0),
-            );
+            let mut mcm = Mcm::new(McmConfig::rtad(), FixedBackend::new(100, vec![0.0], 1.0));
             mcm.run(&vectors(&[10]))
         };
         let dense_run = {
-            let mut mcm = Mcm::new(
-                McmConfig::rtad(),
-                FixedBackend::new(100, vec![0.0], 1.0),
-            );
+            let mut mcm = Mcm::new(McmConfig::rtad(), FixedBackend::new(100, vec![0.0], 1.0));
             let mut v = vectors(&[10]);
             v[0].payload = VectorPayload::Dense(vec![0.0; 64]);
             mcm.run(&v)
@@ -538,12 +547,30 @@ mod tests {
     }
 
     #[test]
+    fn preflight_defaults_to_ok_and_propagates_rejections() {
+        let mcm = Mcm::new(McmConfig::rtad(), FixedBackend::new(1, vec![], 1.0));
+        assert_eq!(mcm.preflight(), Ok(()));
+
+        struct Rejecting;
+        impl InferenceEngine for Rejecting {
+            fn infer_event(&mut self, _p: &VectorPayload, _at: Picos) -> InferenceResult {
+                unreachable!("preflight must reject before any event")
+            }
+            fn engine_clock(&self) -> ClockDomain {
+                ClockDomain::rtad_miaow()
+            }
+            fn preflight(&self) -> Result<(), String> {
+                Err("kernel uses trimmed feature".into())
+            }
+        }
+        let mcm = Mcm::new(McmConfig::rtad(), Rejecting);
+        assert!(mcm.preflight().unwrap_err().contains("trimmed"));
+    }
+
+    #[test]
     #[should_panic(expected = "time-ordered")]
     fn unsorted_stream_panics() {
-        let mut mcm = Mcm::new(
-            McmConfig::rtad(),
-            FixedBackend::new(1, vec![0.0; 2], 1.0),
-        );
+        let mut mcm = Mcm::new(McmConfig::rtad(), FixedBackend::new(1, vec![0.0; 2], 1.0));
         let mut v = vectors(&[20, 10]);
         v[1].at = Picos::from_micros(5);
         mcm.run(&v);

@@ -296,8 +296,8 @@ mod tests {
     fn performance_per_area_is_about_5x() {
         // Same per-CU performance, 1/5.5 the area ≈ 5x perf-per-area
         // ("its area is just about 1/5 of that of MIAOW").
-        let ratio =
-            full_area().lut_ff_sum() as f64 / variant_area(EngineVariant::MlMiaow).lut_ff_sum() as f64;
+        let ratio = full_area().lut_ff_sum() as f64
+            / variant_area(EngineVariant::MlMiaow).lut_ff_sum() as f64;
         assert!((5.0..6.0).contains(&ratio), "ratio {ratio}");
     }
 
@@ -310,7 +310,11 @@ mod tests {
 
     #[test]
     fn paper_constants_agree_with_computed_areas() {
-        for v in [EngineVariant::Miaow, EngineVariant::Miaow2, EngineVariant::MlMiaow] {
+        for v in [
+            EngineVariant::Miaow,
+            EngineVariant::Miaow2,
+            EngineVariant::MlMiaow,
+        ] {
             let computed = variant_area(v);
             let paper = v.cu_area_paper();
             assert_eq!(computed.luts, paper.luts, "{v} LUTs");

@@ -160,14 +160,20 @@ fn parse_operand(line: usize, tok: &str) -> Result<Operand, AssembleError> {
 fn as_sreg(line: usize, op: &Operand) -> Result<Sreg, AssembleError> {
     match op {
         Operand::S(r) => Ok(*r),
-        other => Err(err(line, format!("expected scalar register, got {other:?}"))),
+        other => Err(err(
+            line,
+            format!("expected scalar register, got {other:?}"),
+        )),
     }
 }
 
 fn as_vreg(line: usize, op: &Operand) -> Result<Vreg, AssembleError> {
     match op {
         Operand::V(r) => Ok(*r),
-        other => Err(err(line, format!("expected vector register, got {other:?}"))),
+        other => Err(err(
+            line,
+            format!("expected vector register, got {other:?}"),
+        )),
     }
 }
 
@@ -215,9 +221,7 @@ fn as_label(
 
 fn as_u8(line: usize, op: &Operand) -> Result<u8, AssembleError> {
     match op {
-        Operand::Int(i) => {
-            u8::try_from(*i).map_err(|_| err(line, format!("{i} does not fit u8")))
-        }
+        Operand::Int(i) => u8::try_from(*i).map_err(|_| err(line, format!("{i} does not fit u8"))),
         other => Err(err(line, format!("expected small integer, got {other:?}"))),
     }
 }

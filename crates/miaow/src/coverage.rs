@@ -26,9 +26,7 @@ use crate::isa::Instr;
 /// application and only trims unused codes in certain subblocks such as
 /// ALU or instruction decoder"; the block tag is what lets the area
 /// model reproduce that restriction.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Block {
     /// Fetch/issue/wavefront control and register files: never trimmable.
     Core,
@@ -49,9 +47,7 @@ pub enum Block {
 }
 
 /// One coverable datapath feature.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Feature {
     // --- Core (always retained) ---
@@ -201,11 +197,9 @@ impl Feature {
         use Feature::*;
         match self {
             Fetch | IssueLogic | WavefrontCtl | SgprFile | VgprFile => Block::Core,
-            DecSalu | DecScmp | DecSbranch | DecSmem | DecExecMask | DecValuF32
-            | DecValuTrans | DecValuInt | DecValuCmp | DecCrossLane | DecBuffer | DecDs
-            | DecBarrier | DecF64 | DecImage | DecAtomic | DecInterp | DecExport | DecFlat => {
-                Block::Decode
-            }
+            DecSalu | DecScmp | DecSbranch | DecSmem | DecExecMask | DecValuF32 | DecValuTrans
+            | DecValuInt | DecValuCmp | DecCrossLane | DecBuffer | DecDs | DecBarrier | DecF64
+            | DecImage | DecAtomic | DecInterp | DecExport | DecFlat => Block::Decode,
             SaluInt | SaluShift | SaluLogic | SaluCmp | SaluBranchUnit | ScalarMem
             | ExecMaskOps => Block::Salu,
             ValuAddF32 | ValuMulF32 | ValuMacF32 | ValuMinMax | ValuExp | ValuRcp | ValuLog
@@ -337,6 +331,16 @@ impl CoverageSet {
     /// Iterates exercised features in stable order.
     pub fn iter(&self) -> impl Iterator<Item = Feature> + '_ {
         self.features.iter().copied()
+    }
+
+    /// Whether every feature of `self` is in `other`.
+    pub fn is_subset(&self, other: &CoverageSet) -> bool {
+        self.features.is_subset(&other.features)
+    }
+
+    /// The features of `self` absent from `other`, in stable order.
+    pub fn difference(&self, other: &CoverageSet) -> Vec<Feature> {
+        self.features.difference(&other.features).copied().collect()
     }
 
     /// The features of `universe` NOT exercised — the trim candidates

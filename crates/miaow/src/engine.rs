@@ -138,6 +138,13 @@ impl Engine {
         &self.observed
     }
 
+    /// The retained-feature set of a trimmed engine (`None` = full
+    /// engine, nothing trapped). Static verifiers check kernels against
+    /// this before launch.
+    pub fn retained(&self) -> Option<&CoverageSet> {
+        self.config.retained.as_ref()
+    }
+
     /// Total engine area (per-CU area × CU count).
     pub fn area(&self) -> AreaEstimate {
         let per_cu = match &self.config.retained {

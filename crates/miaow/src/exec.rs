@@ -284,7 +284,7 @@ impl ComputeUnit {
     /// Panics if the region exceeds the LDS.
     pub fn write_lds_f32_slice(&mut self, addr: usize, values: &[f32]) {
         assert!(
-            addr % 4 == 0 && addr + values.len() * 4 <= self.lds.len(),
+            addr.is_multiple_of(4) && addr + values.len() * 4 <= self.lds.len(),
             "LDS staging out of range"
         );
         for (i, &v) in values.iter().enumerate() {
@@ -489,7 +489,7 @@ impl ComputeUnit {
             Instr::SCmpEqI32 { a, b } => st.scc = sread(st, &a) == sread(st, &b),
             Instr::SBarrier | Instr::SWaitcnt => {}
             Instr::SLoadDword { dst, base, offset } => {
-                let addr = st.sgpr[base.0 as usize] as u64 + offset as u64;
+                let addr = u64::from(st.sgpr[base.0 as usize]) + u64::from(offset);
                 if !mem.contains(addr as usize) {
                     return Err(ExecError::BadAddress { addr, pc });
                 }
@@ -620,10 +620,10 @@ impl ComputeUnit {
                 st.vgpr[dst.0 as usize][lane as usize % WAVEFRONT_LANES] = v;
             }
             Instr::BufferLoadDword { dst, vaddr, sbase } => {
-                let base = st.sgpr[sbase.0 as usize] as u64;
+                let base = u64::from(st.sgpr[sbase.0 as usize]);
                 for lane in 0..WAVEFRONT_LANES {
                     if active(st, lane) {
-                        let addr = base + st.vgpr[vaddr.0 as usize][lane] as u64;
+                        let addr = base + u64::from(st.vgpr[vaddr.0 as usize][lane]);
                         if !mem.contains(addr as usize) {
                             return Err(ExecError::BadAddress { addr, pc });
                         }
@@ -632,10 +632,10 @@ impl ComputeUnit {
                 }
             }
             Instr::BufferStoreDword { src, vaddr, sbase } => {
-                let base = st.sgpr[sbase.0 as usize] as u64;
+                let base = u64::from(st.sgpr[sbase.0 as usize]);
                 for lane in 0..WAVEFRONT_LANES {
                     if active(st, lane) {
-                        let addr = base + st.vgpr[vaddr.0 as usize][lane] as u64;
+                        let addr = base + u64::from(st.vgpr[vaddr.0 as usize][lane]);
                         if !mem.contains(addr as usize) {
                             return Err(ExecError::BadAddress { addr, pc });
                         }
@@ -646,7 +646,7 @@ impl ComputeUnit {
             Instr::DsReadB32 { dst, addr } => {
                 for lane in 0..WAVEFRONT_LANES {
                     if active(st, lane) {
-                        let a = st.vgpr[addr.0 as usize][lane] as u64;
+                        let a = u64::from(st.vgpr[addr.0 as usize][lane]);
                         let v = self.lds_read(a, pc)?;
                         st.vgpr[dst.0 as usize][lane] = v;
                     }
@@ -655,7 +655,7 @@ impl ComputeUnit {
             Instr::DsWriteB32 { addr, src } => {
                 for lane in 0..WAVEFRONT_LANES {
                     if active(st, lane) {
-                        let a = st.vgpr[addr.0 as usize][lane] as u64;
+                        let a = u64::from(st.vgpr[addr.0 as usize][lane]);
                         let v = st.vgpr[src.0 as usize][lane];
                         self.lds_write(a, v, pc)?;
                     }
@@ -672,7 +672,7 @@ impl ComputeUnit {
 
     fn lds_read(&self, addr: u64, pc: usize) -> Result<u32, ExecError> {
         let a = addr as usize;
-        if addr % 4 != 0 || a + 4 > self.lds.len() {
+        if !addr.is_multiple_of(4) || a + 4 > self.lds.len() {
             return Err(ExecError::BadLdsAddress { addr, pc });
         }
         Ok(u32::from_le_bytes(
@@ -682,7 +682,7 @@ impl ComputeUnit {
 
     fn lds_write(&mut self, addr: u64, value: u32, pc: usize) -> Result<(), ExecError> {
         let a = addr as usize;
-        if addr % 4 != 0 || a + 4 > self.lds.len() {
+        if !addr.is_multiple_of(4) || a + 4 > self.lds.len() {
             return Err(ExecError::BadLdsAddress { addr, pc });
         }
         self.lds[a..a + 4].copy_from_slice(&value.to_le_bytes());
@@ -766,8 +766,8 @@ mod tests {
         // Instead, verify via stats and memory value from lane writes:
         let stats = run_kernel(code, &[0, 0, 0, 0], &mut mem);
         assert!(stats.instructions > 10); // loop executed 5 times
-        // mem[0] = v1[lane15] = 0 (lane 15 wrote last). The writelane
-        // value is only in lane 0; this documents store ordering.
+                                          // mem[0] = v1[lane15] = 0 (lane 15 wrote last). The writelane
+                                          // value is only in lane 0; this documents store ordering.
         assert_eq!(mem.read_u32(0), 0);
     }
 
@@ -908,13 +908,8 @@ mod tests {
         cu.write_lds_f32_slice(0, &[10.0, 20.0, 30.0, 40.0]);
         let mut mem = GpuMemory::new(256);
         let mut cov = CoverageSet::new();
-        cu.run(
-            &k(code),
-            &Dispatch::single_wave(&[0]),
-            &mut mem,
-            &mut cov,
-        )
-        .unwrap();
+        cu.run(&k(code), &Dispatch::single_wave(&[0]), &mut mem, &mut cov)
+            .unwrap();
         assert_eq!(mem.read_f32(4), 20.0);
         assert!(cov.contains(Feature::LdsRead));
     }

@@ -101,74 +101,203 @@ impl fmt::Display for VSrc {
 #[allow(missing_docs)]
 pub enum Instr {
     // --- Scalar ALU ---
-    SMovB32 { dst: Sreg, src: SSrc },
-    SAddI32 { dst: Sreg, a: SSrc, b: SSrc },
-    SSubI32 { dst: Sreg, a: SSrc, b: SSrc },
-    SMulI32 { dst: Sreg, a: SSrc, b: SSrc },
-    SLshlB32 { dst: Sreg, a: SSrc, shift: SSrc },
-    SAndB32 { dst: Sreg, a: SSrc, b: SSrc },
+    SMovB32 {
+        dst: Sreg,
+        src: SSrc,
+    },
+    SAddI32 {
+        dst: Sreg,
+        a: SSrc,
+        b: SSrc,
+    },
+    SSubI32 {
+        dst: Sreg,
+        a: SSrc,
+        b: SSrc,
+    },
+    SMulI32 {
+        dst: Sreg,
+        a: SSrc,
+        b: SSrc,
+    },
+    SLshlB32 {
+        dst: Sreg,
+        a: SSrc,
+        shift: SSrc,
+    },
+    SAndB32 {
+        dst: Sreg,
+        a: SSrc,
+        b: SSrc,
+    },
     /// SCC = (a < b), signed.
-    SCmpLtI32 { a: SSrc, b: SSrc },
+    SCmpLtI32 {
+        a: SSrc,
+        b: SSrc,
+    },
     /// SCC = (a == b).
-    SCmpEqI32 { a: SSrc, b: SSrc },
+    SCmpEqI32 {
+        a: SSrc,
+        b: SSrc,
+    },
     // --- Scalar control flow ---
-    SBranch { target: usize },
-    SCbranchScc1 { target: usize },
-    SCbranchScc0 { target: usize },
+    SBranch {
+        target: usize,
+    },
+    SCbranchScc1 {
+        target: usize,
+    },
+    SCbranchScc0 {
+        target: usize,
+    },
     SBarrier,
     SWaitcnt,
     SEndpgm,
     // --- Scalar memory ---
-    SLoadDword { dst: Sreg, base: Sreg, offset: u32 },
+    SLoadDword {
+        dst: Sreg,
+        base: Sreg,
+        offset: u32,
+    },
     // --- EXEC mask manipulation ---
     /// EXEC &= VCC (enter a divergent region).
     SAndExecVcc,
     /// EXEC = all lanes (leave a divergent region).
     SMovExecAll,
     // --- Vector ALU: f32 ---
-    VMovB32 { dst: Vreg, src: VSrc },
-    VAddF32 { dst: Vreg, a: VSrc, b: Vreg },
-    VSubF32 { dst: Vreg, a: VSrc, b: Vreg },
-    VMulF32 { dst: Vreg, a: VSrc, b: Vreg },
+    VMovB32 {
+        dst: Vreg,
+        src: VSrc,
+    },
+    VAddF32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
+    VSubF32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
+    VMulF32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
     /// dst += a * b (the MAC that carries all matvec work).
-    VMacF32 { dst: Vreg, a: VSrc, b: Vreg },
-    VMaxF32 { dst: Vreg, a: VSrc, b: Vreg },
-    VMinF32 { dst: Vreg, a: VSrc, b: Vreg },
+    VMacF32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
+    VMaxF32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
+    VMinF32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
     // --- Vector ALU: transcendental ---
     /// dst = e^src (SI's V_EXP_F32 is base-2; we model base-e and note
     /// the deviation — kernels are written against this semantics).
-    VExpF32 { dst: Vreg, src: VSrc },
+    VExpF32 {
+        dst: Vreg,
+        src: VSrc,
+    },
     /// dst = 1 / src.
-    VRcpF32 { dst: Vreg, src: VSrc },
+    VRcpF32 {
+        dst: Vreg,
+        src: VSrc,
+    },
     /// dst = ln(src).
-    VLogF32 { dst: Vreg, src: VSrc },
+    VLogF32 {
+        dst: Vreg,
+        src: VSrc,
+    },
     // --- Vector ALU: integer / conversion ---
-    VAddI32 { dst: Vreg, a: VSrc, b: Vreg },
-    VMulI32 { dst: Vreg, a: VSrc, b: Vreg },
+    VAddI32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
+    VMulI32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
     /// Bitwise AND (lane-index extraction, address masking).
-    VAndB32 { dst: Vreg, a: VSrc, b: Vreg },
-    VLshlB32 { dst: Vreg, a: VSrc, shift: VSrc },
-    VCvtF32I32 { dst: Vreg, src: VSrc },
-    VCvtI32F32 { dst: Vreg, src: VSrc },
+    VAndB32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
+    VLshlB32 {
+        dst: Vreg,
+        a: VSrc,
+        shift: VSrc,
+    },
+    VCvtF32I32 {
+        dst: Vreg,
+        src: VSrc,
+    },
+    VCvtI32F32 {
+        dst: Vreg,
+        src: VSrc,
+    },
     // --- Vector compare / select ---
     /// VCC[lane] = a > b.
-    VCmpGtF32 { a: VSrc, b: Vreg },
+    VCmpGtF32 {
+        a: VSrc,
+        b: Vreg,
+    },
     /// VCC[lane] = a < b.
-    VCmpLtF32 { a: VSrc, b: Vreg },
+    VCmpLtF32 {
+        a: VSrc,
+        b: Vreg,
+    },
     /// dst[lane] = VCC[lane] ? b : a.
-    VCndmaskB32 { dst: Vreg, a: VSrc, b: Vreg },
+    VCndmaskB32 {
+        dst: Vreg,
+        a: VSrc,
+        b: Vreg,
+    },
     // --- Cross-lane ---
-    VReadlaneB32 { dst: Sreg, src: Vreg, lane: u8 },
-    VWritelaneB32 { dst: Vreg, src: SSrc, lane: u8 },
+    VReadlaneB32 {
+        dst: Sreg,
+        src: Vreg,
+        lane: u8,
+    },
+    VWritelaneB32 {
+        dst: Vreg,
+        src: SSrc,
+        lane: u8,
+    },
     // --- Vector memory ---
     /// dst = mem[s[sbase] + v[vaddr]] (byte address, dword access).
-    BufferLoadDword { dst: Vreg, vaddr: Vreg, sbase: Sreg },
+    BufferLoadDword {
+        dst: Vreg,
+        vaddr: Vreg,
+        sbase: Sreg,
+    },
     /// mem[s[sbase] + v[vaddr]] = src.
-    BufferStoreDword { src: Vreg, vaddr: Vreg, sbase: Sreg },
+    BufferStoreDword {
+        src: Vreg,
+        vaddr: Vreg,
+        sbase: Sreg,
+    },
     /// dst = lds[v[addr]].
-    DsReadB32 { dst: Vreg, addr: Vreg },
+    DsReadB32 {
+        dst: Vreg,
+        addr: Vreg,
+    },
     /// lds[v[addr]] = src.
-    DsWriteB32 { addr: Vreg, src: Vreg },
+    DsWriteB32 {
+        addr: Vreg,
+        src: Vreg,
+    },
 }
 
 impl Instr {
@@ -266,7 +395,12 @@ impl fmt::Display for Kernel {
                 _ => {}
             }
         }
-        writeln!(f, "; kernel {} ({} instructions)", self.name, self.code.len())?;
+        writeln!(
+            f,
+            "; kernel {} ({} instructions)",
+            self.name,
+            self.code.len()
+        )?;
         for (i, instr) in self.code.iter().enumerate() {
             if is_target[i] {
                 writeln!(f, "L{i}:")?;
@@ -313,7 +447,10 @@ fn disasm_line(instr: &Instr) -> String {
         Instr::SBranch { target }
         | Instr::SCbranchScc1 { target }
         | Instr::SCbranchScc0 { target } => format!("{m} L{target}"),
-        Instr::SBarrier | Instr::SWaitcnt | Instr::SEndpgm | Instr::SAndExecVcc
+        Instr::SBarrier
+        | Instr::SWaitcnt
+        | Instr::SEndpgm
+        | Instr::SAndExecVcc
         | Instr::SMovExecAll => m.to_string(),
         Instr::SLoadDword { dst, base, offset } => format!("{m} {dst}, {base}, {offset}"),
         Instr::VMovB32 { dst, src }
@@ -400,6 +537,24 @@ impl Kernel {
             sgprs_used,
             vgprs_used,
         }
+    }
+
+    /// A stable content fingerprint (FNV-1a over the name and the
+    /// disassembly text), usable as a cache key for per-kernel analysis
+    /// verdicts. Two kernels with the same name and instructions hash
+    /// equal across runs and processes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&[0]); // separator: name/code boundary must be unambiguous
+        eat(self.to_string().as_bytes());
+        h
     }
 
     /// Number of instructions.

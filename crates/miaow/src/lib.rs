@@ -67,9 +67,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod area;
 pub mod asm;
 pub mod coverage;

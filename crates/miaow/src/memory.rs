@@ -34,7 +34,7 @@ impl GpuMemory {
     ///
     /// Panics if `size` is not a multiple of 4.
     pub fn new(size: usize) -> Self {
-        assert!(size % 4 == 0, "memory size must be dword-aligned");
+        assert!(size.is_multiple_of(4), "memory size must be dword-aligned");
         GpuMemory {
             bytes: vec![0; size],
         }
@@ -106,7 +106,7 @@ impl GpuMemory {
 
     /// Whether `addr` is a valid dword address.
     pub fn contains(&self, addr: usize) -> bool {
-        addr % 4 == 0 && addr + 4 <= self.bytes.len()
+        addr.is_multiple_of(4) && addr + 4 <= self.bytes.len()
     }
 
     fn check(&self, addr: usize) {

@@ -54,6 +54,12 @@ impl TrimPlan {
         &self.retained
     }
 
+    /// The features of `required` this plan does NOT retain — empty iff
+    /// a kernel needing exactly `required` runs trap-free on this plan.
+    pub fn missing_from(&self, required: &CoverageSet) -> Vec<Feature> {
+        required.difference(&self.retained)
+    }
+
     /// The features this plan deletes.
     pub fn trimmed_features(&self) -> Vec<Feature> {
         Feature::all()
@@ -166,7 +172,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "workload `{kernel}` fails on the full engine: {cause}")
             }
             VerifyError::Trimmed { kernel, cause } => {
-                write!(f, "workload `{kernel}` fails on the trimmed engine: {cause}")
+                write!(
+                    f,
+                    "workload `{kernel}` fails on the trimmed engine: {cause}"
+                )
             }
             VerifyError::OutputMismatch { kernel, addr } => write!(
                 f,
@@ -299,7 +308,7 @@ mod tests {
         let block = TrimPlan::block_level(&cov);
         assert!(block.area().lut_ff_sum() > line.area().lut_ff_sum());
         // Both still verify.
-        verify_trim(&line, &[w.clone()]).expect("line-level verifies");
+        verify_trim(&line, std::slice::from_ref(&w)).expect("line-level verifies");
         verify_trim(&block, &[w]).expect("block-level verifies");
     }
 

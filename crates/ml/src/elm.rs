@@ -234,10 +234,7 @@ mod tests {
     fn anomalies_score_higher_than_normal() {
         let data = normal_data(8, 200);
         let elm = Elm::train(&ElmConfig::tiny(8), &data, 1);
-        let normal_max = data
-            .iter()
-            .map(|v| elm.score(v))
-            .fold(0.0f64, f64::max);
+        let normal_max = data.iter().map(|v| elm.score(v)).fold(0.0f64, f64::max);
         let mut anomaly = vec![0.0; 8];
         anomaly[6] = 0.5;
         anomaly[7] = 0.5;

@@ -21,11 +21,24 @@
 //! enforced by tests: device scores match the host models' within f32
 //! accumulation-order tolerance.
 
+use rtad_analysis::{trim_findings, Finding, VerifiedKernel};
 use rtad_miaow::asm::assemble_named;
-use rtad_miaow::{Engine, ExecError, GpuMemory, Kernel, WAVEFRONT_LANES};
+use rtad_miaow::{Engine, ExecError, GpuMemory, Kernel, TrimPlan, WAVEFRONT_LANES};
 
 use crate::elm::Elm;
 use crate::lstm::{Lstm, LOGIT_CLIP};
+
+/// Gate every generated kernel through the static verifier at compile
+/// time: CFG + def-before-use dataflow as launched with `n_args`
+/// user-data SGPRs. A codegen bug (a read of a register the generator
+/// forgot to initialize, an orphaned block) fails here, with the full
+/// report, instead of silently mis-scoring events at inference time.
+fn verify_compiled(kernel: Kernel, n_args: usize) -> Kernel {
+    match VerifiedKernel::new(kernel, n_args) {
+        Ok(vk) => vk.into_kernel(),
+        Err(report) => panic!("generated kernel failed static verification:\n{report}"),
+    }
+}
 
 /// Result of one device inference event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +63,27 @@ pub trait DeviceModel {
     /// Stages the LDS weight image into every CU and allocates the
     /// engine memory.
     fn load(&self, engine: &mut Engine) -> GpuMemory;
+
+    /// Statically proves every kernel of this model runs trap-free on an
+    /// engine trimmed to `plan` (no reachable instruction needs a
+    /// deleted feature).
+    ///
+    /// # Errors
+    ///
+    /// Returns the trim-incompatibility findings, each naming the
+    /// kernel-relative program counter, mnemonic and missing feature.
+    fn verify_against(&self, plan: &TrimPlan) -> Result<(), Vec<Finding>> {
+        let findings: Vec<Finding> = self
+            .kernels()
+            .iter()
+            .flat_map(|k| trim_findings(k, plan.retained()))
+            .collect();
+        if findings.is_empty() {
+            Ok(())
+        } else {
+            Err(findings)
+        }
+    }
 }
 
 /// Launch-plan summary, for documentation and the MCM driver.
@@ -86,6 +120,7 @@ fn lds_loader_kernel() -> Kernel {
         s_endpgm
     "#,
     )
+    .map(|k| verify_compiled(k, 3))
     .expect("lds_loader assembles")
 }
 
@@ -103,12 +138,7 @@ fn flatten_lds_image(segments: &[(usize, Vec<f32>)], lds_bytes: usize) -> Vec<f3
 
 /// Runs the loader: stages the image into buffer memory at
 /// `staging_base` and copies it into every CU's LDS.
-fn run_lds_loader(
-    engine: &mut Engine,
-    mem: &mut GpuMemory,
-    staging_base: usize,
-    image: &[f32],
-) {
+fn run_lds_loader(engine: &mut Engine, mem: &mut GpuMemory, staging_base: usize, image: &[f32]) {
     mem.write_f32_slice(staging_base, image);
     let groups = (image.len() / 16) as u32;
     let args = [staging_base as u32, 0, groups];
@@ -171,6 +201,15 @@ pub struct ElmDevice {
 /// Input width the ELM device path supports (one wavefront of inputs).
 pub const ELM_DEVICE_INPUT: usize = WAVEFRONT_LANES;
 
+/// User-data SGPRs every ELM kernel launch provides (`s0..s4`): x,
+/// hidden, partials and score bases plus the threshold bits. The static
+/// verifier seeds its dataflow entry state with exactly these.
+const ELM_LAUNCH_ARGS: usize = 5;
+
+/// User-data SGPRs every LSTM kernel launch provides (`s0..s9`); see
+/// [`LstmDevice::args`].
+const LSTM_LAUNCH_ARGS: usize = 10;
+
 impl ElmDevice {
     /// Compiles a trained ELM for the device.
     ///
@@ -186,7 +225,7 @@ impl ElmDevice {
             "ELM device plan needs input_dim == {ELM_DEVICE_INPUT}"
         );
         assert!(
-            h % WAVEFRONT_LANES == 0 && h > 0,
+            h.is_multiple_of(WAVEFRONT_LANES) && h > 0,
             "ELM device plan needs hidden to be a multiple of {WAVEFRONT_LANES}"
         );
         let waves = h / WAVEFRONT_LANES;
@@ -240,7 +279,9 @@ impl ElmDevice {
              buffer_store_dword v11, v8, s1\n\
              s_endpgm\n"
         ));
-        let k_hidden = assemble_named("elm_hidden", &src).expect("elm_hidden assembles");
+        let k_hidden = assemble_named("elm_hidden", &src)
+            .map(|k| verify_compiled(k, ELM_LAUNCH_ARGS))
+            .expect("elm_hidden assembles");
 
         // --- elm_output: lane i of wave w sums W2[i][16w..16w+16]·hid ---
         let mut src = String::new();
@@ -267,7 +308,9 @@ impl ElmDevice {
             ));
         }
         src.push_str("buffer_store_dword v7, v3, s2\ns_endpgm\n");
-        let k_output = assemble_named("elm_output", &src).expect("elm_output assembles");
+        let k_output = assemble_named("elm_output", &src)
+            .map(|k| verify_compiled(k, ELM_LAUNCH_ARGS))
+            .expect("elm_output assembles");
 
         // --- elm_score: reduce partials, squared error, lane-0 score ---
         let mut src = String::new();
@@ -297,7 +340,9 @@ impl ElmDevice {
              v_writelane_b32 v9, s11, 0\n",
         );
         src.push_str(&threshold_epilogue(4, "v2", "s3"));
-        let k_score = assemble_named("elm_score", &src).expect("elm_score assembles");
+        let k_score = assemble_named("elm_score", &src)
+            .map(|k| verify_compiled(k, ELM_LAUNCH_ARGS))
+            .expect("elm_score assembles");
 
         ElmDevice {
             hidden: h,
@@ -358,6 +403,7 @@ impl ElmDevice {
             self.score_base as u32,
             self.threshold.to_bits(),
         ];
+        debug_assert_eq!(args.len(), ELM_LAUNCH_ARGS);
         let mut cycles = 0;
         for (kernel, n_waves) in [
             (&self.k_hidden, waves),
@@ -438,7 +484,7 @@ impl LstmDevice {
         assert_eq!(cfg.hidden, 16, "LSTM device plan needs hidden == 16");
         assert_eq!(cfg.embed, 16, "LSTM device plan needs embed == 16");
         assert!(
-            cfg.vocab % WAVEFRONT_LANES == 0 && cfg.vocab > 0,
+            cfg.vocab.is_multiple_of(WAVEFRONT_LANES) && cfg.vocab > 0,
             "LSTM device plan needs vocab to be a multiple of 16"
         );
         let h = cfg.hidden;
@@ -540,7 +586,9 @@ impl LstmDevice {
             e = e,
             h = h,
         );
-        let k_gates = assemble_named("lstm_gates", &src).expect("lstm_gates assembles");
+        let k_gates = assemble_named("lstm_gates", &src)
+            .map(|k| verify_compiled(k, LSTM_LAUNCH_ARGS))
+            .expect("lstm_gates assembles");
 
         // --- lstm_combine: c = f*c + i*g; h = o*tanh(c) ---
         // args: s1 = h_base, s2 = gate_base, s3 = c_base.
@@ -572,7 +620,9 @@ impl LstmDevice {
             g_off = 2 * h * 4,
             o_off = 3 * h * 4,
         );
-        let k_combine = assemble_named("lstm_combine", &src).expect("lstm_combine assembles");
+        let k_combine = assemble_named("lstm_combine", &src)
+            .map(|k| verify_compiled(k, LSTM_LAUNCH_ARGS))
+            .expect("lstm_combine assembles");
 
         // --- lstm_logits: clipped logits + exps + per-wave partials ---
         // args: s1 = h_base, s4 = logit_base, s5 = exp_base,
@@ -622,7 +672,9 @@ impl LstmDevice {
              buffer_store_dword v14, v15, s6\n\
              s_endpgm\n",
         );
-        let k_logits = assemble_named("lstm_logits", &src).expect("lstm_logits assembles");
+        let k_logits = assemble_named("lstm_logits", &src)
+            .map(|k| verify_compiled(k, LSTM_LAUNCH_ARGS))
+            .expect("lstm_logits assembles");
 
         // --- lstm_score: ln(sum exp) - logit[token] ---
         // args: s4 = logit_base, s6 = expsum_base, s7 = token*4,
@@ -647,7 +699,9 @@ impl LstmDevice {
              v_lshl_b32  v10, v0, 2\n",
         );
         src.push_str(&threshold_epilogue(9, "v10", "s8"));
-        let k_score = assemble_named("lstm_score", &src).expect("lstm_score assembles");
+        let k_score = assemble_named("lstm_score", &src)
+            .map(|k| verify_compiled(k, LSTM_LAUNCH_ARGS))
+            .expect("lstm_score assembles");
 
         LstmDevice {
             vocab: v,
@@ -689,8 +743,8 @@ impl LstmDevice {
 
     /// Zeroes the recurrent state in device memory (new trace).
     pub fn reset(&self, mem: &mut GpuMemory) {
-        mem.write_f32_slice(self.h_base, &vec![0.0; 16]);
-        mem.write_f32_slice(self.c_base, &vec![0.0; 16]);
+        mem.write_f32_slice(self.h_base, &[0.0; 16]);
+        mem.write_f32_slice(self.c_base, &[0.0; 16]);
     }
 
     /// Scores the observed token against the *standing* prediction (the
@@ -740,7 +794,7 @@ impl LstmDevice {
     }
 
     fn args(&self, token: u32) -> Vec<u32> {
-        vec![
+        let args = vec![
             (self.off_emb + token as usize * self.embed * 4) as u32, // s0
             self.h_base as u32,                                      // s1
             self.gate_base as u32,                                   // s2
@@ -751,13 +805,20 @@ impl LstmDevice {
             token * 4,                                               // s7
             self.score_base as u32,                                  // s8
             self.threshold.to_bits(),                                // s9
-        ]
+        ];
+        debug_assert_eq!(args.len(), LSTM_LAUNCH_ARGS);
+        args
     }
 }
 
 impl DeviceModel for LstmDevice {
     fn kernels(&self) -> Vec<&Kernel> {
-        vec![&self.k_gates, &self.k_combine, &self.k_logits, &self.k_score]
+        vec![
+            &self.k_gates,
+            &self.k_combine,
+            &self.k_logits,
+            &self.k_score,
+        ]
     }
 
     fn memory_size(&self) -> usize {
@@ -909,6 +970,26 @@ mod tests {
         dev.reset(&mut mem);
         let again = dev.step(&mut engine, &mut mem, 2).unwrap().score;
         assert!((first - again).abs() < 1e-6);
+    }
+
+    #[test]
+    fn device_model_trim_proof_matches_runtime_behaviour() {
+        use rtad_miaow::CoverageSet;
+
+        let dev = ElmDevice::compile(&trained_elm());
+        // A plan profiled from an actual run accepts the model...
+        let mut engine = Engine::new(EngineConfig::miaow());
+        let mut mem = dev.load(&mut engine);
+        dev.infer(&mut engine, &mut mem, &[0.05; 16]).unwrap();
+        let plan = TrimPlan::from_coverage(engine.observed_coverage());
+        dev.verify_against(&plan)
+            .expect("own-coverage plan accepted");
+        // ...while a core-only plan is refused with findings that name
+        // the missing features.
+        let empty = TrimPlan::from_coverage(&CoverageSet::new());
+        let findings = dev.verify_against(&empty).unwrap_err();
+        assert!(!findings.is_empty());
+        assert!(findings.iter().all(|f| f.feature.is_some()));
     }
 
     #[test]

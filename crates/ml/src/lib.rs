@@ -49,9 +49,6 @@
 //! assert!(surprise > expected / 8.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod elm;
 pub mod kernels;
 pub mod linalg;

@@ -137,8 +137,8 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut out = vec![0f64; self.cols];
-        for i in 0..self.rows {
-            let xi = f64::from(x[i]);
+        for (i, &xv) in x.iter().enumerate() {
+            let xi = f64::from(xv);
             for (o, a) in out.iter_mut().zip(self.row(i)) {
                 *o += xi * f64::from(*a);
             }
@@ -285,14 +285,20 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f32;
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -337,12 +343,7 @@ mod tests {
     #[test]
     fn ridge_solve_recovers_exact_solution() {
         // Overdetermined consistent system: X should recover W.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, -1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, -1.0]]);
         let w = Matrix::from_rows(&[&[3.0], &[-2.0]]);
         let b = a.matmul(&w);
         let x = Matrix::ridge_solve(&a, &b, 1e-6);

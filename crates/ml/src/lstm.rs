@@ -239,8 +239,7 @@ impl Lstm {
                 let mut caches = Vec::with_capacity(end - pos);
                 let mut d_logits_all = Vec::with_capacity(end - pos);
                 for t in pos..end {
-                    let cache =
-                        lstm.forward_step(corpus[t] as usize, &h_state, &c_state);
+                    let cache = lstm.forward_step(corpus[t] as usize, &h_state, &c_state);
                     h_state = cache.h.clone();
                     c_state = cache.c.clone();
                     // Prediction loss against the next token.
@@ -254,7 +253,9 @@ impl Lstm {
                 lstm.backward_chunk(
                     &caches,
                     &d_logits_all,
-                    (&mut a_emb, &mut a_w, &mut a_u, &mut a_b, &mut a_wo, &mut a_bo),
+                    (
+                        &mut a_emb, &mut a_w, &mut a_u, &mut a_b, &mut a_wo, &mut a_bo,
+                    ),
                 );
                 pos = end;
             }
@@ -367,7 +368,14 @@ impl Lstm {
         &mut self,
         caches: &[StepCache],
         d_logits: &[Vec<f32>],
-        opt: (&mut Adam, &mut Adam, &mut Adam, &mut Adam, &mut Adam, &mut Adam),
+        opt: (
+            &mut Adam,
+            &mut Adam,
+            &mut Adam,
+            &mut Adam,
+            &mut Adam,
+            &mut Adam,
+        ),
     ) {
         let (a_emb, a_w, a_u, a_b, a_wo, a_bo) = opt;
         let hd = self.config.hidden;
@@ -395,12 +403,12 @@ impl Lstm {
                 }
             }
             let mut dh = dh_next.clone();
-            for k in 0..hd {
+            for (k, dhk) in dh.iter_mut().enumerate() {
                 let mut acc = 0.0f32;
-                for v in 0..vd {
-                    acc += self.w_out[(v, k)] * dlog[v] / n;
+                for (v, &dl) in dlog.iter().enumerate() {
+                    acc += self.w_out[(v, k)] * dl / n;
                 }
-                dh[k] += acc;
+                *dhk += acc;
             }
 
             // Cell backward.
@@ -451,12 +459,7 @@ impl Lstm {
 
         let clip = self.config.grad_clip;
         for g in [
-            &mut g_emb,
-            &mut g_w,
-            &mut g_u,
-            &mut g_b,
-            &mut g_wo,
-            &mut g_bo,
+            &mut g_emb, &mut g_w, &mut g_u, &mut g_b, &mut g_wo, &mut g_bo,
         ] {
             for v in g.iter_mut() {
                 *v = v.clamp(-clip, clip);
@@ -540,7 +543,12 @@ mod tests {
         let mut trained = Lstm::train(&cfg, &corpus, 9);
         let eval = |m: &mut Lstm| -> f64 {
             m.reset();
-            corpus.iter().take(100).map(|&t| m.score_next(t)).sum::<f64>() / 100.0
+            corpus
+                .iter()
+                .take(100)
+                .map(|&t| m.score_next(t))
+                .sum::<f64>()
+                / 100.0
         };
         let before = eval(&mut untrained);
         let after = eval(&mut trained);

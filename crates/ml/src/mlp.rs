@@ -256,14 +256,7 @@ mod tests {
         let d = data(8);
         let cfg = MlpConfig::tiny(8);
         let trained = Mlp::train(&cfg, &d, 2);
-        let untrained = Mlp::train(
-            &MlpConfig {
-                epochs: 0,
-                ..cfg
-            },
-            &d,
-            2,
-        );
+        let untrained = Mlp::train(&MlpConfig { epochs: 0, ..cfg }, &d, 2);
         let err = |m: &Mlp| d.iter().map(|v| m.score(v)).sum::<f64>();
         assert!(err(&trained) < err(&untrained) * 0.5);
     }

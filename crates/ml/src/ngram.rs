@@ -52,7 +52,7 @@ impl NgramModel {
             "corpus ({}) shorter than window ({n})",
             corpus.len()
         );
-        let known = corpus.windows(n).map(|w| w.to_vec()).collect();
+        let known = corpus.windows(n).map(<[u32]>::to_vec).collect();
         NgramModel {
             n,
             vocab,

@@ -28,11 +28,13 @@ fn merged_model_coverage() -> CoverageSet {
     let mut profiler = Engine::new(EngineConfig::miaow());
     let mut mem = elm_dev.load(&mut profiler);
     elm_dev
-        .infer(&mut profiler, &mut mem, &vec![0.1; 16])
+        .infer(&mut profiler, &mut mem, &[0.1; 16])
         .expect("elm runs");
     let mut mem = lstm_dev.load(&mut profiler);
     lstm_dev.reset(&mut mem);
-    lstm_dev.step(&mut profiler, &mut mem, 3).expect("lstm runs");
+    lstm_dev
+        .step(&mut profiler, &mut mem, 3)
+        .expect("lstm runs");
 
     let mut merged = CoverageSet::new();
     merged.merge(profiler.observed_coverage());

@@ -23,8 +23,16 @@ fn generated_kernels_roundtrip_through_disassembly() {
     let lstm_dev = LstmDevice::compile(&lstm);
     for kernel in elm_dev.kernels().into_iter().chain(lstm_dev.kernels()) {
         let text = kernel.to_string();
-        let back = assemble_named(&kernel.name, &text)
-            .unwrap_or_else(|e| panic!("{}: disassembly does not reassemble: {e}\n{text}", kernel.name));
-        assert_eq!(*kernel, back, "kernel {} drifted through disassembly", kernel.name);
+        let back = assemble_named(&kernel.name, &text).unwrap_or_else(|e| {
+            panic!(
+                "{}: disassembly does not reassemble: {e}\n{text}",
+                kernel.name
+            )
+        });
+        assert_eq!(
+            *kernel, back,
+            "kernel {} drifted through disassembly",
+            kernel.name
+        );
     }
 }

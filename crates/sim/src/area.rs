@@ -30,9 +30,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(total.luts, 12_648);
 /// assert_eq!(total.lut_ff_sum(), 12_648 + 1_424);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct AreaEstimate {
     /// Look-up tables used for logic.
     pub luts: u64,

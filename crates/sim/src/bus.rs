@@ -86,7 +86,10 @@ impl AxiBus {
     ///
     /// Panics if the configured data width or maximum burst length is zero.
     pub fn new(config: AxiBusConfig, clock: ClockDomain) -> Self {
-        assert!(config.data_width_bytes > 0, "bus data width must be non-zero");
+        assert!(
+            config.data_width_bytes > 0,
+            "bus data width must be non-zero"
+        );
         assert!(config.max_burst_beats > 0, "burst length must be non-zero");
         AxiBus { config, clock }
     }
@@ -128,7 +131,8 @@ impl AxiBus {
 
     /// Wall-clock time of moving `bytes` across the bus.
     pub fn transfer_time(&self, bytes: usize, kind: BurstKind) -> Picos {
-        self.clock.cycles_to_picos(self.transfer_cycles(bytes, kind))
+        self.clock
+            .cycles_to_picos(self.transfer_cycles(bytes, kind))
     }
 }
 
@@ -138,7 +142,10 @@ mod tests {
     use crate::time::Hertz;
 
     fn bus() -> AxiBus {
-        AxiBus::new(AxiBusConfig::nic301_gp(), ClockDomain::new("t", Hertz::from_mhz(125)))
+        AxiBus::new(
+            AxiBusConfig::nic301_gp(),
+            ClockDomain::new("t", Hertz::from_mhz(125)),
+        )
     }
 
     #[test]

@@ -32,9 +32,6 @@
 //! assert_eq!(igm.cycles_to_picos(2).as_nanos_f64(), 16.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod area;
 pub mod bus;
 pub mod event;

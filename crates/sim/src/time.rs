@@ -235,9 +235,7 @@ impl fmt::Display for Cycles {
 /// let f = Hertz::from_mhz(125);
 /// assert_eq!(f.period().as_picos(), 8_000);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Hertz(u64);
 
 impl Hertz {
@@ -278,7 +276,7 @@ impl Hertz {
 
 impl fmt::Display for Hertz {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1_000_000 == 0 {
+        if self.0.is_multiple_of(1_000_000) {
             write!(f, "{}MHz", self.0 / 1_000_000)
         } else {
             write!(f, "{}Hz", self.0)

@@ -54,6 +54,11 @@ fn main() {
         .filter(|(c, _)| *c >= run.attack_cycle() && *c < run.attack_cycle() + 3_000)
         .map(|(c, _)| *c)
         .collect();
-    println!("attack event cycles (rel): {:?}",
-        attack_cycles.iter().map(|c| c - run.attack_cycle()).collect::<Vec<_>>());
+    println!(
+        "attack event cycles (rel): {:?}",
+        attack_cycles
+            .iter()
+            .map(|c| c - run.attack_cycle())
+            .collect::<Vec<_>>()
+    );
 }

@@ -13,6 +13,7 @@
 //!   are data-independent: every event executes the same instruction
 //!   count, so one measurement is exact for all.
 
+use rtad_analysis::{trim_findings, Finding};
 use rtad_igm::VectorPayload;
 use rtad_mcm::{InferenceEngine, InferenceResult};
 use rtad_miaow::{CoverageSet, Engine, EngineConfig, GpuMemory, TrimPlan};
@@ -239,8 +240,7 @@ impl<S: PayloadScorer> InferenceEngine for HybridBackend<S> {
         }
         InferenceResult {
             score: smoothed,
-            flagged: self.recent_hits.len() >= self.burst_k
-                || smoothed > self.hard_threshold,
+            flagged: self.recent_hits.len() >= self.burst_k || smoothed > self.hard_threshold,
             engine_cycles: self.cycles_per_event,
         }
     }
@@ -272,27 +272,83 @@ pub enum DeviceBackend {
     },
 }
 
+/// The findings a device model's kernels raise against a retained
+/// feature set (empty when the engine is untrimmed).
+fn device_findings(device: &impl DeviceModel, retained: Option<&CoverageSet>) -> Vec<Finding> {
+    match retained {
+        None => Vec::new(),
+        Some(retained) => device
+            .kernels()
+            .iter()
+            .flat_map(|k| trim_findings(k, retained))
+            .collect(),
+    }
+}
+
 impl DeviceBackend {
-    /// Builds an LSTM device backend on an engine variant.
-    pub fn lstm(device: LstmDevice, config: EngineConfig) -> Self {
+    /// Builds an LSTM device backend, statically proving the model's
+    /// kernels run trap-free on the engine variant *before* the engine
+    /// is built or loaded — an incompatible trim plan is rejected here,
+    /// at load time, not by a mid-stream [`rtad_miaow::ExecError`] trap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trim-incompatibility findings, each naming the
+    /// missing feature, program counter and mnemonic.
+    pub fn try_lstm(device: LstmDevice, config: EngineConfig) -> Result<Self, Vec<Finding>> {
+        let findings = device_findings(&device, config.retained.as_ref());
+        if !findings.is_empty() {
+            return Err(findings);
+        }
         let mut engine = Engine::new(config);
         let memory = device.load(&mut engine);
-        DeviceBackend::Lstm {
+        Ok(DeviceBackend::Lstm {
             device,
             engine,
             memory,
+        })
+    }
+
+    /// Builds an ELM device backend with the same load-time proof as
+    /// [`DeviceBackend::try_lstm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the trim-incompatibility findings.
+    pub fn try_elm(device: ElmDevice, config: EngineConfig) -> Result<Self, Vec<Finding>> {
+        let findings = device_findings(&device, config.retained.as_ref());
+        if !findings.is_empty() {
+            return Err(findings);
         }
+        let mut engine = Engine::new(config);
+        let memory = device.load(&mut engine);
+        Ok(DeviceBackend::Elm {
+            device,
+            engine,
+            memory,
+        })
+    }
+
+    /// Builds an LSTM device backend on an engine variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's kernels are incompatible with the engine's
+    /// trim plan; use [`DeviceBackend::try_lstm`] to handle that case.
+    pub fn lstm(device: LstmDevice, config: EngineConfig) -> Self {
+        DeviceBackend::try_lstm(device, config)
+            .unwrap_or_else(|findings| panic!("LSTM kernels rejected: {findings:?}"))
     }
 
     /// Builds an ELM device backend on an engine variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's kernels are incompatible with the engine's
+    /// trim plan; use [`DeviceBackend::try_elm`] to handle that case.
     pub fn elm(device: ElmDevice, config: EngineConfig) -> Self {
-        let mut engine = Engine::new(config);
-        let memory = device.load(&mut engine);
-        DeviceBackend::Elm {
-            device,
-            engine,
-            memory,
-        }
+        DeviceBackend::try_elm(device, config)
+            .unwrap_or_else(|findings| panic!("ELM kernels rejected: {findings:?}"))
     }
 
     /// Resets recurrent state (LSTM) for a fresh trace.
@@ -345,6 +401,26 @@ impl InferenceEngine for DeviceBackend {
 
     fn engine_clock(&self) -> ClockDomain {
         ClockDomain::rtad_miaow()
+    }
+
+    fn preflight(&self) -> Result<(), String> {
+        let (findings, model) = match self {
+            DeviceBackend::Lstm { device, engine, .. } => {
+                (device_findings(device, engine.retained()), "LSTM")
+            }
+            DeviceBackend::Elm { device, engine, .. } => {
+                (device_findings(device, engine.retained()), "ELM")
+            }
+        };
+        if findings.is_empty() {
+            Ok(())
+        } else {
+            let lines: Vec<String> = findings.iter().map(ToString::to_string).collect();
+            Err(format!(
+                "{model} device kernels incompatible with the engine trim plan:\n{}",
+                lines.join("\n")
+            ))
+        }
     }
 }
 
@@ -419,6 +495,37 @@ mod tests {
         let mut be = DeviceBackend::elm(elm, EngineKind::MlMiaow.engine_config(&plan));
         let r = be.infer_event(&VectorPayload::Dense(vec![0.1; 16]), Picos::ZERO);
         assert!(r.engine_cycles > 0);
+    }
+
+    #[test]
+    fn incompatible_trim_plan_is_rejected_at_load_time() {
+        let (elm, lstm) = trained_pair();
+        // A core-only plan deletes everything the kernels need.
+        let empty = TrimPlan::from_coverage(&CoverageSet::new());
+        let findings = DeviceBackend::try_lstm(lstm, EngineConfig::ml_miaow(&empty))
+            .err()
+            .expect("core-only plan must be refused");
+        assert!(!findings.is_empty());
+        assert!(findings
+            .iter()
+            .all(|f| f.feature.is_some() && f.pc.is_some()));
+
+        let findings = DeviceBackend::try_elm(elm, EngineConfig::ml_miaow(&empty))
+            .err()
+            .expect("core-only plan must be refused");
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn preflight_passes_for_a_profiled_plan() {
+        let (elm, lstm) = trained_pair();
+        let plan = profile_trim_plan(&elm, &lstm);
+        let be = DeviceBackend::try_lstm(lstm, EngineKind::MlMiaow.engine_config(&plan))
+            .expect("profiled plan covers the kernels");
+        assert_eq!(be.preflight(), Ok(()));
+        let be = DeviceBackend::try_elm(elm, EngineKind::MlMiaow.engine_config(&plan))
+            .expect("profiled plan covers the kernels");
+        assert_eq!(be.preflight(), Ok(()));
     }
 
     #[test]

@@ -37,9 +37,6 @@
 //! assert!(sw_all > 10.0 * rtad, "software tracing is far costlier");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod area;
 pub mod backend;
 pub mod detection;
@@ -54,7 +51,9 @@ pub use backend::{
 };
 pub use detection::{DetectionConfig, DetectionOutcome, DetectionRun, ModelKind};
 pub use overhead::{OverheadModel, OverheadRow, TraceMechanism};
-pub use transfer::{measure_rtad_transfer, measure_sw_transfer, SwTransferModel, TransferBreakdown};
+pub use transfer::{
+    measure_rtad_transfer, measure_sw_transfer, SwTransferModel, TransferBreakdown,
+};
 pub use watchlist::{
     build_lstm_table, hit_fraction, select_watchlist, syscall_table, LstmTable, WatchlistSpec,
 };

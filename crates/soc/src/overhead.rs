@@ -101,10 +101,7 @@ impl OverheadModel {
         let baseline_cycles = run.last().expect("non-empty run").cycle.max(1);
 
         use rtad_trace::BranchKind;
-        let syscalls = run
-            .iter()
-            .filter(|r| r.kind == BranchKind::Syscall)
-            .count() as f64;
+        let syscalls = run.iter().filter(|r| r.kind == BranchKind::Syscall).count() as f64;
         let call_like = run
             .iter()
             .filter(|r| {
@@ -169,10 +166,7 @@ impl OverheadRow {
 /// Geometric-mean overhead across rows for one mechanism (the paper's
 /// headline aggregation).
 pub fn geomean_overhead(rows: &[OverheadRow], mech: TraceMechanism) -> f64 {
-    let g: GeoMean = rows
-        .iter()
-        .map(|r| r.overhead(mech).max(1e-12))
-        .collect();
+    let g: GeoMean = rows.iter().map(|r| r.overhead(mech).max(1e-12)).collect();
     g.value()
 }
 
@@ -221,9 +215,7 @@ mod tests {
         let m = OverheadModel::rtad_prototype();
         let dense = m.measure(Benchmark::Omnetpp, 40_000, 1);
         let sparse = m.measure(Benchmark::Hmmer, 40_000, 1);
-        assert!(
-            dense.overhead(TraceMechanism::SwAll) > sparse.overhead(TraceMechanism::SwAll)
-        );
+        assert!(dense.overhead(TraceMechanism::SwAll) > sparse.overhead(TraceMechanism::SwAll));
     }
 
     #[test]

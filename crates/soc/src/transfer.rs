@@ -76,8 +76,7 @@ pub fn measure_sw_transfer(model: &SwTransferModel, cpu: &ClockDomain) -> Transf
         collect: cpu.cycles_to_picos(model.read_cycles),
         vectorize: cpu.cycles_to_picos(model.vectorize_cycles_per_word * model.vector_words as u64),
         deliver: cpu.cycles_to_picos(
-            model.driver_entry_cycles
-                + model.uncached_write_cycles * model.vector_words as u64,
+            model.driver_entry_cycles + model.uncached_write_cycles * model.vector_words as u64,
         ),
     }
 }
@@ -147,11 +146,7 @@ pub fn measure_rtad_transfer(run: &[BranchRecord], ptm: PtmConfig) -> TransferBr
     let ivg = mlpu.cycles_to_picos(rtad_igm::ivg::IVG_CYCLES);
     let mut collect = RunningStats::new();
     let mut deliver = RunningStats::new();
-    for ((gen, vec), event) in addr_times
-        .iter()
-        .zip(&out.vectors)
-        .zip(&mcm_run.events)
-    {
+    for ((gen, vec), event) in addr_times.iter().zip(&out.vectors).zip(&mcm_run.events) {
         // vec.at = TA decode + P2S + IVG; step (1) is everything before
         // the IVG's two cycles.
         let c = vec.at.saturating_sub(*gen).saturating_sub(ivg);
@@ -184,7 +179,11 @@ mod tests {
     fn sw_breakdown_matches_paper_anchors() {
         let b = measure_sw_transfer(&SwTransferModel::rtad_prototype(), &ClockDomain::rtad_cpu());
         // Paper: 1.12 + 7.38 + 11.5 ~= 20.0us.
-        assert!((b.collect.as_micros_f64() - 1.12).abs() < 0.1, "{}", b.collect);
+        assert!(
+            (b.collect.as_micros_f64() - 1.12).abs() < 0.1,
+            "{}",
+            b.collect
+        );
         assert!((b.vectorize.as_micros_f64() - 7.38).abs() < 0.1);
         assert!((b.deliver.as_micros_f64() - 11.5).abs() < 0.5);
         assert!((b.total().as_micros_f64() - 20.0).abs() < 0.5);

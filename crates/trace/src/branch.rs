@@ -94,9 +94,7 @@ impl From<VirtAddr> for u32 {
 ///
 /// PTM traces ARM/Thumb interworking; the mode is carried in I-sync
 /// packets and affects target-address alignment.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum IsetMode {
     /// ARM state: 4-byte instructions.
     #[default]
@@ -248,7 +246,10 @@ mod tests {
         // Bit 0 of an ARM address is never a code location (it selects
         // Thumb state in BX); the halfword form discards it.
         let a = VirtAddr::new(0x1001);
-        assert_eq!(VirtAddr::from_halfword_index(a.halfword_index()).raw(), 0x1000);
+        assert_eq!(
+            VirtAddr::from_halfword_index(a.halfword_index()).raw(),
+            0x1000
+        );
     }
 
     #[test]

@@ -44,9 +44,6 @@
 //! assert_eq!(decoded.len(), 3);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod branch;
 pub mod ptm;
 pub mod stream;

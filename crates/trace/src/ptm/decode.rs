@@ -66,17 +66,10 @@ enum State {
     Idle,
     AsyncZeros(usize),
     Branch(Vec<u8>),
-    BranchException {
-        target: VirtAddr,
-        mode: IsetMode,
-    },
+    BranchException { target: VirtAddr, mode: IsetMode },
     Isync(Vec<u8>),
     CtxId(Vec<u8>),
-    Timestamp {
-        acc: u64,
-        shift: u32,
-        bytes: usize,
-    },
+    Timestamp { acc: u64, shift: u32, bytes: usize },
 }
 
 /// Stateful PTM packet decoder, fed one byte at a time.
@@ -193,16 +186,14 @@ impl PacketDecoder {
             State::Isync(mut bytes) => {
                 bytes.push(byte);
                 if bytes.len() == 9 {
-                    let addr = VirtAddr::new(u32::from_le_bytes([
-                        bytes[0], bytes[1], bytes[2], bytes[3],
-                    ]));
+                    let addr =
+                        VirtAddr::new(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]));
                     let mode = if bytes[4] & 0x01 != 0 {
                         IsetMode::Thumb
                     } else {
                         IsetMode::Arm
                     };
-                    let context_id =
-                        u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+                    let context_id = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
                     self.last_halfword = addr.halfword_index();
                     self.last_mode = mode;
                     Ok(Some(Packet::Isync {
@@ -395,7 +386,10 @@ mod tests {
         dec.feed(0x00).unwrap();
         assert_eq!(
             dec.feed(0x42),
-            Err(DecodeError::AsyncInterrupted { zeros: 1, byte: 0x42 })
+            Err(DecodeError::AsyncInterrupted {
+                zeros: 1,
+                byte: 0x42
+            })
         );
     }
 

@@ -131,8 +131,8 @@ impl PacketEncoder {
         let n_bytes = if force_full { 5 } else { needed + 1 };
 
         let mut out = Vec::with_capacity(n_bytes + 1);
-        for i in 0..n_bytes {
-            let g = (h >> GROUP_SHIFT[i]) & group_mask(i);
+        for (i, &shift) in GROUP_SHIFT.iter().enumerate().take(n_bytes) {
+            let g = (h >> shift) & group_mask(i);
             let cont = if i + 1 < n_bytes { 0x80 } else { 0x00 };
             let byte = match i {
                 0 => 0x01 | ((g as u8) << 1) | cont,

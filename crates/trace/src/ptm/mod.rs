@@ -63,8 +63,7 @@ mod tests {
         let mut dec = PacketDecoder::new();
         bytes
             .iter()
-            .map(|&b| dec.feed(b).expect("decode error"))
-            .flatten()
+            .filter_map(|&b| dec.feed(b).expect("decode error"))
             .collect()
     }
 

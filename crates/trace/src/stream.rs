@@ -411,38 +411,37 @@ impl StreamEncoder {
         let mut total_wait = Picos::ZERO;
         let mut waited_bytes: u64 = 0;
 
-        let drain =
-            |fifo: &mut PtmFifoModel,
-             formatter: &mut TpiuFormatter,
-             pending_wire: &mut Vec<u8>,
-             trace: &mut TimedTrace,
-             now: Picos,
-             total_wait: &mut Picos,
-             waited_bytes: &mut u64| {
-                if fifo.buffered_bytes() == 0 {
-                    return;
+        let drain = |fifo: &mut PtmFifoModel,
+                     formatter: &mut TpiuFormatter,
+                     pending_wire: &mut Vec<u8>,
+                     trace: &mut TimedTrace,
+                     now: Picos,
+                     total_wait: &mut Picos,
+                     waited_bytes: &mut u64| {
+            if fifo.buffered_bytes() == 0 {
+                return;
+            }
+            let result = fifo.drain(now);
+            *total_wait += result.total_wait;
+            *waited_bytes += result.bytes as u64;
+            formatter.push_slice(trace_id, &pending_wire[..result.bytes]);
+            pending_wire.drain(..result.bytes);
+            // Frames leave the port at the drain times; approximate
+            // each complete frame's bytes as emitted at the drain
+            // byte times (framing adds ~7% bytes; we charge the
+            // payload times, keeping arrival order exact).
+            let frames = formatter.ready_frames();
+            let mut it = result.emit_times.into_iter();
+            let mut last = result.start;
+            for frame in frames {
+                for &b in frame.iter() {
+                    let t = it.next().unwrap_or(last);
+                    last = t;
+                    trace.bytes.push(TimedByte { at: t, byte: b });
+                    trace.stats.frame_bytes += 1;
                 }
-                let result = fifo.drain(now);
-                *total_wait += result.total_wait;
-                *waited_bytes += result.bytes as u64;
-                formatter.push_slice(trace_id, &pending_wire[..result.bytes]);
-                pending_wire.drain(..result.bytes);
-                // Frames leave the port at the drain times; approximate
-                // each complete frame's bytes as emitted at the drain
-                // byte times (framing adds ~7% bytes; we charge the
-                // payload times, keeping arrival order exact).
-                let frames = formatter.ready_frames();
-                let mut it = result.emit_times.into_iter();
-                let mut last = result.start;
-                for frame in frames {
-                    for &b in frame.iter() {
-                        let t = it.next().unwrap_or(last);
-                        last = t;
-                        trace.bytes.push(TimedByte { at: t, byte: b });
-                        trace.stats.frame_bytes += 1;
-                    }
-                }
-            };
+            }
+        };
 
         // After a FIFO overflow the decoder's differential-compression
         // state is stale; the hardware recovers by emitting an I-sync
@@ -528,7 +527,7 @@ impl StreamEncoder {
         let period = self.config.trace_clock.freq().period();
         for frame in tail {
             for chunk in frame.chunks(self.config.port_bytes_per_cycle.max(1)) {
-                t = t + period;
+                t += period;
                 for &b in chunk {
                     trace.bytes.push(TimedByte { at: t, byte: b });
                     trace.stats.frame_bytes += 1;
@@ -536,9 +535,8 @@ impl StreamEncoder {
             }
         }
 
-        if waited_bytes > 0 {
-            trace.stats.mean_fifo_wait =
-                Picos::from_picos(total_wait.as_picos() / waited_bytes);
+        if let Some(mean) = total_wait.as_picos().checked_div(waited_bytes) {
+            trace.stats.mean_fifo_wait = Picos::from_picos(mean);
         }
         trace
     }

@@ -36,9 +36,7 @@ pub const FRAME_BYTES: usize = 16;
 /// assert!(TraceId::new(0x75).is_err()); // reserved range
 /// # Ok::<(), rtad_trace::tpiu::InvalidTraceId>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TraceId(u8);
 
 /// Error for out-of-range trace-source IDs.
@@ -199,7 +197,7 @@ impl TpiuFormatter {
 
         while slot < FRAME_BYTES - 1 {
             let k = slot / 2; // aux bit index for even slots
-            if slot % 2 == 0 {
+            if slot.is_multiple_of(2) {
                 match self.queue.front().copied() {
                     None => {
                         // Nothing left: announce the null source and pad.
@@ -340,9 +338,8 @@ impl TpiuDeframer {
     ) -> Result<Vec<(TraceId, u8)>, DeframeError> {
         let aux = frame[FRAME_BYTES - 1];
         let mut out = Vec::with_capacity(FRAME_BYTES - 1);
-        for slot in 0..FRAME_BYTES - 1 {
-            let b = frame[slot];
-            if slot % 2 == 0 {
+        for (slot, &b) in frame.iter().enumerate().take(FRAME_BYTES - 1) {
+            if slot.is_multiple_of(2) {
                 let k = slot / 2;
                 let flag = (aux >> k) & 1 != 0;
                 if b & 0x01 != 0 {
@@ -419,7 +416,10 @@ mod tests {
     fn lsb_of_even_slot_data_survives() {
         // Odd-valued bytes at even slots exercise the aux-byte LSB path.
         let src = id(0x01);
-        let input: Vec<_> = [0xFFu8, 0x01, 0xAB, 0x55, 0x81].iter().map(|&b| (src, b)).collect();
+        let input: Vec<_> = [0xFFu8, 0x01, 0xAB, 0x55, 0x81]
+            .iter()
+            .map(|&b| (src, b))
+            .collect();
         assert_eq!(roundtrip(&input), input);
     }
 
@@ -427,15 +427,7 @@ mod tests {
     fn interleaved_sources_roundtrip() {
         let a = id(0x10);
         let b = id(0x20);
-        let input = vec![
-            (a, 1),
-            (a, 2),
-            (b, 3),
-            (a, 4),
-            (b, 5),
-            (b, 6),
-            (a, 7),
-        ];
+        let input = vec![(a, 1), (a, 2), (b, 3), (a, 4), (b, 5), (b, 6), (a, 7)];
         assert_eq!(roundtrip(&input), input);
     }
 
@@ -494,10 +486,7 @@ mod tests {
         let mut d = TpiuDeframer::new();
         let mut frame = [0u8; FRAME_BYTES];
         frame[0] = (0x75 << 1) | 1;
-        assert_eq!(
-            d.feed_frame(&frame),
-            Err(DeframeError::ReservedId(0x75))
-        );
+        assert_eq!(d.feed_frame(&frame), Err(DeframeError::ReservedId(0x75)));
     }
 
     #[test]

@@ -8,9 +8,7 @@ use proptest::prelude::*;
 
 use rtad_trace::ptm::{Packet, PacketDecoder, PacketEncoder};
 use rtad_trace::tpiu::{TpiuDeframer, TpiuFormatter, FRAME_BYTES};
-use rtad_trace::{
-    BranchKind, BranchRecord, IsetMode, PtmConfig, StreamEncoder, TraceId, VirtAddr,
-};
+use rtad_trace::{BranchKind, BranchRecord, IsetMode, PtmConfig, StreamEncoder, TraceId, VirtAddr};
 
 fn arb_mode() -> impl Strategy<Value = IsetMode> {
     prop_oneof![Just(IsetMode::Arm), Just(IsetMode::Thumb)]
@@ -25,13 +23,13 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
             mode: m,
             context_id: c,
         }),
-        (any::<u32>(), arb_mode(), proptest::option::of(0u8..=0x7F)).prop_map(
-            |(a, m, e)| Packet::BranchAddress {
+        (any::<u32>(), arb_mode(), proptest::option::of(0u8..=0x7F)).prop_map(|(a, m, e)| {
+            Packet::BranchAddress {
                 target: VirtAddr::new(a & !1),
                 mode: m,
                 exception: e,
             }
-        ),
+        }),
         (1u8..=31, any::<bool>()).prop_map(|(e, n)| Packet::Atom {
             e_count: e,
             n_atom: n

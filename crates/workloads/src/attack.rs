@@ -122,11 +122,7 @@ impl AttackInjector {
     /// Builds an injector from the program's legitimate address universe.
     pub fn new(model: &ProgramModel, seed: u64) -> Self {
         let targets: Vec<VirtAddr> = model.legitimate_targets().into_iter().collect();
-        let sources: Vec<VirtAddr> = model
-            .blocks
-            .iter()
-            .map(|b| b.branch_addr)
-            .collect();
+        let sources: Vec<VirtAddr> = model.blocks.iter().map(|b| b.branch_addr).collect();
         AttackInjector {
             targets,
             kernel_targets: model.syscall_entries().to_vec(),
@@ -292,8 +288,7 @@ mod tests {
         let inj = AttackInjector::new(&m, 2);
         let attacked = inj.inject(&normal, AttackSpec::default());
         let legit = m.legitimate_targets();
-        let instrs: std::collections::BTreeSet<_> =
-            m.instruction_addresses().into_iter().collect();
+        let instrs: std::collections::BTreeSet<_> = m.instruction_addresses().into_iter().collect();
         for i in 0..attacked.attack_len {
             let r = &attacked.records[attacked.attack_start + i];
             assert!(

@@ -147,8 +147,7 @@ impl<'a> TraceGenerator<'a> {
             rec
         } else if roll < 2.0 * profile.call_ratio + profile.indirect_ratio {
             // Indirect jump through this block's dispatch table.
-            let t = block.indirect_targets
-                [self.rng.gen_range(0..block.indirect_targets.len())];
+            let t = block.indirect_targets[self.rng.gen_range(0..block.indirect_targets.len())];
             let rec = self.record(src, self.model.block_addr(t), BranchKind::IndirectJump);
             self.current = t;
             rec
@@ -262,7 +261,10 @@ mod tests {
     fn syscalls_pair_with_exception_returns() {
         let m = ProgramModel::build(Benchmark::Gcc, 2);
         let recs = TraceGenerator::new(&m, 3).take_records(100_000);
-        let syscalls = recs.iter().filter(|r| r.kind == BranchKind::Syscall).count();
+        let syscalls = recs
+            .iter()
+            .filter(|r| r.kind == BranchKind::Syscall)
+            .count();
         let erets = recs
             .iter()
             .filter(|r| r.kind == BranchKind::ExceptionReturn)
@@ -270,8 +272,7 @@ mod tests {
         assert!(syscalls > 0, "expected some syscalls in 100k branches");
         assert!((syscalls as i64 - erets as i64).abs() <= 1);
         // Every syscall targets a kernel entry.
-        let kernel: std::collections::BTreeSet<_> =
-            m.syscall_entries().iter().copied().collect();
+        let kernel: std::collections::BTreeSet<_> = m.syscall_entries().iter().copied().collect();
         for r in recs.iter().filter(|r| r.kind == BranchKind::Syscall) {
             assert!(kernel.contains(&r.target));
         }
@@ -295,7 +296,11 @@ mod tests {
         let m = ProgramModel::build(Benchmark::Omnetpp, 9);
         let legit = m.legitimate_targets();
         for r in TraceGenerator::new(&m, 2).take_records(20_000) {
-            assert!(legit.contains(&r.target), "illegitimate target {}", r.target);
+            assert!(
+                legit.contains(&r.target),
+                "illegitimate target {}",
+                r.target
+            );
         }
     }
 

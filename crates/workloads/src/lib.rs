@@ -30,9 +30,6 @@
 //! assert!(model.profile().branch_density > 0.15);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod attack;
 pub mod generator;
 pub mod program;

@@ -18,9 +18,7 @@ use crate::generator::TraceGenerator;
 use crate::spec::{BenchProfile, Benchmark};
 
 /// Index of a basic block within a [`ProgramModel`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BlockId(pub usize);
 
 /// Base of the synthetic text segment.
@@ -136,9 +134,9 @@ impl ProgramModel {
 
         // Patch successor structure.
         let n_funcs = functions.len();
-        for f in 0..n_funcs {
-            let first = functions[f].first_block;
-            let count = functions[f].block_count;
+        for (f, func) in functions.iter().enumerate() {
+            let first = func.first_block;
+            let count = func.block_count;
             for i in 0..count {
                 let id = first + i;
                 // Hot successor: usually the next block (loop-free spine);

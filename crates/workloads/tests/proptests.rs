@@ -8,18 +8,26 @@ use rtad_workloads::{AttackInjector, AttackSpec, BenchProfile, Benchmark, Progra
 
 fn arb_profile() -> impl Strategy<Value = BenchProfile> {
     (
-        0.02f64..0.2,   // branch_density
-        0.0f64..0.15,   // indirect_ratio
-        0.01f64..0.15,  // call_ratio
+        0.02f64..0.2,       // branch_density
+        0.0f64..0.15,       // indirect_ratio
+        0.01f64..0.15,      // call_ratio
         2_000f64..30_000.0, // syscall_interval
-        4usize..60,     // functions
-        4usize..16,     // blocks_per_function
-        0.4f64..0.95,   // locality
-        0.3f64..1.5,    // ipc
+        4usize..60,         // functions
+        4usize..16,         // blocks_per_function
+        0.4f64..0.95,       // locality
+        0.3f64..1.5,        // ipc
     )
         .prop_map(
-            |(branch_density, indirect_ratio, call_ratio, syscall_interval, functions,
-              blocks_per_function, locality, ipc)| BenchProfile {
+            |(
+                branch_density,
+                indirect_ratio,
+                call_ratio,
+                syscall_interval,
+                functions,
+                blocks_per_function,
+                locality,
+                ipc,
+            )| BenchProfile {
                 bench: Benchmark::Gcc, // label only
                 branch_density,
                 indirect_ratio,

@@ -49,7 +49,10 @@ fn main() {
     // ---- syscall-feature models: ELM vs MLP vs n-gram ----
     let sys_mapper = AddressMapper::from_targets(syscall_table(&model));
     let tokens = |records: &[rtad::trace::BranchRecord]| -> Vec<u32> {
-        records.iter().filter_map(|r| sys_mapper.map(r.target)).collect()
+        records
+            .iter()
+            .filter_map(|r| sys_mapper.map(r.target))
+            .collect()
     };
     let histograms = |toks: &[u32]| -> Vec<Vec<f32>> {
         let mut enc = VectorEncoder::new(VectorFormat::WindowHistogram { window: 16 }, 16);
@@ -70,7 +73,8 @@ fn main() {
 
     let elm = Elm::train(&ElmConfig::rtad(), &train_h, 4);
     let mlp = Mlp::train(&MlpConfig::rtad(), &train_h, 4);
-    let scorers: Vec<(&str, Box<dyn Fn(&[f32]) -> f64>)> = vec![
+    type Scorer<'a> = Box<dyn Fn(&[f32]) -> f64 + 'a>;
+    let scorers: Vec<(&str, Scorer)> = vec![
         ("ELM", Box::new(|x: &[f32]| elm.score(x))),
         ("MLP", Box::new(|x: &[f32]| mlp.score(x))),
     ];
@@ -86,7 +90,10 @@ fn main() {
 
     let mut ngram = NgramModel::train(5, 16, &tokens(&train));
     ngram.reset();
-    let val_scores: Vec<f64> = tokens(&validate).iter().map(|&t| ngram.score_next(t)).collect();
+    let val_scores: Vec<f64> = tokens(&validate)
+        .iter()
+        .map(|&t| ngram.score_next(t))
+        .collect();
     let fp = val_scores.iter().sum::<f64>() / val_scores.len().max(1) as f64;
     ngram.reset();
     let atk_scores: Vec<f64> = atk_toks.iter().map(|&t| ngram.score_next(t)).collect();
@@ -101,7 +108,10 @@ fn main() {
     let table = build_lstm_table(&model, &train, WatchlistSpec::rtad());
     let mapper = AddressMapper::from_entries(table.entries.iter().copied());
     let toks = |records: &[rtad::trace::BranchRecord]| -> Vec<u32> {
-        records.iter().filter_map(|r| mapper.map(r.target)).collect()
+        records
+            .iter()
+            .filter_map(|r| mapper.map(r.target))
+            .collect()
     };
     let train_t = toks(&train);
     let mut cfg = LstmConfig::rtad();
@@ -110,7 +120,10 @@ fn main() {
     let mut lstm = Lstm::train(&cfg, &train_t, 4);
 
     lstm.reset();
-    let val_scores: Vec<f64> = toks(&validate).iter().map(|&t| lstm.score_next(t)).collect();
+    let val_scores: Vec<f64> = toks(&validate)
+        .iter()
+        .map(|&t| lstm.score_next(t))
+        .collect();
     let threshold = calibrate_threshold(&val_scores, policy);
     lstm.reset();
     let atk_scores: Vec<f64> = toks(&attacked.records[attacked.attack_start..])

@@ -37,12 +37,13 @@ fn main() {
     let outcome = deployment.detect_injected_attack();
 
     println!("  events processed : {}", outcome.events);
-    println!("  MCM overflow     : {} events dropped", outcome.mcm_overflow);
+    println!(
+        "  MCM overflow     : {} events dropped",
+        outcome.mcm_overflow
+    );
     println!("  false positive   : {}", outcome.false_positive);
     match outcome.latency {
-        Some(latency) => println!(
-            "\nATTACK DETECTED {latency} after the first anomalous branch"
-        ),
+        Some(latency) => println!("\nATTACK DETECTED {latency} after the first anomalous branch"),
         None => println!("\nattack was NOT detected"),
     }
 }

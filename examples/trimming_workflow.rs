@@ -39,8 +39,11 @@ fn main() {
     let lstm = Lstm::train(&lstm_cfg, &corpus, 11);
     let elm_dev = ElmDevice::compile(&elm);
     let lstm_dev = LstmDevice::compile(&lstm);
-    println!("compiled {} ELM kernels and {} LSTM kernels",
-             elm_dev.kernels().len(), lstm_dev.kernels().len());
+    println!(
+        "compiled {} ELM kernels and {} LSTM kernels",
+        elm_dev.kernels().len(),
+        lstm_dev.kernels().len()
+    );
 
     // Step 1+2: dynamic simulation with coverage, merged across models.
     let mut profiler = Engine::new(EngineConfig::miaow());
@@ -89,9 +92,16 @@ fn main() {
 
     // Step 5: Table II.
     println!("\n=== Table II: trimming result of ML-MIAOW (per CU) ===");
-    println!("{:<16} {:>9} {:>9} {:>9} {:>7}", "", "LUTs", "FFs", "Sum", "Area");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>7}",
+        "", "LUTs", "FFs", "Sum", "Area"
+    );
     let full = variant_area(EngineVariant::Miaow);
-    for variant in [EngineVariant::Miaow, EngineVariant::Miaow2, EngineVariant::MlMiaow] {
+    for variant in [
+        EngineVariant::Miaow,
+        EngineVariant::Miaow2,
+        EngineVariant::MlMiaow,
+    ] {
         let a = variant_area(variant);
         let delta = if variant == EngineVariant::Miaow {
             "-".to_string()

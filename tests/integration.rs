@@ -63,7 +63,10 @@ fn full_stack_with_device_backend() {
 
     let mut mcm = Mcm::new(McmConfig::rtad(), backend);
     let result = mcm.run(&vectors);
-    assert_eq!(result.events.len() + result.fifo.dropped as usize, vectors.len());
+    assert_eq!(
+        result.events.len() + result.fifo.dropped as usize,
+        vectors.len()
+    );
     for e in &result.events {
         assert!(e.score.is_finite());
         assert!(e.engine_cycles > 0);
@@ -79,11 +82,7 @@ fn hybrid_and_device_paths_agree_through_mcm() {
         lstm: Lstm,
     }
     impl InferenceEngine for HostBackend {
-        fn infer_event(
-            &mut self,
-            p: &rtad::igm::VectorPayload,
-            _at: Picos,
-        ) -> InferenceResult {
+        fn infer_event(&mut self, p: &rtad::igm::VectorPayload, _at: Picos) -> InferenceResult {
             use rtad::ml::SequenceModel;
             InferenceResult {
                 score: self.lstm.score_next(p.as_token().expect("token")),

@@ -1,0 +1,203 @@
+//! Stand-in for the `criterion` 0.5 API subset this workspace uses.
+//!
+//! A plain wall-clock runner: each benchmark is auto-calibrated to a
+//! ~20 ms measurement batch and reported as median-free mean ns/iter on
+//! stdout. No statistical analysis, plots, or baselines — the point is
+//! that `cargo bench` compiles, runs, and prints comparable numbers in
+//! an offline environment.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Work-per-iteration metadata; recorded and echoed, not analyzed.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The per-benchmark timing loop handle.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the measured batch.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count to a ~20 ms batch, then measures.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + calibration draw.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let target = Duration::from_millis(20);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.ns_per_iter = t1.elapsed().as_nanos() as f64 / f64::from(iters);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher { ns_per_iter: 0.0 };
+    f(&mut bencher);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if bencher.ns_per_iter > 0.0 => {
+            format!(" ({:.1} Melem/s)", n as f64 * 1e3 / bencher.ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) if bencher.ns_per_iter > 0.0 => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 * 1e9 / (bencher.ns_per_iter * 1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<56} {:>14.1} ns/iter{rate}",
+        bencher.ns_per_iter
+    );
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records work-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; this runner auto-calibrates.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_one(&format!("{}/{id}", self.name), self.throughput, f);
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{id}", self.name), self.throughput, |b| {
+            f(b, input);
+        });
+    }
+
+    /// Ends the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_one(name, None, f);
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_round_trips() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("sanity");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0u64..4).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &k| {
+            b.iter(|| black_box(k) * 7);
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1) + 1));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,720 @@
+//! Generation-only stand-in for the `proptest` 1.x API subset this
+//! workspace uses.
+//!
+//! Implements the [`Strategy`] trait (ranges, tuples, [`Just`],
+//! [`any`], `prop_map`, `prop_filter`, [`collection::vec`],
+//! [`option::of`], [`prop_oneof!`]) and the [`proptest!`] test macro
+//! with `prop_assert!`/`prop_assert_eq!`/`prop_assume!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its case number and the
+//!   assertion message, not a minimized input. Failures are still
+//!   reproducible because the RNG seed is derived deterministically
+//!   from the test's module path, name and case index.
+//! * **Default case count is 64** (the real default is 256); tests that
+//!   care set it explicitly with `ProptestConfig::with_cases`.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+
+/// Everything a `proptest!`-based test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ------------------------------------------------------------------
+// RNG
+// ------------------------------------------------------------------
+
+/// The deterministic per-case RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// An RNG keyed by test identity and case index, so every run of a
+    /// given case sees the same inputs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ------------------------------------------------------------------
+// Core trait
+// ------------------------------------------------------------------
+
+/// A value generator; the stand-in for proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Retries generation until `pred` holds (panics after 10 000
+    /// consecutive rejections — the real crate gives up similarly).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of `prop_map`.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of `prop_filter`.
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// ------------------------------------------------------------------
+// Ranges
+// ------------------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            // the macro instantiates for usize/isize too, where
+            // `From<_> for i128` does not exist — casts must stay
+            #[allow(clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )+};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let u = rng.unit_f64() as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )+};
+}
+impl_float_range_strategy!(f32, f64);
+
+// ------------------------------------------------------------------
+// Tuples
+// ------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+impl_tuple_strategy!(
+    A / a,
+    B / b,
+    C / c,
+    D / d,
+    E / e,
+    F / f,
+    G / g,
+    H / h,
+    I / i
+);
+impl_tuple_strategy!(
+    A / a,
+    B / b,
+    C / c,
+    D / d,
+    E / e,
+    F / f,
+    G / g,
+    H / h,
+    I / i,
+    J / j
+);
+
+// ------------------------------------------------------------------
+// String-regex strategies
+// ------------------------------------------------------------------
+
+/// One parsed regex atom: the characters it may produce plus its
+/// repetition bounds.
+struct RegexAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the tiny regex subset the workspace uses: literal chars,
+/// `.`, char classes with ranges and `\n`/`\t`/`\\`-style escapes, and
+/// the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`.
+fn parse_regex_subset(pattern: &str) -> Vec<RegexAtom> {
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match it.next() {
+                        None => panic!("unterminated char class in regex {pattern:?}"),
+                        Some(']') => break,
+                        Some('\\') => {
+                            let e = unescape(it.next().expect("escape target"));
+                            set.push(e);
+                            prev = Some(e);
+                        }
+                        Some('-') if prev.is_some() && it.peek() != Some(&']') => {
+                            let hi = match it.next() {
+                                Some('\\') => unescape(it.next().expect("escape target")),
+                                Some(h) => h,
+                                None => panic!("unterminated range in regex {pattern:?}"),
+                            };
+                            let lo = prev.take().expect("range start");
+                            set.extend((lo..=hi).skip(1));
+                        }
+                        Some(ch) => {
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                set
+            }
+            '.' => (' '..='~').collect(),
+            '\\' => vec![unescape(it.next().expect("escape target"))],
+            lit => vec![lit],
+        };
+        let (min, max) = match it.peek() {
+            Some('{') => {
+                it.next();
+                let spec: String = it.by_ref().take_while(|&ch| ch != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("regex repeat lower bound"),
+                        hi.parse().expect("regex repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("regex repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                it.next();
+                (0, 32)
+            }
+            Some('+') => {
+                it.next();
+                (1, 32)
+            }
+            Some('?') => {
+                it.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(!chars.is_empty(), "empty char class in regex {pattern:?}");
+        atoms.push(RegexAtom { chars, min, max });
+    }
+    atoms
+}
+
+/// `&str` patterns are string strategies, as in the real crate — but
+/// only the regex subset in [`parse_regex_subset`] is understood.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_regex_subset(self) {
+            let reps = atom.min + rng.below(atom.max - atom.min + 1);
+            for _ in 0..reps {
+                out.push(atom.chars[rng.below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------
+// any::<T>()
+// ------------------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a uniform sample of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64() * 2.0 - 1.0
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.unit_f64() * 2.0 - 1.0) as f32
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ------------------------------------------------------------------
+// Test-case plumbing
+// ------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// How a single generated case ended, when it did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the property does not hold.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs: skip, try another case.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failed-property error with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input-rejected (assume) signal.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))] // optional
+///
+///     #[test]
+///     fn my_property(x in 0u32..100, v in proptest::collection::vec(any::<bool>(), 1..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut __executed: u32 = 0;
+            let mut __attempt: u32 = 0;
+            while __executed < __config.cases {
+                assert!(
+                    __attempt < __config.cases.saturating_mul(16) + 100,
+                    "proptest: too many prop_assume! rejections in {__test_name}"
+                );
+                let mut __rng = $crate::TestRng::for_case(__test_name, __attempt);
+                __attempt += 1;
+                let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let _: () = $body;
+                    ::core::result::Result::Ok(())
+                })();
+                match __result {
+                    ::core::result::Result::Ok(()) => __executed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} of {__test_name} failed: {msg}", __attempt - 1)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// A uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property assertion: fails the case (without panicking through
+/// foreign frames) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property equality assertion (`==`, `Debug`-reported).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$a, &$b);
+        $crate::prop_assert!(*__left == *__right, $($fmt)+);
+    }};
+}
+
+/// Property inequality assertion (`!=`, `Debug`-reported).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Rejects the current case's inputs, drawing a fresh case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..500).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in -4i64..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((1u8..5, any::<bool>()), 2..9),
+            e in evens(),
+            o in prop::option::of(0u32..3),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert_eq!(e % 2, 0);
+            if let Some(x) = o { prop_assert!(x < 3); }
+            prop_assert!(pick.index(v.len()) < v.len());
+        }
+
+        #[test]
+        fn oneof_and_filter(
+            k in prop_oneof![Just(1u8), Just(2), (5u8..9).prop_filter("even", |x| x % 2 == 0)],
+        ) {
+            prop_assert!(k == 1 || k == 2 || k == 6 || k == 8);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn regex_strategy_respects_class_and_bounds(s in "[ -~\n]{0,200}", t in "ab?c{2,4}[x-z]") {
+            prop_assert!(s.len() <= 200);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            prop_assert!(t.starts_with('a'));
+            let tail: Vec<char> = t.chars().collect();
+            prop_assert!(('x'..='z').contains(tail.last().unwrap()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        let s = (0u32..1000, 0.0f64..1.0);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

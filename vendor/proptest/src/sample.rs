@@ -1,0 +1,22 @@
+//! Sampling helpers (`proptest::sample::Index`).
+
+use crate::{Arbitrary, TestRng};
+
+/// A length-agnostic index: drawn once, projected onto any collection
+/// size with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this draw onto `[0, size)`; panics if `size` is zero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index(0)");
+        ((u128::from(self.0) * size as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,35 @@
+//! Stand-in for `serde`'s trait surface.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model and
+//! configuration types but never drives an actual serializer (no data
+//! format crate is in the graph), so the traits here are markers with
+//! blanket implementations and the derives (re-exported from the
+//! in-tree `serde_derive`) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// The `serde::de` module surface used in bounds.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// The `serde::ser` module surface used in bounds.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op stand-in for the `serde_derive` proc macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! annotations (nothing actually serializes: there is no `serde_json`
+//! or similar in the dependency graph), so the derives expand to
+//! nothing. The in-tree `serde` crate provides blanket implementations
+//! of the marker traits, so `T: Serialize` bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
