@@ -270,13 +270,21 @@ impl VerifiedEngine {
     /// findings against this engine's retained set.
     pub fn verify(&mut self, kernel: &Kernel, n_args: usize) -> &KernelReport {
         let key = (kernel.fingerprint(), n_args);
-        self.verdicts.entry(key).or_insert_with(|| {
+        if !self.verdicts.contains_key(&key) {
             let mut report = analyze(kernel, n_args);
             if let Some(retained) = self.engine.retained() {
                 report.findings.extend(trim_findings(kernel, retained));
             }
-            report
-        })
+            if report.is_clean() {
+                // A clean verdict means this kernel is about to run;
+                // lower it into the engine's predecode cache now (both
+                // caches key on the same content fingerprint) so the
+                // first launch pays no lowering cost.
+                self.engine.predecode(kernel);
+            }
+            self.verdicts.insert(key, report);
+        }
+        &self.verdicts[&key]
     }
 
     /// Launches `kernel` after proving it clean and trim-compatible.
@@ -422,6 +430,9 @@ mod tests {
         assert_eq!(engine.cached_verdicts(), 1, "same kernel, same verdict");
         engine.launch(&k, 1, &[7], &mut mem).unwrap();
         assert_eq!(engine.cached_verdicts(), 2, "arg count is part of the key");
+        // Verification pre-warmed the engine's predecode cache under the
+        // same fingerprint, once (arg count is not part of *that* key).
+        assert_eq!(engine.engine().predecoded_kernels(), 1);
     }
 
     #[test]

@@ -5,19 +5,44 @@
 //! cargo run --release -p rtad-bench --bin repro -- table1 table2 fig6 fig7
 //! cargo run --release -p rtad-bench --bin repro -- fig8          # 3-benchmark subset
 //! cargo run --release -p rtad-bench --bin repro -- fig8-full     # all twelve
+//! cargo run --release -p rtad-bench --bin repro -- fig8-full --serial
 //! ```
+//!
+//! Sweeps run on the batched sweep runner (one worker per core) by
+//! default; `--serial` opts back into the plain serial loops. Either
+//! way the tables and figures are byte-identical — only host wall-clock
+//! changes. `fig8-full` additionally writes `BENCH_pr2.json` (host
+//! perf telemetry; schema in EXPERIMENTS.md) to the working directory.
 
-use rtad_bench::{Fig6, Fig7, Fig8, Table1, Table2};
+use std::time::Instant;
+
+use rtad_bench::{
+    measure_engine_speedup, BenchReport, Fig6, Fig7, Fig8, Table1, Table2, REPRO_SEED,
+};
+use rtad_soc::sweep_threads;
 use rtad_workloads::Benchmark;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted: Vec<&str> = if args.is_empty() {
+    let serial = args.iter().any(|a| a == "--serial");
+    let targets: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|&a| a != "--serial")
+        .collect();
+    let wanted: Vec<&str> = if targets.is_empty() {
         vec!["all"]
     } else {
-        args.iter().map(String::as_str).collect()
+        targets
     };
     let has = |name: &str| wanted.iter().any(|&w| w == name || w == "all");
+    let run_fig8 = |benches: &[Benchmark]| {
+        if serial {
+            Fig8::run_serial(benches)
+        } else {
+            Fig8::run(benches)
+        }
+    };
 
     if has("table1") {
         println!("{}\n", Table1::run());
@@ -37,11 +62,28 @@ fn main() {
         // case.
         println!(
             "{}\n",
-            Fig8::run(&[Benchmark::Mcf, Benchmark::Sjeng, Benchmark::Omnetpp])
+            run_fig8(&[Benchmark::Mcf, Benchmark::Sjeng, Benchmark::Omnetpp])
         );
     }
     if wanted.contains(&"fig8-full") {
-        println!("{}\n", Fig8::run(&Benchmark::ALL));
+        let mode = if serial { "serial" } else { "parallel" };
+        let threads = if serial { 1 } else { sweep_threads() };
+        let mut report = BenchReport::new(REPRO_SEED, mode, threads);
+
+        let start = Instant::now();
+        let fig8 = run_fig8(&Benchmark::ALL);
+        report.push_stage("fig8_sweep", start.elapsed());
+        println!("{fig8}\n");
+
+        let start = Instant::now();
+        report.engine = Some(measure_engine_speedup(REPRO_SEED, 8));
+        report.push_stage("engine_speedup", start.elapsed());
+
+        let path = std::path::Path::new("BENCH_pr2.json");
+        match report.write_to(path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
     }
     if wanted.iter().all(|w| {
         ![
@@ -57,7 +99,7 @@ fn main() {
     }) {
         eprintln!(
             "unknown target(s) {wanted:?}; expected any of: \
-             table1 table2 fig6 fig7 fig8 fig8-full all"
+             table1 table2 fig6 fig7 fig8 fig8-full all [--serial]"
         );
         std::process::exit(2);
     }

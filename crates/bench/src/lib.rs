@@ -1,15 +1,22 @@
 //! Experiment runners shared by the `repro` binary and the Criterion
 //! benches. One function per table/figure of the paper; each returns a
 //! structured result whose `Display` prints the same rows/series the
-//! paper reports.
+//! paper reports. Sweeps run on `rtad-soc`'s batched sweep runner by
+//! default (byte-identical output to the serial loops); [`perf`] holds
+//! the host-performance telemetry behind `BENCH_pr2.json`.
 
 use std::fmt;
+
+pub mod perf;
+
+pub use perf::{measure_engine_speedup, BenchReport, EngineComparison, StageTiming};
 
 use rtad::miaow::area::{variant_area, EngineVariant};
 use rtad::sim::Zc706;
 use rtad::soc::backend::EngineKind;
-use rtad::soc::detection::{DetectionConfig, DetectionOutcome, DetectionRun, ModelKind};
+use rtad::soc::detection::{DetectionConfig, DetectionOutcome, ModelKind, PreparedDetection};
 use rtad::soc::overhead::{geomean_overhead, OverheadModel, OverheadRow, TraceMechanism};
+use rtad::soc::sweep::{parallel_map, sweep_threads};
 use rtad::soc::transfer::{measure_rtad_transfer, measure_sw_transfer, SwTransferModel};
 use rtad::soc::{mlpu_total, rtad_module_inventory, TransferBreakdown};
 use rtad::trace::PtmConfig;
@@ -306,32 +313,49 @@ pub struct Fig8 {
 }
 
 impl Fig8 {
-    /// Runs the sweep. `benches` selects the benchmark subset (the full
-    /// twelve take several minutes).
+    /// Runs the sweep on the batched sweep runner (one worker per
+    /// available core). `benches` selects the benchmark subset (the
+    /// full twelve take a while).
     pub fn run(benches: &[Benchmark]) -> Fig8 {
-        let mut cells = Vec::new();
-        for &bench in benches {
-            for model in [ModelKind::Elm, ModelKind::Lstm] {
-                // Prepare once per engine (per-event cycles differ), but
-                // training dominates; share the trained run via prepare's
-                // determinism (same seed → same model).
-                for engine in [EngineKind::Miaow, EngineKind::MlMiaow] {
-                    let config = DetectionConfig {
-                        seed: REPRO_SEED,
-                        ..DetectionConfig::fig8(bench, model, engine)
-                    };
-                    let run = DetectionRun::prepare(config);
-                    let outcome = run.execute();
-                    cells.push(Fig8Cell {
-                        bench,
-                        model,
-                        engine,
-                        outcome,
-                    });
+        Fig8::run_threaded(benches, sweep_threads())
+    }
+
+    /// Runs the sweep on the plain serial loop (the `--serial` path of
+    /// the `repro` binary). Cell-for-cell identical to [`Fig8::run`].
+    pub fn run_serial(benches: &[Benchmark]) -> Fig8 {
+        Fig8::run_threaded(benches, 1)
+    }
+
+    fn run_threaded(benches: &[Benchmark], threads: usize) -> Fig8 {
+        // One preparation per (benchmark, model): training, threshold
+        // calibration, kernel compilation, trim profiling and attack
+        // injection are engine-independent, so the MIAOW and ML-MIAOW
+        // cells share them and only re-measure cycles-per-event. Cells
+        // come back in input order, so the rendered figure is
+        // byte-identical to the old bench→model→engine nested loop.
+        let pairs: Vec<(Benchmark, ModelKind)> = benches
+            .iter()
+            .flat_map(|&bench| [(bench, ModelKind::Elm), (bench, ModelKind::Lstm)])
+            .collect();
+        let groups = parallel_map(&pairs, threads, |_, &(bench, model)| {
+            let config = DetectionConfig {
+                seed: REPRO_SEED,
+                ..DetectionConfig::fig8(bench, model, EngineKind::Miaow)
+            };
+            let prepared = PreparedDetection::prepare(config);
+            [EngineKind::Miaow, EngineKind::MlMiaow].map(|engine| {
+                let outcome = prepared.run_for(engine).execute();
+                Fig8Cell {
+                    bench,
+                    model,
+                    engine,
+                    outcome,
                 }
-            }
+            })
+        });
+        Fig8 {
+            cells: groups.into_iter().flatten().collect(),
         }
-        Fig8 { cells }
     }
 
     fn cell(&self, bench: Benchmark, model: ModelKind, engine: EngineKind) -> Option<&Fig8Cell> {

@@ -1,0 +1,328 @@
+//! Host-performance telemetry for the reproduction harness.
+//!
+//! The simulated numbers (cycles, latencies, areas) are the paper's
+//! results; this module measures the *simulator's* own speed: how long
+//! each reproduction stage takes on the host, and how much the
+//! predecoded-kernel cache plus parallel multi-CU execution buy over
+//! the serial interpreter. `repro -- fig8-full` emits the report as
+//! `BENCH_pr2.json` (schema documented in EXPERIMENTS.md); everything
+//! is hand-rolled because the workspace vendors no JSON crate.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rtad::miaow::{Engine, EngineConfig};
+use rtad::ml::{DeviceModel, Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice};
+use rtad::soc::backend::profile_trim_plan;
+
+/// Wall-clock of one named reproduction stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Stage name (e.g. `fig8_sweep`).
+    pub name: String,
+    /// Elapsed host wall-clock in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Serial-vs-parallel engine measurement: the same ML-MIAOW inference
+/// pass run once with `EngineConfig::parallel = false` and once with
+/// `true`. Simulated cycle counts are recorded for both sides so the
+/// report itself witnesses that parallel execution changes nothing the
+/// paper measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineComparison {
+    /// Inference repetitions timed per side.
+    pub reps: usize,
+    /// ELM per-event simulated cycles on the serial engine.
+    pub elm_cycles_serial: u64,
+    /// ELM per-event simulated cycles on the parallel engine.
+    pub elm_cycles_parallel: u64,
+    /// LSTM per-step simulated cycles on the serial engine.
+    pub lstm_cycles_serial: u64,
+    /// LSTM per-step simulated cycles on the parallel engine.
+    pub lstm_cycles_parallel: u64,
+    /// Host wall-clock of the serial pass, milliseconds.
+    pub serial_wall_ms: f64,
+    /// Host wall-clock of the parallel pass, milliseconds.
+    pub parallel_wall_ms: f64,
+}
+
+impl EngineComparison {
+    /// Host speedup of the parallel pass over the serial pass.
+    pub fn speedup(&self) -> f64 {
+        self.serial_wall_ms / self.parallel_wall_ms
+    }
+
+    /// True when both sides simulated identical cycle counts (always,
+    /// by construction; kept as an explicit witness for the report).
+    pub fn cycles_match(&self) -> bool {
+        self.elm_cycles_serial == self.elm_cycles_parallel
+            && self.lstm_cycles_serial == self.lstm_cycles_parallel
+    }
+}
+
+/// The `BENCH_pr2.json` payload: per-stage wall-clocks plus the
+/// serial-vs-parallel engine comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Master seed the reproduction ran under.
+    pub seed: u64,
+    /// `"parallel"` or `"serial"` (the `--serial` flag).
+    pub sweep_mode: String,
+    /// Worker count the sweep runner used.
+    pub sweep_threads: usize,
+    /// Timed stages, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// The engine measurement, when one was run.
+    pub engine: Option<EngineComparison>,
+}
+
+impl BenchReport {
+    /// Starts an empty report.
+    pub fn new(seed: u64, sweep_mode: &str, sweep_threads: usize) -> BenchReport {
+        BenchReport {
+            seed,
+            sweep_mode: sweep_mode.to_string(),
+            sweep_threads,
+            stages: Vec::new(),
+            engine: None,
+        }
+    }
+
+    /// Appends a timed stage.
+    pub fn push_stage(&mut self, name: &str, wall: Duration) {
+        self.stages.push(StageTiming {
+            name: name.to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+        });
+    }
+
+    /// Renders the report as pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"rtad-bench-pr2/v1\",");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(
+            s,
+            "  \"sweep\": {{ \"mode\": {}, \"threads\": {} }},",
+            json_string(&self.sweep_mode),
+            self.sweep_threads
+        );
+        s.push_str("  \"stages\": [");
+        for (i, stage) in self.stages.iter().enumerate() {
+            let sep = if i + 1 < self.stages.len() { "," } else { "" };
+            let _ = write!(
+                s,
+                "\n    {{ \"name\": {}, \"wall_ms\": {} }}{sep}",
+                json_string(&stage.name),
+                json_f64(stage.wall_ms)
+            );
+        }
+        if self.stages.is_empty() {
+            s.push_str("],\n");
+        } else {
+            s.push_str("\n  ],\n");
+        }
+        match &self.engine {
+            None => s.push_str("  \"engine_speedup\": null\n"),
+            Some(e) => {
+                s.push_str("  \"engine_speedup\": {\n");
+                let _ = writeln!(s, "    \"reps\": {},", e.reps);
+                let _ = writeln!(
+                    s,
+                    "    \"simulated_cycles\": {{\n      \"elm\": {{ \"serial\": {}, \"parallel\": {} }},\n      \"lstm\": {{ \"serial\": {}, \"parallel\": {} }}\n    }},",
+                    e.elm_cycles_serial,
+                    e.elm_cycles_parallel,
+                    e.lstm_cycles_serial,
+                    e.lstm_cycles_parallel
+                );
+                let _ = writeln!(s, "    \"cycles_match\": {},", e.cycles_match());
+                let _ = writeln!(
+                    s,
+                    "    \"wall_ms\": {{ \"serial\": {}, \"parallel\": {} }},",
+                    json_f64(e.serial_wall_ms),
+                    json_f64(e.parallel_wall_ms)
+                );
+                let _ = writeln!(s, "    \"speedup\": {}", json_f64(e.speedup()));
+                s.push_str("  }\n");
+            }
+        }
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error when the path is not writable.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// JSON string literal with the escapes our names can need.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number with millisecond-scale precision.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn trained_devices(seed: u64) -> (ElmDevice, LstmDevice) {
+    let normal: Vec<Vec<f32>> = (0..60)
+        .map(|i| {
+            let mut v = vec![0.0; 16];
+            v[i % 4] = 0.6;
+            v[(i + 1) % 4] = 0.4;
+            v
+        })
+        .collect();
+    let elm = Elm::train(&ElmConfig::rtad(), &normal, seed);
+    let corpus: Vec<u32> = (0..400).map(|i| (i % 16) as u32).collect();
+    let mut cfg = LstmConfig::rtad();
+    cfg.epochs = 1;
+    let lstm = Lstm::train(&cfg, &corpus, seed);
+    (ElmDevice::compile(&elm), LstmDevice::compile(&lstm))
+}
+
+/// `reps` ELM inferences + `reps` LSTM steps on one engine instance
+/// (so the predecode cache amortizes, as it does in deployment).
+fn timed_pass(
+    elm_dev: &ElmDevice,
+    lstm_dev: &LstmDevice,
+    config: EngineConfig,
+    reps: usize,
+) -> (u64, u64, f64) {
+    let start = Instant::now();
+    let mut engine = Engine::new(config);
+    let mut mem = elm_dev.load(&mut engine);
+    let mut elm_cycles = 0;
+    for _ in 0..reps {
+        elm_cycles = elm_dev
+            .infer(&mut engine, &mut mem, &[0.05; 16])
+            .expect("measurement inference runs")
+            .cycles;
+    }
+    let mut mem = lstm_dev.load(&mut engine);
+    lstm_dev.reset(&mut mem);
+    let mut lstm_cycles = 0;
+    for _ in 0..reps {
+        lstm_cycles = lstm_dev
+            .step(&mut engine, &mut mem, 0)
+            .expect("measurement step runs")
+            .cycles;
+    }
+    (elm_cycles, lstm_cycles, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Measures the host cost of the five-CU ML-MIAOW inference pass with
+/// parallel CU execution off and on. The simulated cycle counts must
+/// (and do) match bit-for-bit; only the host wall-clock differs.
+///
+/// # Panics
+///
+/// Panics if the two sides ever disagree on simulated cycles — that
+/// would mean parallel execution broke the determinism contract.
+pub fn measure_engine_speedup(seed: u64, reps: usize) -> EngineComparison {
+    let (elm_dev, lstm_dev) = trained_devices(seed);
+    let plan = profile_trim_plan(&elm_dev, &lstm_dev);
+
+    let mut serial_cfg = EngineConfig::ml_miaow(&plan);
+    serial_cfg.parallel = false;
+    let parallel_cfg = EngineConfig::ml_miaow(&plan);
+
+    let (elm_s, lstm_s, wall_s) = timed_pass(&elm_dev, &lstm_dev, serial_cfg, reps);
+    let (elm_p, lstm_p, wall_p) = timed_pass(&elm_dev, &lstm_dev, parallel_cfg, reps);
+    assert_eq!(elm_s, elm_p, "parallel engine changed ELM cycles");
+    assert_eq!(lstm_s, lstm_p, "parallel engine changed LSTM cycles");
+
+    EngineComparison {
+        reps,
+        elm_cycles_serial: elm_s,
+        elm_cycles_parallel: elm_p,
+        lstm_cycles_serial: lstm_s,
+        lstm_cycles_parallel: lstm_p,
+        serial_wall_ms: wall_s,
+        parallel_wall_ms: wall_p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_has_stable_shape() {
+        let mut r = BenchReport::new(7, "parallel", 4);
+        r.push_stage("fig8_sweep", Duration::from_millis(1500));
+        r.engine = Some(EngineComparison {
+            reps: 8,
+            elm_cycles_serial: 1000,
+            elm_cycles_parallel: 1000,
+            lstm_cycles_serial: 2000,
+            lstm_cycles_parallel: 2000,
+            serial_wall_ms: 10.0,
+            parallel_wall_ms: 5.0,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"rtad-bench-pr2/v1\""));
+        assert!(json.contains("\"seed\": 7"));
+        assert!(json.contains("\"mode\": \"parallel\", \"threads\": 4"));
+        assert!(json.contains("\"name\": \"fig8_sweep\", \"wall_ms\": 1500.000"));
+        assert!(json.contains("\"elm\": { \"serial\": 1000, \"parallel\": 1000 }"));
+        assert!(json.contains("\"cycles_match\": true"));
+        assert!(json.contains("\"speedup\": 2.000"));
+    }
+
+    #[test]
+    fn report_without_engine_serializes_null() {
+        let r = BenchReport::new(1, "serial", 1);
+        let json = r.to_json();
+        assert!(json.contains("\"stages\": [],"));
+        assert!(json.contains("\"engine_speedup\": null"));
+    }
+
+    #[test]
+    fn json_strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.25), "1.250");
+    }
+
+    #[test]
+    fn engine_speedup_preserves_simulated_cycles() {
+        let cmp = measure_engine_speedup(REPRO_TEST_SEED, 2);
+        assert!(cmp.cycles_match());
+        assert!(cmp.elm_cycles_serial > 0);
+        assert!(cmp.lstm_cycles_serial > 0);
+        assert!(cmp.serial_wall_ms > 0.0);
+        assert!(cmp.parallel_wall_ms > 0.0);
+    }
+
+    const REPRO_TEST_SEED: u64 = 11;
+}

@@ -90,6 +90,12 @@ pub trait InferenceEngine {
     fn preflight(&self) -> Result<(), String> {
         Ok(())
     }
+    /// One-time host-side warm-up before the stream starts: backends
+    /// that drive a simulated engine use this to predecode their
+    /// kernels, so the first event is not charged the lowering cost.
+    /// Purely a wall-clock optimization — simulated results are
+    /// unaffected. The default backend has nothing to warm.
+    fn warmup(&mut self) {}
 }
 
 /// The control-FSM states of Fig. 3.
@@ -276,6 +282,7 @@ impl<B: InferenceEngine> Mcm<B> {
             vectors.windows(2).all(|w| w[0].at <= w[1].at),
             "vector stream must be time-ordered"
         );
+        self.backend.warmup();
         let mut fifo: HwFifo<TimedVector> =
             HwFifo::new(self.config.fifo_depth, OverflowPolicy::DropNewest);
         let mut out = McmRunResult::default();

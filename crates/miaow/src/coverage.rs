@@ -218,6 +218,16 @@ impl Feature {
         self.block() == Block::Core
     }
 
+    /// This feature's position in a 64-bit feature mask. The enum has
+    /// fewer than 64 variants (checked by test), so one `u64` represents
+    /// any feature set — the predecoded execution path accumulates
+    /// coverage as mask ORs and converts back to a [`CoverageSet`] once
+    /// per wavefront instead of once per instruction.
+    #[inline]
+    pub const fn bit(self) -> u64 {
+        1u64 << (self as u32)
+    }
+
     /// The features an instruction exercises: its decoder arm plus its
     /// execution unit(s). Core features are implicit (every instruction
     /// uses fetch/issue/regfiles) and recorded by the execution loop.
@@ -308,6 +318,24 @@ impl CoverageSet {
         }
     }
 
+    /// Records every feature whose [`Feature::bit`] is set in `mask` —
+    /// the bulk entry point used by the predecoded execution path.
+    pub fn record_mask(&mut self, mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        for f in Feature::all() {
+            if mask & f.bit() != 0 {
+                self.features.insert(f);
+            }
+        }
+    }
+
+    /// This set as a [`Feature::bit`] mask.
+    pub fn mask(&self) -> u64 {
+        self.features.iter().fold(0u64, |m, f| m | f.bit())
+    }
+
     /// Merges another run's coverage (Fig. 4 step 2).
     pub fn merge(&mut self, other: &CoverageSet) {
         self.features.extend(other.features.iter().copied());
@@ -379,6 +407,31 @@ mod tests {
         assert_eq!(all.len(), 59);
         let set: BTreeSet<_> = all.iter().copied().collect();
         assert_eq!(set.len(), all.len(), "duplicate features in list");
+    }
+
+    #[test]
+    fn feature_bits_are_unique_and_fit_a_u64() {
+        let all = Feature::all();
+        let mut seen = 0u64;
+        for f in all {
+            let bit = f.bit();
+            assert_eq!(bit.count_ones(), 1, "{f} bit not a power of two");
+            assert_eq!(seen & bit, 0, "{f} bit collides");
+            seen |= bit;
+        }
+    }
+
+    #[test]
+    fn mask_roundtrips_through_record_mask() {
+        let mut a = CoverageSet::new();
+        a.record(Feature::ValuExp);
+        a.record(Feature::LdsRead);
+        a.record(Feature::Fetch);
+        let mut b = CoverageSet::new();
+        b.record_mask(a.mask());
+        assert_eq!(a, b);
+        b.record_mask(0); // no-op
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -10,14 +10,28 @@
 //! dispatch overhead every step and don't always have 5 CUs worth of
 //! wavefronts.
 
+use std::sync::Arc;
+use std::thread;
+
 use rtad_sim::{AreaEstimate, ClockDomain, Picos};
 
 use crate::area::{area_of_retained, full_area, EngineVariant};
 use crate::coverage::CoverageSet;
-use crate::exec::{ComputeUnit, CostModel, Dispatch, ExecError, RunStats};
+use crate::exec::{ComputeUnit, CostModel, ExecError, WaveOutcome};
 use crate::isa::Kernel;
-use crate::memory::GpuMemory;
+use crate::memory::{GpuMemory, ShadowMemory};
+use crate::predecode::{PredecodeCache, PredecodedKernel, CORE_FEATURE_MASK};
 use crate::trim::TrimPlan;
+
+/// Watchdog budget for a single wavefront (simulated cycles).
+const MAX_CYCLES_PER_WAVE: u64 = 10_000_000;
+
+/// Per-wave record of the parallel path: (cu index, store-log span
+/// start, span end, wave outcome).
+type WaveRecord = (usize, usize, usize, WaveOutcome);
+
+/// One parallel worker's yield: its wave records plus its full store log.
+type CuYield = (Vec<WaveRecord>, Vec<(u32, u32)>);
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +46,13 @@ pub struct EngineConfig {
     pub dispatch_overhead: u64,
     /// The engine clock (50 MHz on the prototype).
     pub clock: ClockDomain,
+    /// Run each launch's wavefronts on one host thread per CU
+    /// (`std::thread::scope`). Purely a host-side execution strategy:
+    /// device memory, coverage, scores and every simulated-cycle count
+    /// are bit-identical to the serial reference path (`false`), which
+    /// remains available as the oracle the determinism property test
+    /// compares against. See DESIGN.md §10.
+    pub parallel: bool,
 }
 
 impl EngineConfig {
@@ -43,6 +64,7 @@ impl EngineConfig {
             cost: CostModel::miaow(),
             dispatch_overhead: 32,
             clock: ClockDomain::rtad_miaow(),
+            parallel: false,
         }
     }
 
@@ -54,6 +76,7 @@ impl EngineConfig {
             cost: CostModel::miaow(),
             dispatch_overhead: 32,
             clock: ClockDomain::rtad_miaow(),
+            parallel: true,
         }
     }
 }
@@ -100,6 +123,7 @@ pub struct Engine {
     config: EngineConfig,
     cus: Vec<ComputeUnit>,
     observed: CoverageSet,
+    cache: PredecodeCache,
 }
 
 impl Engine {
@@ -119,6 +143,7 @@ impl Engine {
             config,
             cus,
             observed: CoverageSet::new(),
+            cache: PredecodeCache::default(),
         }
     }
 
@@ -166,16 +191,58 @@ impl Engine {
         }
     }
 
+    /// Lowers `kernel` into its predecoded form for this engine's cost
+    /// model and retained set, caching by [`Kernel::fingerprint`].
+    /// Drivers can call this ahead of time (e.g. while loading model
+    /// weights) so the first real launch is already a cache hit.
+    pub fn predecode(&mut self, kernel: &Kernel) -> Arc<PredecodedKernel> {
+        self.cache
+            .get_or_lower(kernel, &self.config.cost, self.config.retained.as_ref())
+    }
+
+    /// Number of distinct kernels lowered into the predecode cache.
+    pub fn predecoded_kernels(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Launches `waves` wavefronts of `kernel` with scalar arguments
     /// `args`, distributing them round-robin over the CUs.
+    ///
+    /// The five always-exercised core datapath features are recorded
+    /// once per launch here (not once per wave — they are launch-level
+    /// facts).
     ///
     /// # Errors
     ///
     /// Returns the first [`ExecError`] any CU hits (trimmed-feature
-    /// traps, bad addresses, watchdog).
+    /// traps, bad addresses, watchdog), "first" meaning the lowest
+    /// global wave index — identical between the serial and parallel
+    /// paths.
     pub fn launch(
         &mut self,
         kernel: &Kernel,
+        waves: usize,
+        args: &[u32],
+        mem: &mut GpuMemory,
+    ) -> Result<LaunchStats, ExecError> {
+        let pk = self
+            .cache
+            .get_or_lower(kernel, &self.config.cost, self.config.retained.as_ref());
+        if waves > 0 {
+            self.observed.record_mask(CORE_FEATURE_MASK);
+        }
+        if self.config.parallel && self.cus.len() > 1 && waves > 1 {
+            self.launch_parallel(&pk, waves, args, mem)
+        } else {
+            self.launch_serial(&pk, waves, args, mem)
+        }
+    }
+
+    /// The serial reference path: waves run one after another, directly
+    /// against `mem`, in global wave order.
+    fn launch_serial(
+        &mut self,
+        pk: &PredecodedKernel,
         waves: usize,
         args: &[u32],
         mem: &mut GpuMemory,
@@ -192,20 +259,100 @@ impl Engine {
         // the CU count.
         for wave in 0..waves {
             let cu_idx = wave % n_cus;
-            let dispatch = Dispatch {
-                waves: 1,
-                sgpr_init: args.to_vec(),
-                max_cycles_per_wave: 10_000_000,
-            };
-            let s: RunStats = self.cus[cu_idx].run_wave_indexed(
-                kernel,
-                &dispatch,
-                wave,
-                mem,
-                &mut self.observed,
-            )?;
-            cu_cycles[cu_idx] += s.cycles;
-            stats.instructions += s.instructions;
+            let out = self.cus[cu_idx].run_wave_pre(pk, args, wave, MAX_CYCLES_PER_WAVE, mem);
+            self.observed.record_mask(out.covmask);
+            if let Some(e) = out.error {
+                return Err(e);
+            }
+            cu_cycles[cu_idx] += out.stats.cycles;
+            stats.instructions += out.stats.instructions;
+            stats.waves += 1;
+        }
+
+        stats.cycles = self.config.dispatch_overhead + cu_cycles.iter().copied().max().unwrap_or(0);
+        stats.cu_cycles = cu_cycles;
+        Ok(stats)
+    }
+
+    /// The parallel path: one scoped worker thread per CU runs that CU's
+    /// round-robin share of the waves against a [`ShadowMemory`]
+    /// snapshot, logging every store. After the join barrier the logs
+    /// are replayed into `mem` in global wave order, so the final memory
+    /// image — including "last lane/last wave wins" overlaps — matches
+    /// the serial path bit for bit. Coverage masks and per-wave stats
+    /// merge in the same global order; on a fault, only waves preceding
+    /// the lowest faulting wave (plus that wave's own partial stores and
+    /// coverage) are applied, exactly like the serial early return.
+    fn launch_parallel(
+        &mut self,
+        pk: &PredecodedKernel,
+        waves: usize,
+        args: &[u32],
+        mem: &mut GpuMemory,
+    ) -> Result<LaunchStats, ExecError> {
+        let n_cus = self.cus.len();
+        // wave -> (cu, log start, log end, outcome)
+        let mut per_wave: Vec<Option<WaveRecord>> = (0..waves).map(|_| None).collect();
+        let mut logs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n_cus);
+
+        let snapshot: &GpuMemory = mem;
+        let results: Vec<CuYield> = thread::scope(|s| {
+            let handles: Vec<_> = self
+                .cus
+                .iter_mut()
+                .enumerate()
+                .map(|(cu_idx, cu)| {
+                    s.spawn(move || {
+                        let mut shadow = ShadowMemory::new(snapshot.clone());
+                        let mut records = Vec::new();
+                        for wave in (cu_idx..waves).step_by(n_cus) {
+                            let start = shadow.log_len();
+                            let out =
+                                cu.run_wave_pre(pk, args, wave, MAX_CYCLES_PER_WAVE, &mut shadow);
+                            let end = shadow.log_len();
+                            let faulted = out.error.is_some();
+                            records.push((wave, start, end, out));
+                            if faulted {
+                                // Later waves on this CU would not
+                                // have run serially either.
+                                break;
+                            }
+                        }
+                        (records, shadow.into_log())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("CU worker panicked"))
+                .collect()
+        });
+
+        for (cu_idx, (records, log)) in results.into_iter().enumerate() {
+            logs.push(log);
+            for (wave, start, end, out) in records {
+                per_wave[wave] = Some((cu_idx, start, end, out));
+            }
+        }
+
+        let mut cu_cycles = vec![0u64; n_cus];
+        let mut stats = LaunchStats {
+            cu_cycles: Vec::new(),
+            ..LaunchStats::default()
+        };
+        for slot in &mut per_wave {
+            let (cu_idx, start, end, out) = slot
+                .take()
+                .expect("a missing wave implies an earlier fault on its CU");
+            for &(addr, value) in &logs[cu_idx][start..end] {
+                mem.write_u32(addr as usize, value);
+            }
+            self.observed.record_mask(out.covmask);
+            if let Some(e) = out.error {
+                return Err(e);
+            }
+            cu_cycles[cu_idx] += out.stats.cycles;
+            stats.instructions += out.stats.instructions;
             stats.waves += 1;
         }
 
@@ -322,5 +469,82 @@ mod tests {
         let mut cfg = EngineConfig::miaow();
         cfg.cus = 0;
         let _ = Engine::new(cfg);
+    }
+
+    #[test]
+    fn predecode_cache_hits_across_launches() {
+        let mut e = Engine::new(EngineConfig::miaow());
+        let k = store_kernel();
+        assert_eq!(e.predecoded_kernels(), 0);
+        let pk = e.predecode(&k);
+        assert_eq!(pk.fingerprint(), k.fingerprint());
+        let mut mem = GpuMemory::new(1024);
+        e.launch(&k, 1, &[0], &mut mem).unwrap();
+        e.launch(&k, 1, &[0], &mut mem).unwrap();
+        assert_eq!(e.predecoded_kernels(), 1, "launches reuse the lowering");
+    }
+
+    #[test]
+    fn parallel_launch_matches_serial_bit_for_bit() {
+        let kernel = store_kernel();
+        let waves = 11; // deliberately not a multiple of the CU count
+
+        let mut serial_cfg = EngineConfig::miaow();
+        serial_cfg.cus = 5;
+        let mut parallel_cfg = serial_cfg.clone();
+        parallel_cfg.parallel = true;
+
+        let mut se = Engine::new(serial_cfg);
+        let mut pe = Engine::new(parallel_cfg);
+        let mut smem = GpuMemory::new(waves * 16 * 4);
+        let mut pmem = GpuMemory::new(waves * 16 * 4);
+        let ss = se.launch(&kernel, waves, &[0], &mut smem).unwrap();
+        let ps = pe.launch(&kernel, waves, &[0], &mut pmem).unwrap();
+
+        assert_eq!(smem, pmem);
+        assert_eq!(ss, ps, "cycles, instructions, waves and per-CU busy cycles");
+        assert_eq!(se.observed_coverage(), pe.observed_coverage());
+    }
+
+    #[test]
+    fn parallel_trap_matches_serial_error_memory_and_coverage() {
+        // Profile the store kernel, trim, then launch a kernel whose
+        // *third* instruction traps: waves 0 and 1 must have their
+        // stores and coverage applied, the error must name the same
+        // wave-0 fault as the serial path.
+        let mut profiler = Engine::new(EngineConfig::miaow());
+        let mut mem = GpuMemory::new(1024);
+        profiler.launch(&store_kernel(), 1, &[0], &mut mem).unwrap();
+        let plan = TrimPlan::from_coverage(profiler.observed_coverage());
+
+        let trapping = assemble(
+            r#"
+            v_lshl_b32 v1, v0, 2
+            v_cvt_f32_i32 v2, v0
+            buffer_store_dword v2, v1, s0
+            v_exp_f32 v3, 1.0
+            s_endpgm
+        "#,
+        )
+        .unwrap();
+
+        let serial_cfg = EngineConfig::ml_miaow(&plan);
+        let parallel_cfg = serial_cfg.clone();
+        assert!(parallel_cfg.parallel, "ml_miaow defaults to parallel");
+        let mut scfg = serial_cfg;
+        scfg.parallel = false;
+
+        let waves = 7;
+        let mut se = Engine::new(scfg);
+        let mut pe = Engine::new(parallel_cfg);
+        let mut smem = GpuMemory::new(waves * 16 * 4);
+        let mut pmem = GpuMemory::new(waves * 16 * 4);
+        let serr = se.launch(&trapping, waves, &[0], &mut smem).unwrap_err();
+        let perr = pe.launch(&trapping, waves, &[0], &mut pmem).unwrap_err();
+
+        assert_eq!(serr, perr);
+        assert!(matches!(serr, ExecError::TrimmedFeature { pc: 3, .. }));
+        assert_eq!(smem, pmem, "partial stores of the faulting wave applied");
+        assert_eq!(se.observed_coverage(), pe.observed_coverage());
     }
 }

@@ -21,7 +21,8 @@ use std::fmt;
 
 use crate::coverage::{CoverageSet, Feature};
 use crate::isa::{Instr, Kernel, SSrc, VSrc, LDS_BYTES, WAVEFRONT_LANES};
-use crate::memory::GpuMemory;
+use crate::memory::{DeviceMemory, GpuMemory};
+use crate::predecode::{PredecodedKernel, CORE_FEATURE_MASK};
 
 /// Per-instruction-class cycle costs (one CU, in ML-MIAOW/MIAOW's 50 MHz
 /// domain). MIAOW and ML-MIAOW share these — the paper: "ML-MIAOW and
@@ -142,6 +143,22 @@ pub struct RunStats {
     pub instructions: u64,
     /// Wavefronts run.
     pub waves: usize,
+}
+
+/// Result of one predecoded wavefront execution: stats plus the coverage
+/// gathered up to completion (or up to the faulting instruction), as a
+/// [`Feature::bit`] mask. Carrying the error by value instead of
+/// short-circuiting with `?` lets the parallel engine merge partial
+/// coverage and store logs from a faulted wave exactly like the serial
+/// reference does.
+#[derive(Debug)]
+pub(crate) struct WaveOutcome {
+    /// Per-wave cycle/instruction counts.
+    pub stats: RunStats,
+    /// Coverage mask accumulated by this wave.
+    pub covmask: u64,
+    /// The fault, if the wave did not run to `s_endpgm`.
+    pub error: Option<ExecError>,
 }
 
 /// Execution errors.
@@ -312,21 +329,27 @@ impl ComputeUnit {
         mem: &mut GpuMemory,
         coverage: &mut CoverageSet,
     ) -> Result<RunStats, ExecError> {
+        // Single-dispatch path: lower without a cross-launch cache (the
+        // multi-CU Engine owns the fingerprint-keyed cache).
+        let pk = PredecodedKernel::lower(kernel, &self.cost, self.retained.as_ref());
         let mut stats = RunStats::default();
-        // Every run exercises the core datapath.
-        for f in [
-            Feature::Fetch,
-            Feature::IssueLogic,
-            Feature::WavefrontCtl,
-            Feature::SgprFile,
-            Feature::VgprFile,
-        ] {
-            coverage.record(f);
-        }
+        // Every run exercises the core datapath (once per dispatch, not
+        // per wave).
+        coverage.record_mask(CORE_FEATURE_MASK);
         for wave in 0..dispatch.waves {
-            let s = self.run_wave(kernel, dispatch, wave, mem, coverage)?;
-            stats.cycles += s.cycles;
-            stats.instructions += s.instructions;
+            let out = self.run_wave_pre(
+                &pk,
+                &dispatch.sgpr_init,
+                wave,
+                dispatch.max_cycles_per_wave,
+                mem,
+            );
+            coverage.record_mask(out.covmask);
+            if let Some(e) = out.error {
+                return Err(e);
+            }
+            stats.cycles += out.stats.cycles;
+            stats.instructions += out.stats.instructions;
             stats.waves += 1;
         }
         Ok(stats)
@@ -336,6 +359,11 @@ impl ComputeUnit {
     /// multi-CU [`Engine`](crate::engine::Engine) assigns indices so
     /// `v0` sees global thread ids regardless of which CU runs the
     /// wave).
+    ///
+    /// Unlike [`ComputeUnit::run`], this does *not* record the implicit
+    /// core datapath features: they are per-launch facts and the caller
+    /// (the engine's launch loop) records them once instead of once per
+    /// wave.
     ///
     /// # Errors
     ///
@@ -348,58 +376,84 @@ impl ComputeUnit {
         mem: &mut GpuMemory,
         coverage: &mut CoverageSet,
     ) -> Result<RunStats, ExecError> {
-        for f in [
-            Feature::Fetch,
-            Feature::IssueLogic,
-            Feature::WavefrontCtl,
-            Feature::SgprFile,
-            Feature::VgprFile,
-        ] {
-            coverage.record(f);
+        let pk = PredecodedKernel::lower(kernel, &self.cost, self.retained.as_ref());
+        let out = self.run_wave_pre(
+            &pk,
+            &dispatch.sgpr_init,
+            wave_index,
+            dispatch.max_cycles_per_wave,
+            mem,
+        );
+        coverage.record_mask(out.covmask);
+        match out.error {
+            Some(e) => Err(e),
+            None => Ok(out.stats),
         }
-        self.run_wave(kernel, dispatch, wave_index, mem, coverage)
     }
 
-    fn run_wave(
+    /// The predecoded hot loop: runs one wavefront of a lowered kernel
+    /// against any [`DeviceMemory`]. Coverage is accumulated as a
+    /// [`Feature::bit`] mask (merged into a set once per wave by the
+    /// caller); errors are returned *with* the coverage gathered up to
+    /// the faulting instruction so error-path coverage matches the
+    /// original per-instruction recording bit for bit.
+    pub(crate) fn run_wave_pre<M: DeviceMemory>(
         &mut self,
-        kernel: &Kernel,
-        dispatch: &Dispatch,
+        pk: &PredecodedKernel,
+        sgpr_init: &[u32],
         wave_index: usize,
-        mem: &mut GpuMemory,
-        coverage: &mut CoverageSet,
-    ) -> Result<RunStats, ExecError> {
-        let mut st = WaveState::new(&dispatch.sgpr_init, wave_index);
+        max_cycles: u64,
+        mem: &mut M,
+    ) -> WaveOutcome {
+        let mut st = WaveState::new(sgpr_init, wave_index);
         let mut stats = RunStats {
             waves: 1,
             ..RunStats::default()
         };
+        let mut covmask = 0u64;
+        let fail = |stats, covmask, error| WaveOutcome {
+            stats,
+            covmask,
+            error: Some(error),
+        };
 
         loop {
-            let instr = kernel.code[st.pc];
-            // Feature gate: trimmed logic traps.
-            for f in Feature::of_instr(&instr) {
-                if let Some(retained) = &self.retained {
-                    if !retained.contains(f) {
-                        return Err(ExecError::TrimmedFeature {
-                            feature: f,
-                            pc: st.pc,
-                            mnemonic: instr.mnemonic(),
-                        });
-                    }
-                }
-                coverage.record(f);
+            let pre = &pk.code[st.pc];
+            // Feature gate: trimmed logic traps, with the serial path's
+            // record-before-fault prefix semantics baked in at lowering.
+            if let Some(trap) = pre.trap {
+                return fail(
+                    stats,
+                    covmask | trap.prior_mask,
+                    ExecError::TrimmedFeature {
+                        feature: trap.feature,
+                        pc: st.pc,
+                        mnemonic: pre.instr.mnemonic(),
+                    },
+                );
             }
-            stats.cycles += self.cost.cost(&instr);
+            covmask |= pre.mask;
+            stats.cycles += pre.cost;
             stats.instructions += 1;
-            if stats.cycles > dispatch.max_cycles_per_wave {
-                return Err(ExecError::Watchdog {
-                    cycles: stats.cycles,
-                });
+            if stats.cycles > max_cycles {
+                return fail(
+                    stats,
+                    covmask,
+                    ExecError::Watchdog {
+                        cycles: stats.cycles,
+                    },
+                );
             }
 
             let next_pc = st.pc + 1;
-            match instr {
-                Instr::SEndpgm => return Ok(stats),
+            match pre.instr {
+                Instr::SEndpgm => {
+                    return WaveOutcome {
+                        stats,
+                        covmask,
+                        error: None,
+                    }
+                }
                 Instr::SBranch { target } => st.pc = target,
                 Instr::SCbranchScc1 { target } => {
                     st.pc = if st.scc { target } else { next_pc };
@@ -408,18 +462,20 @@ impl ComputeUnit {
                     st.pc = if !st.scc { target } else { next_pc };
                 }
                 other => {
-                    self.exec_straightline(&other, &mut st, mem)?;
+                    if let Err(e) = self.exec_straightline(&other, &mut st, mem) {
+                        return fail(stats, covmask, e);
+                    }
                     st.pc = next_pc;
                 }
             }
         }
     }
 
-    fn exec_straightline(
+    fn exec_straightline<M: DeviceMemory>(
         &mut self,
         instr: &Instr,
         st: &mut WaveState,
-        mem: &mut GpuMemory,
+        mem: &mut M,
     ) -> Result<(), ExecError> {
         let pc = st.pc;
         let sread = |st: &WaveState, s: &SSrc| -> u32 {

@@ -31,6 +31,11 @@
 //!   MIAOW 287,903 LUT+FF, MIAOW2.0 −42%, ML-MIAOW −82%.
 //! * [`engine`] — the multi-CU engine: MIAOW (1 CU fits the ZC706) vs
 //!   ML-MIAOW (5 CUs in the same area), with dispatch overheads.
+//! * [`predecode`] — the host-performance layer: kernels are lowered
+//!   once into a flat dispatch-optimized form (precomputed costs,
+//!   coverage masks, trap verdicts) cached by kernel fingerprint, and
+//!   multi-CU launches can run wavefronts on parallel host threads with
+//!   bit-identical results (see DESIGN.md §10).
 //!
 //! # Examples
 //!
@@ -74,6 +79,7 @@ pub mod engine;
 pub mod exec;
 pub mod isa;
 pub mod memory;
+pub mod predecode;
 pub mod trim;
 
 pub use area::{variant_area, EngineVariant};
@@ -82,5 +88,6 @@ pub use coverage::{CoverageSet, Feature};
 pub use engine::{Engine, EngineConfig, LaunchStats};
 pub use exec::{ComputeUnit, Dispatch, ExecError, RunStats};
 pub use isa::{Instr, Kernel, WAVEFRONT_LANES};
-pub use memory::GpuMemory;
+pub use memory::{DeviceMemory, GpuMemory, ShadowMemory};
+pub use predecode::PredecodedKernel;
 pub use trim::{verify_trim, TrimPlan, TrimReport, TrimWorkload};

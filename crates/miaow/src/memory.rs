@@ -118,6 +118,76 @@ impl GpuMemory {
     }
 }
 
+/// Dword-level device-memory access, the interface the execution loop
+/// runs against. [`GpuMemory`] is the direct implementation; the
+/// parallel engine substitutes a write-logging shadow so per-wavefront
+/// stores can be replayed in global wave order after the worker barrier.
+pub trait DeviceMemory {
+    /// Whether `addr` is a valid dword address.
+    fn contains(&self, addr: usize) -> bool;
+    /// Reads a dword (panics on invalid addresses, like [`GpuMemory`]).
+    fn read_u32(&self, addr: usize) -> u32;
+    /// Writes a dword (panics on invalid addresses).
+    fn write_u32(&mut self, addr: usize, value: u32);
+}
+
+impl DeviceMemory for GpuMemory {
+    fn contains(&self, addr: usize) -> bool {
+        GpuMemory::contains(self, addr)
+    }
+    fn read_u32(&self, addr: usize) -> u32 {
+        GpuMemory::read_u32(self, addr)
+    }
+    fn write_u32(&mut self, addr: usize, value: u32) {
+        GpuMemory::write_u32(self, addr, value);
+    }
+}
+
+/// A [`GpuMemory`] snapshot that records every store. Each parallel CU
+/// worker executes its wavefronts against its own shadow (reads see the
+/// launch-entry snapshot plus the worker's own stores, exactly like the
+/// serial path for launches whose wavefronts touch disjoint addresses);
+/// the logs are then replayed into the real memory in global wave order,
+/// which reproduces the serial path's store ordering bit for bit.
+#[derive(Debug)]
+pub struct ShadowMemory {
+    mem: GpuMemory,
+    log: Vec<(u32, u32)>,
+}
+
+impl ShadowMemory {
+    /// Wraps a snapshot of the launch-entry memory.
+    pub fn new(snapshot: GpuMemory) -> Self {
+        ShadowMemory {
+            mem: snapshot,
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of logged stores so far (wave-span bookkeeping).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The ordered store log.
+    pub fn into_log(self) -> Vec<(u32, u32)> {
+        self.log
+    }
+}
+
+impl DeviceMemory for ShadowMemory {
+    fn contains(&self, addr: usize) -> bool {
+        self.mem.contains(addr)
+    }
+    fn read_u32(&self, addr: usize) -> u32 {
+        self.mem.read_u32(addr)
+    }
+    fn write_u32(&mut self, addr: usize, value: u32) {
+        self.mem.write_u32(addr, value);
+        self.log.push((addr as u32, value));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +224,17 @@ mod tests {
     #[should_panic(expected = "dword-aligned")]
     fn odd_size_rejected() {
         GpuMemory::new(63);
+    }
+
+    #[test]
+    fn shadow_memory_logs_stores_in_order() {
+        let mut s = ShadowMemory::new(GpuMemory::new(64));
+        assert_eq!(s.log_len(), 0);
+        DeviceMemory::write_u32(&mut s, 0, 7);
+        DeviceMemory::write_u32(&mut s, 8, 9);
+        DeviceMemory::write_u32(&mut s, 0, 11); // later store shadows
+        assert_eq!(DeviceMemory::read_u32(&s, 0), 11);
+        assert_eq!(s.into_log(), vec![(0, 7), (8, 9), (0, 11)]);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Predecoded (dispatch-optimized) kernel form and its per-engine cache.
+//!
+//! The interpreter's original hot loop re-derived everything about an
+//! instruction on every execution: `Feature::of_instr` allocated a
+//! `Vec<Feature>` per executed instruction, the cost model re-matched
+//! the full `Instr` enum, and trimmed-feature traps re-queried a
+//! `BTreeSet` per feature. For the per-event LSTM/ELM launches of
+//! `rtad-ml` — thousands of executed instructions per inference event —
+//! that walk dominated host wall-clock.
+//!
+//! Lowering happens once per kernel instead: every instruction becomes a
+//! [`PreInstr`] carrying its precomputed cycle cost, its coverage
+//! features as a single [`Feature::bit`] mask, and — when the engine is
+//! trimmed — the trap verdict (which feature faults, and which features
+//! of the same instruction were already recorded when the serial path
+//! trapped, so error-path coverage stays bit-identical). Branch targets
+//! are already resolved instruction indices in [`Instr`]; the lowered
+//! form keeps them and the executor dispatches on the copied `Instr`
+//! without any per-step feature or cost derivation.
+//!
+//! The [`Engine`](crate::engine::Engine) caches lowered kernels by
+//! [`Kernel::fingerprint`] — the same content fingerprint
+//! `rtad-analysis`'s `VerifiedEngine` keys its static verdicts with —
+//! so repeated launches of the same kernel (the steady state of every
+//! detection run) skip lowering entirely.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::coverage::{CoverageSet, Feature};
+use crate::exec::CostModel;
+use crate::isa::{Instr, Kernel};
+
+/// The five always-exercised core datapath features, as a mask. The
+/// engine records these once per *launch* (they are per-run facts, not
+/// per-wave facts — every launch fetches, issues and touches both
+/// register files).
+pub(crate) const CORE_FEATURE_MASK: u64 = Feature::Fetch.bit()
+    | Feature::IssueLogic.bit()
+    | Feature::WavefrontCtl.bit()
+    | Feature::SgprFile.bit()
+    | Feature::VgprFile.bit();
+
+/// A trimmed-feature trap precomputed at lowering time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PreTrap {
+    /// The first feature of the instruction outside the retained set
+    /// (iteration order of [`Feature::of_instr`], matching the serial
+    /// reference).
+    pub feature: Feature,
+    /// Features of the same instruction listed *before* the trapping
+    /// one: the serial path records them before faulting, so the
+    /// predecoded error path must too.
+    pub prior_mask: u64,
+}
+
+/// One lowered instruction: the architectural op plus everything the
+/// dispatch loop would otherwise re-derive per execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PreInstr {
+    /// The architectural instruction (branch targets are resolved
+    /// instruction indices already).
+    pub instr: Instr,
+    /// Precomputed cycle cost under the engine's [`CostModel`].
+    pub cost: u64,
+    /// Coverage features as a [`Feature::bit`] mask.
+    pub mask: u64,
+    /// `Some` iff executing this instruction traps on the engine's
+    /// trimmed configuration.
+    pub trap: Option<PreTrap>,
+}
+
+/// A kernel lowered for one engine configuration (cost model + retained
+/// feature set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredecodedKernel {
+    name: String,
+    fingerprint: u64,
+    pub(crate) code: Vec<PreInstr>,
+    static_mask: u64,
+}
+
+impl PredecodedKernel {
+    /// Lowers `kernel` for an engine with the given cost model and
+    /// (optional) retained-feature set.
+    pub fn lower(kernel: &Kernel, cost: &CostModel, retained: Option<&CoverageSet>) -> Self {
+        let retained_mask = retained.map(CoverageSet::mask);
+        let mut static_mask = 0u64;
+        let code = kernel
+            .code
+            .iter()
+            .map(|instr| {
+                let features = Feature::of_instr(instr);
+                let mut mask = 0u64;
+                let mut trap = None;
+                for f in &features {
+                    if trap.is_none() {
+                        if let Some(rm) = retained_mask {
+                            if rm & f.bit() == 0 {
+                                trap = Some(PreTrap {
+                                    feature: *f,
+                                    prior_mask: mask,
+                                });
+                            }
+                        }
+                    }
+                    mask |= f.bit();
+                }
+                static_mask |= mask;
+                PreInstr {
+                    instr: *instr,
+                    cost: cost.cost(instr),
+                    mask,
+                    trap,
+                }
+            })
+            .collect();
+        PredecodedKernel {
+            name: kernel.name.clone(),
+            fingerprint: kernel.fingerprint(),
+            code,
+            static_mask,
+        }
+    }
+
+    /// The source kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The source kernel's [`Kernel::fingerprint`] (the cache key).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the kernel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Union of every instruction's feature mask (static coverage upper
+    /// bound; the core features are not included).
+    pub fn static_mask(&self) -> u64 {
+        self.static_mask
+    }
+
+    /// Whether any instruction traps on the configuration this kernel
+    /// was lowered for.
+    pub fn traps(&self) -> bool {
+        self.code.iter().any(|p| p.trap.is_some())
+    }
+}
+
+/// A fingerprint-keyed cache of lowered kernels. One per engine: the
+/// lowering bakes in the engine's cost model and retained set, which are
+/// fixed at engine construction, so the fingerprint alone is a sound
+/// key *within* an engine. `Arc` because the parallel launch path shares
+/// the lowered kernel across CU worker threads.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PredecodeCache {
+    kernels: HashMap<u64, Arc<PredecodedKernel>>,
+}
+
+impl PredecodeCache {
+    /// Returns the cached lowering of `kernel`, lowering on first use.
+    pub fn get_or_lower(
+        &mut self,
+        kernel: &Kernel,
+        cost: &CostModel,
+        retained: Option<&CoverageSet>,
+    ) -> Arc<PredecodedKernel> {
+        let fp = kernel.fingerprint();
+        Arc::clone(
+            self.kernels
+                .entry(fp)
+                .or_insert_with(|| Arc::new(PredecodedKernel::lower(kernel, cost, retained))),
+        )
+    }
+
+    /// Number of cached kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn kernel() -> Kernel {
+        assemble(
+            r#"
+            v_lshl_b32 v1, v0, 2
+            v_exp_f32 v2, 1.0
+            buffer_store_dword v2, v1, s0
+            s_endpgm
+        "#,
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn lowering_precomputes_cost_and_masks() {
+        let k = kernel();
+        let cost = CostModel::miaow();
+        let pk = PredecodedKernel::lower(&k, &cost, None);
+        assert_eq!(pk.len(), k.code.len());
+        assert_eq!(pk.fingerprint(), k.fingerprint());
+        for (pre, instr) in pk.code.iter().zip(&k.code) {
+            assert_eq!(pre.cost, cost.cost(instr));
+            let mut expect = 0u64;
+            for f in Feature::of_instr(instr) {
+                expect |= f.bit();
+            }
+            assert_eq!(pre.mask, expect);
+            assert!(pre.trap.is_none(), "untrimmed engines never trap");
+        }
+        assert!(pk.static_mask() & Feature::ValuExp.bit() != 0);
+        assert!(!pk.traps());
+    }
+
+    #[test]
+    fn lowering_marks_traps_with_serial_prior_mask() {
+        let k = kernel();
+        // Retain everything except the transcendental decoder arm: the
+        // v_exp instruction must trap on DecValuTrans with no priors
+        // recorded (it is of_instr's first feature for that op).
+        let retained: CoverageSet = Feature::all()
+            .into_iter()
+            .filter(|f| *f != Feature::DecValuTrans)
+            .collect();
+        let pk = PredecodedKernel::lower(&k, &CostModel::miaow(), Some(&retained));
+        assert!(pk.traps());
+        let trap = pk.code[1].trap.expect("v_exp traps");
+        assert_eq!(trap.feature, Feature::DecValuTrans);
+        assert_eq!(trap.prior_mask, 0);
+
+        // Retain the decoder arm but not the exp unit: the prior mask
+        // now holds the already-recorded decoder feature.
+        let retained: CoverageSet = Feature::all()
+            .into_iter()
+            .filter(|f| *f != Feature::ValuExp)
+            .collect();
+        let pk = PredecodedKernel::lower(&k, &CostModel::miaow(), Some(&retained));
+        let trap = pk.code[1].trap.expect("v_exp traps");
+        assert_eq!(trap.feature, Feature::ValuExp);
+        assert_eq!(trap.prior_mask, Feature::DecValuTrans.bit());
+    }
+
+    #[test]
+    fn cache_lowers_once_per_fingerprint() {
+        let k = kernel();
+        let mut cache = PredecodeCache::default();
+        let a = cache.get_or_lower(&k, &CostModel::miaow(), None);
+        let b = cache.get_or_lower(&k, &CostModel::miaow(), None);
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the lowering");
+
+        let other = assemble("v_mov_b32 v1, 1.0\ns_endpgm").unwrap();
+        cache.get_or_lower(&other, &CostModel::miaow(), None);
+        assert_eq!(cache.len(), 2);
+    }
+}

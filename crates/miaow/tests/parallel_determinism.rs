@@ -1,0 +1,128 @@
+//! Determinism law for the parallel engine: for any kernel and wave
+//! count, parallel multi-CU execution is bit-identical to the serial
+//! reference — device memory, observed coverage, launch cycles,
+//! instruction counts and per-CU busy cycles — on both the success and
+//! the error path.
+
+use proptest::prelude::*;
+
+use rtad_miaow::asm::assemble;
+use rtad_miaow::{CoverageSet, Engine, EngineConfig, ExecError, GpuMemory, TrimPlan};
+
+/// Random straight-line kernels whose stores are per-lane disjoint
+/// (each wave writes `s1 + global_tid*4`), the access pattern every
+/// shipped ML kernel follows and the precondition of the parallel
+/// engine's store-log replay (see DESIGN.md §10).
+fn arb_kernel() -> impl Strategy<Value = String> {
+    let instr = prop_oneof![
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_add_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_mul_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_mac_f32 v{d}, 0.5, v{s}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_mov_b32 v{d}, 1.25")),
+        (1u8..8,).prop_map(|(d,)| format!("v_exp_f32 v{d}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_rcp_f32 v{d}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_cvt_f32_i32 v{d}, v0")),
+        (1u8..8, 0u32..60).prop_map(|(d, k)| {
+            // LDS read at a fixed safe offset (weights are replicated
+            // to every CU by stage_lds).
+            format!("v_mov_b32 v9, {}\nds_read_b32 v{d}, v9", k * 4)
+        }),
+        (1u8..8, 0u32..60).prop_map(|(d, k)| {
+            // Buffer load from the read-only input region (below s1).
+            format!("v_mov_b32 v9, {}\nbuffer_load_dword v{d}, v9, s0", k * 4)
+        }),
+    ];
+    proptest::collection::vec(instr, 1..20).prop_map(|lines| {
+        let mut src = lines.join("\n");
+        src.push_str(
+            "\nv_lshl_b32 v10, v0, 2\n\
+             buffer_store_dword v1, v10, s1\n\
+             s_endpgm\n",
+        );
+        src
+    })
+}
+
+struct Outcome {
+    mem: GpuMemory,
+    result: Result<rtad_miaow::LaunchStats, ExecError>,
+    observed: CoverageSet,
+}
+
+fn run(
+    src: &str,
+    waves: usize,
+    cus: usize,
+    parallel: bool,
+    retained: Option<&CoverageSet>,
+) -> Outcome {
+    let kernel = assemble(src).expect("generated source assembles");
+    let mut cfg = EngineConfig::miaow();
+    cfg.cus = cus;
+    cfg.parallel = parallel;
+    cfg.retained = retained.cloned();
+    let mut engine = Engine::new(cfg);
+    let lds: Vec<f32> = (0..64).map(|i| i as f32 * 0.75 - 3.0).collect();
+    engine.stage_lds(0, &lds);
+    // Input region [0, 256), output region [512, 512 + waves*16*4).
+    let mut mem = GpuMemory::new(1024);
+    for i in 0..64 {
+        mem.write_f32(i * 4, (i as f32) * 0.25 - 4.0);
+    }
+    let result = engine.launch(&kernel, waves, &[0, 512], &mut mem);
+    Outcome {
+        mem,
+        result,
+        observed: engine.observed_coverage().clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Success path: parallel == serial, bit for bit.
+    #[test]
+    fn parallel_equals_serial(
+        src in arb_kernel(),
+        waves in 1usize..=8,
+        cus in 1usize..=5,
+    ) {
+        let serial = run(&src, waves, cus, false, None);
+        let parallel = run(&src, waves, cus, true, None);
+        let s = serial.result.expect("straight-line kernels run");
+        let p = parallel.result.expect("straight-line kernels run");
+        prop_assert_eq!(serial.mem, parallel.mem);
+        prop_assert_eq!(&s, &p, "cycles/instructions/waves/cu_cycles");
+        prop_assert_eq!(s.cu_cycles.len(), cus);
+        prop_assert_eq!(serial.observed, parallel.observed);
+    }
+
+    /// Error path: trimming away an exercised feature makes both paths
+    /// fault on the same wave with the same error, the same partial
+    /// memory image and the same partial coverage.
+    #[test]
+    fn parallel_equals_serial_under_traps(
+        src in arb_kernel(),
+        waves in 2usize..=8,
+        cus in 2usize..=5,
+        pick in any::<prop::sample::Index>(),
+    ) {
+        // Profile on a full single CU, then remove one non-core feature.
+        let profiled = run(&src, 1, 1, false, None);
+        profiled.result.expect("profiling run succeeds");
+        let non_core: Vec<_> = profiled.observed.iter().filter(|f| !f.is_core()).collect();
+        prop_assume!(!non_core.is_empty());
+        let removed = non_core[pick.index(non_core.len())];
+        let reduced: CoverageSet =
+            profiled.observed.iter().filter(|&f| f != removed).collect();
+        let retained = TrimPlan::from_coverage(&reduced).retained().clone();
+
+        let serial = run(&src, waves, cus, false, Some(&retained));
+        let parallel = run(&src, waves, cus, true, Some(&retained));
+        let serr = serial.result.expect_err("removed feature must trap");
+        let perr = parallel.result.expect_err("removed feature must trap");
+        prop_assert_eq!(serr, perr);
+        prop_assert_eq!(serial.mem, parallel.mem);
+        prop_assert_eq!(serial.observed, parallel.observed);
+    }
+}

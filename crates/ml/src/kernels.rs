@@ -432,6 +432,11 @@ impl DeviceModel for ElmDevice {
     }
 
     fn load(&self, engine: &mut Engine) -> GpuMemory {
+        // Pre-warm the predecode cache while loading weights, so the
+        // first inference event's launches are already cache hits.
+        for k in self.kernels() {
+            engine.predecode(k);
+        }
         let mut mem = GpuMemory::new(self.mem_size.div_ceil(4) * 4);
         let image = flatten_lds_image(&self.lds_image, self.lds_bytes);
         run_lds_loader(engine, &mut mem, self.staging_base, &image);
@@ -826,6 +831,9 @@ impl DeviceModel for LstmDevice {
     }
 
     fn load(&self, engine: &mut Engine) -> GpuMemory {
+        for k in self.kernels() {
+            engine.predecode(k);
+        }
         let mut mem = GpuMemory::new(self.mem_size.div_ceil(4) * 4);
         let image = flatten_lds_image(&self.lds_image, self.lds_bytes);
         run_lds_loader(engine, &mut mem, self.staging_base, &image);
@@ -955,6 +963,48 @@ mod tests {
         assert!((fast_lstm.score - full_lstm.score).abs() < 1e-6);
         assert!(fast_elm.cycles < full_elm.cycles);
         assert!(fast_lstm.cycles < full_lstm.cycles);
+    }
+
+    /// Host-thread parallelism is invisible to the device: scores,
+    /// cycle counts and the full memory image match the serial
+    /// reference bit for bit (the tentpole's determinism contract, at
+    /// the model level).
+    #[test]
+    fn parallel_engine_scores_are_bit_identical_to_serial() {
+        let elm = trained_elm();
+        let elm_dev = ElmDevice::compile(&elm);
+        let mut lstm = trained_lstm();
+        lstm.reset();
+        let lstm_dev = LstmDevice::compile(&lstm);
+
+        let mut serial_cfg = EngineConfig::miaow();
+        serial_cfg.cus = 5;
+        let mut parallel_cfg = serial_cfg.clone();
+        parallel_cfg.parallel = true;
+        let mut se = Engine::new(serial_cfg);
+        let mut pe = Engine::new(parallel_cfg);
+
+        let mut smem = elm_dev.load(&mut se);
+        let mut pmem = elm_dev.load(&mut pe);
+        for case in 0..3 {
+            let mut x = vec![0.0f32; 16];
+            x[case % 4] = 0.6;
+            x[(case + 2) % 16] = 0.4;
+            let s = elm_dev.infer(&mut se, &mut smem, &x).unwrap();
+            let p = elm_dev.infer(&mut pe, &mut pmem, &x).unwrap();
+            assert_eq!(s, p, "ELM case {case}");
+        }
+        assert_eq!(smem, pmem);
+
+        let mut smem = lstm_dev.load(&mut se);
+        let mut pmem = lstm_dev.load(&mut pe);
+        for &t in &[0u32, 1, 2, 3, 9, 1] {
+            let s = lstm_dev.step(&mut se, &mut smem, t).unwrap();
+            let p = lstm_dev.step(&mut pe, &mut pmem, t).unwrap();
+            assert_eq!(s, p, "LSTM token {t}");
+        }
+        assert_eq!(smem, pmem);
+        assert_eq!(se.observed_coverage(), pe.observed_coverage());
     }
 
     #[test]

@@ -118,10 +118,13 @@ impl Matrix {
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| {
+        // chunks_exact + zip compile to index-free loops (the length
+        // relation is known up front), unlike per-element indexing.
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| {
                 let mut acc = 0f64;
-                for (a, b) in self.row(i).iter().zip(x) {
+                for (a, b) in row.iter().zip(x) {
                     acc += f64::from(*a) * f64::from(*b);
                 }
                 acc as f32
@@ -137,9 +140,9 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut out = vec![0f64; self.cols];
-        for (i, &xv) in x.iter().enumerate() {
+        for (&xv, row) in x.iter().zip(self.data.chunks_exact(self.cols)) {
             let xi = f64::from(xv);
-            for (o, a) in out.iter_mut().zip(self.row(i)) {
+            for (o, a) in out.iter_mut().zip(row) {
                 *o += xi * f64::from(*a);
             }
         }
@@ -154,15 +157,21 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = f64::from(self[(i, k)]);
+        // ikj order with the inner loop over zipped row slices: the same
+        // accumulation order (and the same per-step f32 rounding) as the
+        // indexed original, without a bounds check per element.
+        for (arow, orow) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(out.data.chunks_exact_mut(rhs.cols))
+        {
+            for (&aik, brow) in arow.iter().zip(rhs.data.chunks_exact(rhs.cols)) {
+                let a = f64::from(aik);
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    let v = f64::from(out[(i, j)]) + a * f64::from(rhs[(k, j)]);
-                    out[(i, j)] = v as f32;
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o = (f64::from(*o) + a * f64::from(b)) as f32;
                 }
             }
         }
@@ -397,5 +406,57 @@ mod tests {
     fn display_is_nonempty() {
         let s = format!("{}", Matrix::identity(3));
         assert!(s.contains("Matrix 3x3"));
+    }
+
+    /// The iterator-based hot loops must be bit-identical to the
+    /// straightforward indexed formulation they replaced (same
+    /// accumulation order, same f32 rounding points).
+    #[test]
+    fn hot_loops_match_indexed_reference() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+        let mut a = Matrix::zeros(13, 9);
+        a.randomize(&mut rng, 2.0);
+        let mut b = Matrix::zeros(9, 11);
+        b.randomize(&mut rng, 2.0);
+        // Sprinkle zeros so matmul's skip branch is exercised.
+        a[(0, 0)] = 0.0;
+        a[(5, 3)] = 0.0;
+        let x: Vec<f32> = (0..9).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let y: Vec<f32> = (0..13).map(|i| i as f32 * 0.2 - 1.3).collect();
+
+        let mv_ref: Vec<f32> = (0..a.rows())
+            .map(|i| {
+                let mut acc = 0f64;
+                for j in 0..a.cols() {
+                    acc += f64::from(a[(i, j)]) * f64::from(x[j]);
+                }
+                acc as f32
+            })
+            .collect();
+        assert_eq!(a.matvec(&x), mv_ref);
+
+        let mut mvt_ref = vec![0f64; a.cols()];
+        for i in 0..a.rows() {
+            for (j, o) in mvt_ref.iter_mut().enumerate() {
+                *o += f64::from(y[i]) * f64::from(a[(i, j)]);
+            }
+        }
+        let mvt_ref: Vec<f32> = mvt_ref.into_iter().map(|v| v as f32).collect();
+        assert_eq!(a.matvec_t(&y), mvt_ref);
+
+        let mut mm_ref = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = f64::from(a[(i, k)]);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    mm_ref[(i, j)] = (f64::from(mm_ref[(i, j)]) + av * f64::from(b[(k, j)])) as f32;
+                }
+            }
+        }
+        assert_eq!(a.matmul(&b), mm_ref);
     }
 }

@@ -403,6 +403,24 @@ impl InferenceEngine for DeviceBackend {
         ClockDomain::rtad_miaow()
     }
 
+    fn warmup(&mut self) {
+        // Predecode every kernel into the engine's cache before the
+        // stream starts: the first event pays no lowering cost. (Loads
+        // already pre-warm; this covers engines handed a fresh model.)
+        match self {
+            DeviceBackend::Lstm { device, engine, .. } => {
+                for k in device.kernels() {
+                    engine.predecode(k);
+                }
+            }
+            DeviceBackend::Elm { device, engine, .. } => {
+                for k in device.kernels() {
+                    engine.predecode(k);
+                }
+            }
+        }
+    }
+
     fn preflight(&self) -> Result<(), String> {
         let (findings, model) = match self {
             DeviceBackend::Lstm { device, engine, .. } => {

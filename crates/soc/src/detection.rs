@@ -148,13 +148,39 @@ pub struct DetectionRun {
     attack_cycle: u64,
 }
 
+#[derive(Clone)]
 enum ScorerKind {
     Elm(Elm),
     Lstm(Lstm),
 }
 
-impl DetectionRun {
-    /// Prepares the experiment: trains, calibrates, compiles, measures.
+/// The engine-independent part of a detection experiment: profiling,
+/// training, threshold calibration, device compilation, trim planning
+/// and attack-trace synthesis. Everything here is a function of
+/// `(bench, model, seed, ...)` only — the engine variant enters solely
+/// through the per-event cycle measurement, so one preparation serves
+/// every engine column of the Fig. 8 matrix via
+/// [`PreparedDetection::run_for`]. This is what makes the batched sweep
+/// runner fast: preparation (dominated by host training) happens once
+/// per (benchmark, model) instead of once per matrix cell, with
+/// bit-identical outcomes because every step is seed-deterministic.
+pub struct PreparedDetection {
+    config: DetectionConfig,
+    igm_config: IgmConfig,
+    scorer: ScorerKind,
+    threshold: f64,
+    hard_threshold: f64,
+    elm_dev: ElmDevice,
+    lstm_dev: LstmDevice,
+    plan: rtad_miaow::TrimPlan,
+    attack_trace: Vec<BranchRecord>,
+    attack_cycle: u64,
+}
+
+impl PreparedDetection {
+    /// Runs every engine-independent preparation step (train, calibrate,
+    /// compile, trim-plan, synthesize the attacked trace). `config.engine`
+    /// is recorded but does not influence anything computed here.
     ///
     /// # Panics
     ///
@@ -245,39 +271,33 @@ impl DetectionRun {
             }
         };
 
-        // Device compilation + trim + per-event cycle measurement. The
-        // trim plan merges both deployed models' coverage ("we consider
-        // simultaneous trimming for multiple applications", §II).
-        let cycles_per_event = {
-            let aux_elm = {
-                // A representative ELM for the merged-coverage profile
-                // when the run under test is the LSTM (and vice versa).
-                let data: Vec<Vec<f32>> = (0..40)
-                    .map(|i| {
-                        let mut v = vec![0.0; 16];
-                        v[i % 4] = 1.0;
-                        v
-                    })
-                    .collect();
-                Elm::train(&ElmConfig::rtad(), &data, 7)
-            };
-            let aux_lstm = {
-                let corpus: Vec<u32> = (0..300).map(|i| (i % 16) as u32).collect();
-                let mut c = LstmConfig::rtad();
-                c.epochs = 1;
-                Lstm::train(&c, &corpus, 7)
-            };
-            let (elm_dev, lstm_dev) = match &scorer {
-                ScorerKind::Elm(elm) => (ElmDevice::compile(elm), LstmDevice::compile(&aux_lstm)),
-                ScorerKind::Lstm(lstm) => (ElmDevice::compile(&aux_elm), LstmDevice::compile(lstm)),
-            };
-            let plan = profile_trim_plan(&elm_dev, &lstm_dev);
-            let engine_config = config.engine.engine_config(&plan);
-            match config.model {
-                ModelKind::Elm => measure_elm_cycles(&elm_dev, engine_config),
-                ModelKind::Lstm => measure_lstm_cycles(&lstm_dev, engine_config),
-            }
+        // Device compilation + trim plan. The trim plan merges both
+        // deployed models' coverage ("we consider simultaneous trimming
+        // for multiple applications", §II). Per-event cycles are
+        // engine-dependent and measured in [`PreparedDetection::run_for`].
+        let aux_elm = {
+            // A representative ELM for the merged-coverage profile
+            // when the run under test is the LSTM (and vice versa).
+            let data: Vec<Vec<f32>> = (0..40)
+                .map(|i| {
+                    let mut v = vec![0.0; 16];
+                    v[i % 4] = 1.0;
+                    v
+                })
+                .collect();
+            Elm::train(&ElmConfig::rtad(), &data, 7)
         };
+        let aux_lstm = {
+            let corpus: Vec<u32> = (0..300).map(|i| (i % 16) as u32).collect();
+            let mut c = LstmConfig::rtad();
+            c.epochs = 1;
+            Lstm::train(&c, &corpus, 7)
+        };
+        let (elm_dev, lstm_dev) = match &scorer {
+            ScorerKind::Elm(elm) => (ElmDevice::compile(elm), LstmDevice::compile(&aux_lstm)),
+            ScorerKind::Lstm(lstm) => (ElmDevice::compile(&aux_elm), LstmDevice::compile(lstm)),
+        };
+        let plan = profile_trim_plan(&elm_dev, &lstm_dev);
 
         // The attacked test trace.
         let normal = model.generate(
@@ -294,16 +314,59 @@ impl DetectionRun {
             },
         );
 
-        DetectionRun {
+        PreparedDetection {
             config,
             igm_config,
             scorer,
             threshold,
             hard_threshold,
-            cycles_per_event,
+            elm_dev,
+            lstm_dev,
+            plan,
             attack_cycle: attacked.attack_cycle,
             attack_trace: attacked.records,
         }
+    }
+
+    /// Specializes this preparation to one engine variant by measuring
+    /// the per-event cycle cost on it — the only engine-dependent step.
+    /// Calling this for each [`EngineKind`] yields exactly the runs
+    /// `DetectionRun::prepare` would have produced cell by cell.
+    pub fn run_for(&self, engine: EngineKind) -> DetectionRun {
+        let engine_config = engine.engine_config(&self.plan);
+        let cycles_per_event = match self.config.model {
+            ModelKind::Elm => measure_elm_cycles(&self.elm_dev, engine_config),
+            ModelKind::Lstm => measure_lstm_cycles(&self.lstm_dev, engine_config),
+        };
+        DetectionRun {
+            config: DetectionConfig {
+                engine,
+                ..self.config.clone()
+            },
+            igm_config: self.igm_config.clone(),
+            scorer: self.scorer.clone(),
+            threshold: self.threshold,
+            hard_threshold: self.hard_threshold,
+            cycles_per_event,
+            attack_trace: self.attack_trace.clone(),
+            attack_cycle: self.attack_cycle,
+        }
+    }
+}
+
+impl DetectionRun {
+    /// Prepares the experiment: trains, calibrates, compiles, measures.
+    /// Equivalent to `PreparedDetection::prepare(config).run_for(engine)`;
+    /// sweeps over several engines should use [`PreparedDetection`]
+    /// directly and share the preparation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training run yields too few events to train on
+    /// (raise `train_branches`).
+    pub fn prepare(config: DetectionConfig) -> Self {
+        let engine = config.engine;
+        PreparedDetection::prepare(config).run_for(engine)
     }
 
     /// The calibrated threshold.
@@ -491,9 +554,14 @@ mod tests {
 
     #[test]
     fn ml_miaow_uses_fewer_cycles_than_miaow() {
-        let miaow = DetectionRun::prepare(quick_config(ModelKind::Lstm, EngineKind::Miaow));
-        let ml = DetectionRun::prepare(quick_config(ModelKind::Lstm, EngineKind::MlMiaow));
+        // One shared preparation serves both engine columns (the sweep
+        // runner's fast path): only the measured cycles may differ.
+        let prep = PreparedDetection::prepare(quick_config(ModelKind::Lstm, EngineKind::Miaow));
+        let miaow = prep.run_for(EngineKind::Miaow);
+        let ml = prep.run_for(EngineKind::MlMiaow);
         assert!(ml.cycles_per_event() < miaow.cycles_per_event());
+        assert_eq!(miaow.threshold(), ml.threshold());
+        assert_eq!(miaow.attack_cycle(), ml.attack_cycle());
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`backend`] — [`rtad_mcm::InferenceEngine`] implementations: the
 //!   full device path and the calibrated hybrid (host-functional,
 //!   device-timed) used for long experiment sweeps.
+//! * [`sweep`] — the batched sweep runner: order-preserving parallel
+//!   execution of independent experiment cells (figure output stays
+//!   byte-identical to the serial loops).
 //! * [`area`] — Table I assembly: the full RTAD module inventory.
 //!
 //! # Examples
@@ -41,6 +44,7 @@ pub mod area;
 pub mod backend;
 pub mod detection;
 pub mod overhead;
+pub mod sweep;
 pub mod transfer;
 pub mod watchlist;
 
@@ -49,8 +53,11 @@ pub use backend::{
     measure_elm_cycles, measure_lstm_cycles, profile_trim_plan, DeviceBackend, EngineKind,
     HybridBackend, PayloadScorer, SequenceBackendModel, VectorBackendModel,
 };
-pub use detection::{DetectionConfig, DetectionOutcome, DetectionRun, ModelKind};
+pub use detection::{
+    DetectionConfig, DetectionOutcome, DetectionRun, ModelKind, PreparedDetection,
+};
 pub use overhead::{OverheadModel, OverheadRow, TraceMechanism};
+pub use sweep::{parallel_map, sweep_threads};
 pub use transfer::{
     measure_rtad_transfer, measure_sw_transfer, SwTransferModel, TransferBreakdown,
 };

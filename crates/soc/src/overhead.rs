@@ -132,12 +132,14 @@ impl OverheadModel {
         }
     }
 
-    /// Measures all twelve benchmarks (one Fig. 6 sweep).
+    /// Measures all twelve benchmarks (one Fig. 6 sweep), fanning the
+    /// independent per-benchmark cells over the sweep worker pool. Each
+    /// cell is a pure function of `(bench, branches, seed)`, so the rows
+    /// are identical to the serial loop's, in the same Fig. 6 order.
     pub fn measure_all(&self, branches: usize, seed: u64) -> Vec<OverheadRow> {
-        Benchmark::ALL
-            .iter()
-            .map(|&b| self.measure(b, branches, seed))
-            .collect()
+        crate::sweep::parallel_map(&Benchmark::ALL, crate::sweep::sweep_threads(), |_, &b| {
+            self.measure(b, branches, seed)
+        })
     }
 }
 

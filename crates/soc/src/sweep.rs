@@ -1,0 +1,107 @@
+//! The batched sweep runner: order-preserving parallel execution of
+//! independent experiment cells.
+//!
+//! Figure sweeps (Fig. 6's mechanism × benchmark grid, Fig. 8's
+//! benchmark × model × engine matrix) are embarrassingly parallel: each
+//! cell is a pure function of its seeded configuration. This module
+//! fans cells out over a scoped worker pool and returns results **in
+//! input order**, so table/figure rendering is byte-identical to the
+//! serial loop it replaces. Workers pull the next cell from a shared
+//! atomic counter (work stealing, not pre-chunking) so one slow cell —
+//! an LSTM training run, say — doesn't idle the rest of the pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order. `f` receives `(index, &item)`. With
+/// `threads <= 1` or a single item this degenerates to the plain serial
+/// loop (no threads spawned).
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let n_workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        return;
+                    }
+                    let r = f(i, &items[i]);
+                    results.lock().expect("no poisoned result lock")[i] = Some(r);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("sweep worker panicked");
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("no poisoned result lock")
+        .into_iter()
+        .map(|r| r.expect("every cell computed"))
+        .collect()
+}
+
+/// The worker count for experiment sweeps: the host's available
+/// parallelism, bounded to keep memory in check on very wide machines.
+pub fn sweep_threads() -> usize {
+    thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = parallel_map(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..23).map(|i| i * 7 + 1).collect();
+        let serial = parallel_map(&items, 1, |i, &x| x.wrapping_mul(i as u64 + 11));
+        let parallel = parallel_map(&items, 6, |i, &x| x.wrapping_mul(i as u64 + 11));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], 4, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(sweep_threads() >= 1);
+        assert!(sweep_threads() <= 16);
+    }
+}
