@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the multi-stream serving pipeline: the
+//! batched streaming path vs the per-window serial reference at
+//! several stream counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use rtad_igm::IgmConfig;
+use rtad_ml::{Elm, ElmConfig};
+use rtad_soc::{
+    encode_streams, run_pipeline, serial_reference, PipelineConfig, ServeModel, ServeSpec,
+    VerdictPolicy,
+};
+use rtad_trace::{BranchKind, BranchRecord, VirtAddr};
+
+fn spec() -> ServeSpec {
+    let targets: Vec<VirtAddr> = (0..8u32)
+        .map(|k| VirtAddr::new(0x5000 + k * 0x40))
+        .collect();
+    let normal: Vec<Vec<f32>> = (0..100)
+        .map(|i| {
+            let mut v = vec![0.0; 8];
+            v[i % 4] = 0.7;
+            v[(i + 2) % 4] = 0.3;
+            v
+        })
+        .collect();
+    ServeSpec {
+        igm: IgmConfig::histogram(&targets, 8),
+        model: ServeModel::Elm(Elm::train(&ElmConfig::tiny(8), &normal, 3)),
+        policy: VerdictPolicy::simple(1e9),
+        cycles_per_event: 901,
+    }
+}
+
+fn streams(n: usize, branches: usize) -> Vec<Vec<u8>> {
+    let targets: Vec<VirtAddr> = (0..8u32)
+        .map(|k| VirtAddr::new(0x5000 + k * 0x40))
+        .collect();
+    let runs: Vec<Vec<BranchRecord>> = (0..n)
+        .map(|s| {
+            (0..branches)
+                .map(|i| {
+                    let target = if i % 16 == 0 {
+                        targets[(i / 16 + s) % targets.len()]
+                    } else {
+                        VirtAddr::new(0x9000_0000 + ((i * 52 + s) as u32 % 4096) * 4)
+                    };
+                    BranchRecord::new(
+                        VirtAddr::new(0x1000 + (i as u32 % 8192) * 4),
+                        target,
+                        BranchKind::IndirectJump,
+                        (i as u64) * 30,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    encode_streams(&runs, 1)
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let spec = spec();
+    let config = PipelineConfig {
+        max_batch: 64,
+        queue_depth: 1024,
+        chunk_bytes: 2048,
+    };
+    let mut group = c.benchmark_group("serve");
+    for &n in &[1usize, 8] {
+        let bytes = streams(n, 2_048);
+        let total: usize = bytes.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Bytes(total as u64));
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &bytes, |b, bytes| {
+            b.iter(|| run_pipeline(&spec, &config, bytes));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("serial_reference", n),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| serial_reference(&spec, bytes));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

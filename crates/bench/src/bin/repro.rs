@@ -6,6 +6,7 @@
 //! cargo run --release -p rtad-bench --bin repro -- fig8          # 3-benchmark subset
 //! cargo run --release -p rtad-bench --bin repro -- fig8-full     # all twelve
 //! cargo run --release -p rtad-bench --bin repro -- fig8-full --serial
+//! cargo run --release -p rtad-bench --bin repro -- serve         # BENCH_pr3.json
 //! ```
 //!
 //! Sweeps run on the batched sweep runner (one worker per core) by
@@ -17,7 +18,7 @@
 use std::time::Instant;
 
 use rtad_bench::{
-    measure_engine_speedup, BenchReport, Fig6, Fig7, Fig8, Table1, Table2, REPRO_SEED,
+    measure_engine_speedup, BenchReport, Fig6, Fig7, Fig8, ServeReport, Table1, Table2, REPRO_SEED,
 };
 use rtad_soc::sweep_threads;
 use rtad_workloads::Benchmark;
@@ -85,6 +86,17 @@ fn main() {
             Err(e) => eprintln!("could not write {}: {e}", path.display()),
         }
     }
+    if wanted.contains(&"serve") {
+        // Explicit-only (like fig8-full): the multi-stream serving
+        // throughput report. Writes BENCH_pr3.json.
+        let report = ServeReport::measure(REPRO_SEED, 4_096, &[1, 8, 64], 8);
+        print!("{}", report.summary());
+        let path = std::path::Path::new("BENCH_pr3.json");
+        match report.write_to(path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
     if wanted.iter().all(|w| {
         ![
             "all",
@@ -94,12 +106,13 @@ fn main() {
             "fig7",
             "fig8",
             "fig8-full",
+            "serve",
         ]
         .contains(w)
     }) {
         eprintln!(
             "unknown target(s) {wanted:?}; expected any of: \
-             table1 table2 fig6 fig7 fig8 fig8-full all [--serial]"
+             table1 table2 fig6 fig7 fig8 fig8-full serve all [--serial]"
         );
         std::process::exit(2);
     }

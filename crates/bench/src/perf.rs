@@ -241,8 +241,15 @@ fn timed_pass(
 }
 
 /// Measures the host cost of the five-CU ML-MIAOW inference pass with
-/// parallel CU execution off and on. The simulated cycle counts must
-/// (and do) match bit-for-bit; only the host wall-clock differs.
+/// parallel CU execution forced off versus the default *auto* mode
+/// (parallel only above the work threshold on multi-core hosts; serial
+/// otherwise). The simulated cycle counts must (and do) match
+/// bit-for-bit; only the host wall-clock differs.
+///
+/// Each side is timed as the best of three interleaved trials: on hosts
+/// where auto resolves to the serial path the two sides run identical
+/// code, and best-of-trials keeps scheduler noise from reporting a
+/// phantom slowdown.
 ///
 /// # Panics
 ///
@@ -254,12 +261,19 @@ pub fn measure_engine_speedup(seed: u64, reps: usize) -> EngineComparison {
 
     let mut serial_cfg = EngineConfig::ml_miaow(&plan);
     serial_cfg.parallel = false;
-    let parallel_cfg = EngineConfig::ml_miaow(&plan);
+    let auto_cfg = EngineConfig::ml_miaow(&plan);
 
-    let (elm_s, lstm_s, wall_s) = timed_pass(&elm_dev, &lstm_dev, serial_cfg, reps);
-    let (elm_p, lstm_p, wall_p) = timed_pass(&elm_dev, &lstm_dev, parallel_cfg, reps);
-    assert_eq!(elm_s, elm_p, "parallel engine changed ELM cycles");
-    assert_eq!(lstm_s, lstm_p, "parallel engine changed LSTM cycles");
+    let (mut elm_s, mut lstm_s, mut elm_p, mut lstm_p) = (0, 0, 0, 0);
+    let (mut wall_s, mut wall_p) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let (es, ls, ws) = timed_pass(&elm_dev, &lstm_dev, serial_cfg.clone(), reps);
+        let (ep, lp, wp) = timed_pass(&elm_dev, &lstm_dev, auto_cfg.clone(), reps);
+        assert_eq!(es, ep, "parallel engine changed ELM cycles");
+        assert_eq!(ls, lp, "parallel engine changed LSTM cycles");
+        (elm_s, lstm_s, elm_p, lstm_p) = (es, ls, ep, lp);
+        wall_s = wall_s.min(ws);
+        wall_p = wall_p.min(wp);
+    }
 
     EngineComparison {
         reps,

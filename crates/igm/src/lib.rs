@@ -50,9 +50,11 @@
 pub mod ivg;
 pub mod module;
 pub mod p2s;
+pub mod streaming;
 pub mod ta;
 
 pub use ivg::{AddressMapper, InputVectorGenerator, VectorEncoder, VectorFormat, VectorPayload};
 pub use module::{Igm, IgmConfig, IgmOutput, IgmStats, TimedVector};
 pub use p2s::P2sConverter;
+pub use streaming::{StreamedVector, StreamingIgm, StreamingStats, StreamingVectorizer};
 pub use ta::{DecodedAddress, TraceAnalyzer};

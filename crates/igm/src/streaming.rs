@@ -1,0 +1,389 @@
+//! Incremental (streaming) vector emission for the serving pipeline.
+//!
+//! [`Igm::process_trace`](crate::Igm::process_trace) is a whole-trace
+//! batch API with cycle-accurate timing: it simulates MLPU clock edges,
+//! the P2S serialization schedule and per-word TA latencies to produce
+//! `TimedVector`s for the MCM's timed simulation. A serving host
+//! multiplexing many victim streams needs neither the batch shape nor
+//! the timestamps — it needs to push trace bytes *as they arrive* and
+//! get encoded vectors back immediately.
+//!
+//! [`StreamingIgm`] is that incremental path. It runs the **same**
+//! deframer, the **same** packet state machine, the same context
+//! tracking, the same per-frame P2S admission (the P2S FIFO drains
+//! completely between bursts, so its only effect on vector *content* is
+//! truncating each burst to the FIFO depth — replicated here without
+//! simulating departure times) and the same mapper/encoder. The vector
+//! sequence it emits is therefore identical to `process_trace`'s,
+//! payload for payload — pinned by this module's tests — while doing no
+//! `Picos` arithmetic and no per-word allocation.
+//!
+//! [`StreamingVectorizer`] is the record-level functional path (mapper +
+//! encoder over [`BranchRecord`]s, no PTM bytes at all), matching
+//! `rtad-soc`'s `functional_vectors` semantics for tests and benches
+//! that start from raw branch runs.
+
+use rtad_trace::ptm::{Packet, PacketDecoder};
+use rtad_trace::tpiu::{TpiuDeframer, FRAME_BYTES};
+use rtad_trace::{BranchRecord, VirtAddr};
+
+use crate::ivg::{AddressMapper, VectorEncoder, VectorPayload};
+use crate::module::IgmConfig;
+
+/// One vector emitted by the streaming path: the timed path's
+/// `TimedVector` minus the timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedVector {
+    /// The branch target that produced it.
+    pub target: VirtAddr,
+    /// Process context of the branch.
+    pub context_id: u32,
+    /// The encoded payload.
+    pub payload: VectorPayload,
+}
+
+/// Counters of a [`StreamingIgm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamingStats {
+    /// Complete TPIU frames consumed.
+    pub frames: u64,
+    /// PTM packets completed.
+    pub packets: u64,
+    /// Branch addresses extracted.
+    pub addresses: u64,
+    /// Packet-level decode errors (stream resynchronizes on A-sync).
+    pub decode_errors: u64,
+    /// Addresses dropped by the P2S admission bound (burst longer than
+    /// the FIFO depth).
+    pub p2s_dropped: u64,
+    /// Addresses accepted by the mapper.
+    pub accepted: u64,
+    /// Addresses filtered by the mapper or context filter.
+    pub filtered: u64,
+}
+
+/// The incremental TA → P2S-admission → IVG chain.
+#[derive(Debug, Clone)]
+pub struct StreamingIgm {
+    deframer: TpiuDeframer,
+    decoder: PacketDecoder,
+    /// Context carried from I-sync/context-ID packets.
+    context_id: u32,
+    context_filter: Option<u32>,
+    p2s_depth: usize,
+    mapper: AddressMapper,
+    encoder: VectorEncoder,
+    /// Bytes awaiting 4-byte word grouping (the TA's lane buffer — word
+    /// boundaries decide which *burst* an address belongs to, and burst
+    /// boundaries decide P2S truncation, so they must match the timed
+    /// path).
+    pending: Vec<u8>,
+    /// Partial TPIU frame from `push_bytes` chunks.
+    frame_buf: [u8; FRAME_BYTES],
+    frame_fill: usize,
+    /// Targets decoded from the current frame's completed words
+    /// (reused across frames to avoid per-frame allocation).
+    burst: Vec<(VirtAddr, u32)>,
+    stats: StreamingStats,
+}
+
+impl StreamingIgm {
+    /// Builds the streaming chain from the same configuration as the
+    /// timed [`crate::Igm`].
+    pub fn new(config: &IgmConfig) -> Self {
+        let mapper = AddressMapper::from_entries(config.table.iter().copied());
+        let vocab = mapper.vocab_size().max(1);
+        StreamingIgm {
+            deframer: TpiuDeframer::new(),
+            decoder: PacketDecoder::new(),
+            context_id: 0,
+            context_filter: config.context_filter,
+            p2s_depth: config.p2s_depth,
+            encoder: VectorEncoder::new(config.format, vocab),
+            mapper,
+            pending: Vec::with_capacity(FRAME_BYTES),
+            frame_buf: [0u8; FRAME_BYTES],
+            frame_fill: 0,
+            burst: Vec::with_capacity(8),
+            stats: StreamingStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> StreamingStats {
+        self.stats
+    }
+
+    /// The address mapper in use.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Pushes an arbitrary chunk of the TPIU byte stream, emitting every
+    /// vector that completes. Chunks need not align with frames.
+    pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<StreamedVector>) {
+        for &b in bytes {
+            self.frame_buf[self.frame_fill] = b;
+            self.frame_fill += 1;
+            if self.frame_fill == FRAME_BYTES {
+                self.frame_fill = 0;
+                let frame = self.frame_buf;
+                self.push_frame(&frame, out);
+            }
+        }
+    }
+
+    /// Pushes one complete TPIU frame. Malformed frames are dropped, as
+    /// the hardware (and the timed path) drop them.
+    pub fn push_frame(&mut self, frame: &[u8; FRAME_BYTES], out: &mut Vec<StreamedVector>) {
+        let Ok(payload) = self.deframer.feed_frame(frame) else {
+            return;
+        };
+        self.stats.frames += 1;
+        self.pending.extend(payload.iter().map(|&(_, b)| b));
+        // Decode only completed 4-byte words; stragglers wait for the
+        // next frame (or `finish`), exactly like the TA's lane buffer.
+        let whole = self.pending.len() - self.pending.len() % 4;
+        self.decode_burst(whole, out);
+    }
+
+    /// Flushes straggler bytes at end of stream: sub-word TA bytes
+    /// decode, and a partial TPIU frame (stream truncated mid-frame) is
+    /// dropped — both exactly as the timed path does.
+    pub fn finish(&mut self, out: &mut Vec<StreamedVector>) {
+        self.frame_fill = 0;
+        let len = self.pending.len();
+        self.decode_burst(len, out);
+    }
+
+    /// Decodes the first `take` pending bytes as one TA burst, applies
+    /// the P2S admission bound, and encodes the survivors.
+    fn decode_burst(&mut self, take: usize, out: &mut Vec<StreamedVector>) {
+        self.burst.clear();
+        for &byte in &self.pending[..take] {
+            match self.decoder.feed(byte) {
+                Ok(Some(packet)) => {
+                    self.stats.packets += 1;
+                    match packet {
+                        Packet::Isync { context_id, .. } | Packet::ContextId(context_id) => {
+                            self.context_id = context_id;
+                        }
+                        Packet::BranchAddress { target, .. } => {
+                            self.stats.addresses += 1;
+                            if self.context_filter.is_none_or(|ctx| ctx == self.context_id) {
+                                self.burst.push((target, self.context_id));
+                            } else {
+                                self.stats.filtered += 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    self.stats.decode_errors += 1;
+                }
+            }
+        }
+        self.pending.drain(..take);
+
+        // P2S admission: the FIFO is empty at every burst start (the
+        // timed path drains it completely per burst), so only the first
+        // `depth` addresses of a burst survive.
+        let admitted = self.burst.len().min(self.p2s_depth);
+        self.stats.p2s_dropped += (self.burst.len() - admitted) as u64;
+        for i in 0..admitted {
+            let (target, context_id) = self.burst[i];
+            match self.mapper.map(target) {
+                None => self.stats.filtered += 1,
+                Some(token) => {
+                    self.stats.accepted += 1;
+                    out.push(StreamedVector {
+                        target,
+                        context_id,
+                        payload: self.encoder.encode(token),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The record-level functional path: mapper + encoder straight over
+/// [`BranchRecord`]s, bypassing PTM encode/decode entirely. Equivalent
+/// to the byte-level paths whenever the PTM round trip is lossless
+/// (which the trace crate's tests prove for well-formed runs).
+#[derive(Debug, Clone)]
+pub struct StreamingVectorizer {
+    mapper: AddressMapper,
+    encoder: VectorEncoder,
+    context_filter: Option<u32>,
+}
+
+impl StreamingVectorizer {
+    /// Builds the functional chain from an IGM configuration.
+    pub fn new(config: &IgmConfig) -> Self {
+        let mapper = AddressMapper::from_entries(config.table.iter().copied());
+        let vocab = mapper.vocab_size().max(1);
+        StreamingVectorizer {
+            encoder: VectorEncoder::new(config.format, vocab),
+            mapper,
+            context_filter: config.context_filter,
+        }
+    }
+
+    /// Maps and encodes one branch record; `None` means it was filtered
+    /// (wrong context or unmapped target).
+    pub fn push_record(&mut self, record: &BranchRecord) -> Option<VectorPayload> {
+        if let Some(ctx) = self.context_filter {
+            if record.context_id != ctx {
+                return None;
+            }
+        }
+        let token = self.mapper.map(record.target)?;
+        Some(self.encoder.encode(token))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Igm;
+    use crate::VectorFormat;
+    use rtad_trace::{BranchKind, PtmConfig, StreamEncoder};
+
+    fn run_with_targets(n: usize) -> (Vec<BranchRecord>, Vec<VirtAddr>) {
+        let targets: Vec<VirtAddr> = (0..8u32)
+            .map(|k| VirtAddr::new(0x2000 + k * 0x80))
+            .collect();
+        let run: Vec<BranchRecord> = (0..n)
+            .map(|i| {
+                let mut r = BranchRecord::new(
+                    VirtAddr::new(0x1000 + (i as u32) * 4),
+                    targets[i % targets.len()],
+                    BranchKind::IndirectJump,
+                    (i as u64) * 30,
+                );
+                r.context_id = if i % 3 == 0 { 7 } else { 9 };
+                r
+            })
+            .collect();
+        (run, targets)
+    }
+
+    fn assert_streaming_matches_timed(config: IgmConfig, chunk: usize) {
+        let (run, _) = run_with_targets(300);
+        let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(&run);
+        let bytes: Vec<u8> = trace.bytes.iter().map(|tb| tb.byte).collect();
+
+        let mut timed = Igm::new(config.clone());
+        let timed_out = timed.process_trace(&trace);
+
+        let mut streaming = StreamingIgm::new(&config);
+        let mut got = Vec::new();
+        for c in bytes.chunks(chunk) {
+            streaming.push_bytes(c, &mut got);
+        }
+        streaming.finish(&mut got);
+
+        assert_eq!(got.len(), timed_out.vectors.len(), "vector count");
+        for (s, t) in got.iter().zip(&timed_out.vectors) {
+            assert_eq!(s.target, t.target);
+            assert_eq!(s.context_id, t.context_id);
+            assert_eq!(s.payload, t.payload);
+        }
+        assert_eq!(streaming.stats().accepted, timed_out.stats.accepted);
+    }
+
+    #[test]
+    fn token_stream_matches_timed_path() {
+        let (_, targets) = run_with_targets(1);
+        assert_streaming_matches_timed(IgmConfig::token_stream(&targets), 16);
+    }
+
+    #[test]
+    fn histogram_matches_timed_path() {
+        let (_, targets) = run_with_targets(1);
+        assert_streaming_matches_timed(IgmConfig::histogram(&targets, 16), 16);
+    }
+
+    #[test]
+    fn context_filter_matches_timed_path() {
+        let (_, targets) = run_with_targets(1);
+        assert_streaming_matches_timed(
+            IgmConfig::token_stream(&targets).with_context_filter(7),
+            16,
+        );
+    }
+
+    #[test]
+    fn unaligned_chunks_do_not_change_output() {
+        let (_, targets) = run_with_targets(1);
+        for chunk in [1usize, 3, 7, 16, 64, 1024] {
+            assert_streaming_matches_timed(IgmConfig::token_stream(&targets), chunk);
+        }
+    }
+
+    #[test]
+    fn partial_trailing_frame_is_dropped() {
+        let (run, targets) = run_with_targets(100);
+        let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(&run);
+        let bytes: Vec<u8> = trace.bytes.iter().map(|tb| tb.byte).collect();
+
+        let mut streaming = StreamingIgm::new(&IgmConfig::token_stream(&targets));
+        let mut got = Vec::new();
+        // Withhold the last 5 bytes: a torn frame that must not emit.
+        streaming.push_bytes(&bytes[..bytes.len() - 5], &mut got);
+        streaming.finish(&mut got);
+        let n_torn = got.len();
+
+        let mut whole = StreamingIgm::new(&IgmConfig::token_stream(&targets));
+        let mut got_whole = Vec::new();
+        whole.push_bytes(&bytes, &mut got_whole);
+        whole.finish(&mut got_whole);
+        assert!(n_torn <= got_whole.len());
+        // The torn prefix is a prefix of the whole decode.
+        assert_eq!(&got_whole[..n_torn], &got[..]);
+    }
+
+    #[test]
+    fn record_level_vectorizer_matches_byte_level() {
+        let (run, targets) = run_with_targets(200);
+        let config = IgmConfig::token_stream(&targets).with_context_filter(7);
+        let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(&run);
+        let bytes: Vec<u8> = trace.bytes.iter().map(|tb| tb.byte).collect();
+
+        let mut byte_level = StreamingIgm::new(&config);
+        let mut got = Vec::new();
+        byte_level.push_bytes(&bytes, &mut got);
+        byte_level.finish(&mut got);
+
+        let mut record_level = StreamingVectorizer::new(&config);
+        let functional: Vec<VectorPayload> = run
+            .iter()
+            .filter_map(|r| record_level.push_record(r))
+            .collect();
+
+        assert_eq!(got.len(), functional.len());
+        for (s, f) in got.iter().zip(&functional) {
+            assert_eq!(&s.payload, f);
+        }
+    }
+
+    #[test]
+    fn stats_count_filtering() {
+        let (run, targets) = run_with_targets(100);
+        // Accept only two targets.
+        let config = IgmConfig::token_stream(&targets[..2]);
+        let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(&run);
+        let bytes: Vec<u8> = trace.bytes.iter().map(|tb| tb.byte).collect();
+        let mut s = StreamingIgm::new(&config);
+        let mut got = Vec::new();
+        s.push_bytes(&bytes, &mut got);
+        s.finish(&mut got);
+        assert_eq!(s.stats().accepted as usize, got.len());
+        assert!(s.stats().filtered > 0);
+        assert_eq!(s.stats().p2s_dropped, 0);
+        let _ = format!("{:?}", VectorFormat::TokenStream);
+    }
+}

@@ -10,7 +10,7 @@
 //! dispatch overhead every step and don't always have 5 CUs worth of
 //! wavefronts.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 
 use rtad_sim::{AreaEstimate, ClockDomain, Picos};
@@ -25,6 +25,27 @@ use crate::trim::TrimPlan;
 
 /// Watchdog budget for a single wavefront (simulated cycles).
 const MAX_CYCLES_PER_WAVE: u64 = 10_000_000;
+
+/// Default minimum estimated launch work (waves × static instruction
+/// count) before the parallel host path engages when
+/// [`EngineConfig::parallel_min_work`] is left at its default.
+///
+/// Spawning one scoped thread per CU costs tens of microseconds per
+/// launch; the per-event ELM/LSTM inference launches (a few waves of a
+/// few hundred static instructions) finish serially in far less than
+/// that, which is how BENCH_pr2.json's forced-parallel path came out
+/// 6.7× *slower* than serial. The static product underestimates looping
+/// kernels, so any launch clearing this bound carries enough dynamic
+/// work to amortize the spawns.
+pub const DEFAULT_PARALLEL_MIN_WORK: u64 = 4096;
+
+/// Host threads available to the process (cached; the launch-mode
+/// decision consults it so a single-core host never pays thread-spawn
+/// overhead that cannot be recovered).
+fn host_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
 
 /// Per-wave record of the parallel path: (cu index, store-log span
 /// start, span end, wave outcome).
@@ -53,6 +74,17 @@ pub struct EngineConfig {
     /// remains available as the oracle the determinism property test
     /// compares against. See DESIGN.md §10.
     pub parallel: bool,
+    /// Minimum estimated launch work — `waves × static instruction
+    /// count` — below which a `parallel: true` engine auto-falls back
+    /// to the serial path (small launches lose more to thread spawning
+    /// than CU parallelism recovers; see
+    /// [`DEFAULT_PARALLEL_MIN_WORK`]). `0` disables the fallback and
+    /// forces the parallel path whenever `parallel` is set — the knob
+    /// the determinism tests use to exercise it. When the threshold is
+    /// active, a single-threaded host also falls back to serial. The
+    /// resolved choice of every launch is recorded in
+    /// [`LaunchStats::mode`].
+    pub parallel_min_work: u64,
 }
 
 impl EngineConfig {
@@ -65,6 +97,7 @@ impl EngineConfig {
             dispatch_overhead: 32,
             clock: ClockDomain::rtad_miaow(),
             parallel: false,
+            parallel_min_work: DEFAULT_PARALLEL_MIN_WORK,
         }
     }
 
@@ -77,8 +110,20 @@ impl EngineConfig {
             dispatch_overhead: 32,
             clock: ClockDomain::rtad_miaow(),
             parallel: true,
+            parallel_min_work: DEFAULT_PARALLEL_MIN_WORK,
         }
     }
+}
+
+/// Which host execution path a launch resolved to (host telemetry only
+/// — both paths are bit-identical in every simulated quantity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaunchMode {
+    /// Waves ran one after another on the calling thread.
+    #[default]
+    Serial,
+    /// Waves ran on one scoped worker thread per CU.
+    Parallel,
 }
 
 /// Statistics of one kernel launch across the engine.
@@ -92,12 +137,24 @@ pub struct LaunchStats {
     pub waves: usize,
     /// Per-CU busy cycles.
     pub cu_cycles: Vec<u64>,
+    /// The host path the launch resolved to (see
+    /// [`EngineConfig::parallel_min_work`]). Not a simulated quantity:
+    /// compare [`LaunchStats::work`] when checking serial/parallel
+    /// equivalence.
+    pub mode: LaunchMode,
 }
 
 impl LaunchStats {
     /// The launch latency in wall-clock time at `clock`.
     pub fn latency(&self, clock: &ClockDomain) -> Picos {
         clock.cycles_to_picos(self.cycles)
+    }
+
+    /// The simulated-work view — every field except the host-side
+    /// [`LaunchStats::mode`]. Serial and parallel launches of the same
+    /// kernel are bit-identical under this view.
+    pub fn work(&self) -> (u64, u64, usize, &[u64]) {
+        (self.cycles, self.instructions, self.waves, &self.cu_cycles)
     }
 }
 
@@ -205,6 +262,29 @@ impl Engine {
         self.cache.len()
     }
 
+    /// Predecode-cache hit/miss/size counters.
+    pub fn predecode_stats(&self) -> crate::predecode::PredecodeStats {
+        self.cache.stats()
+    }
+
+    /// Resolves the host execution path for a launch of `waves` waves
+    /// of a `kernel_len`-instruction kernel (see
+    /// [`EngineConfig::parallel_min_work`]).
+    fn choose_mode(&self, kernel_len: usize, waves: usize) -> LaunchMode {
+        if !self.config.parallel || self.cus.len() < 2 || waves < 2 {
+            return LaunchMode::Serial;
+        }
+        if self.config.parallel_min_work == 0 {
+            return LaunchMode::Parallel;
+        }
+        let estimated = waves as u64 * kernel_len as u64;
+        if estimated >= self.config.parallel_min_work && host_threads() > 1 {
+            LaunchMode::Parallel
+        } else {
+            LaunchMode::Serial
+        }
+    }
+
     /// Launches `waves` wavefronts of `kernel` with scalar arguments
     /// `args`, distributing them round-robin over the CUs.
     ///
@@ -228,13 +308,60 @@ impl Engine {
         let pk = self
             .cache
             .get_or_lower(kernel, &self.config.cost, self.config.retained.as_ref());
+        self.launch_pre(&pk, waves, args, mem)
+    }
+
+    /// Launches `waves` wavefronts of a batch of jobs — same kernel,
+    /// same wave count, per-job scalar arguments and device memory —
+    /// amortizing the dispatch front-end (one predecode-cache lookup
+    /// for the whole batch instead of one per launch). This is the
+    /// engine-backed serving path's amortized dispatch: B per-stream
+    /// inference events of the steady-state kernel become one batched
+    /// call.
+    ///
+    /// Every job's stats, memory image and coverage contribution are
+    /// identical to issuing the launches one [`Engine::launch`] at a
+    /// time — only the host-side cache traffic differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing job's [`ExecError`]; earlier jobs'
+    /// effects are applied, later jobs do not run (exactly like issuing
+    /// the launches in sequence).
+    pub fn launch_batch<'m, I>(
+        &mut self,
+        kernel: &Kernel,
+        waves: usize,
+        jobs: I,
+    ) -> Result<Vec<LaunchStats>, ExecError>
+    where
+        I: IntoIterator<Item = (&'m [u32], &'m mut GpuMemory)>,
+    {
+        let pk = self
+            .cache
+            .get_or_lower(kernel, &self.config.cost, self.config.retained.as_ref());
+        let mut out = Vec::new();
+        for (args, mem) in jobs {
+            out.push(self.launch_pre(&pk, waves, args, mem)?);
+        }
+        Ok(out)
+    }
+
+    /// The common post-predecode launch path: records launch-level
+    /// coverage and dispatches to the resolved host mode.
+    fn launch_pre(
+        &mut self,
+        pk: &PredecodedKernel,
+        waves: usize,
+        args: &[u32],
+        mem: &mut GpuMemory,
+    ) -> Result<LaunchStats, ExecError> {
         if waves > 0 {
             self.observed.record_mask(CORE_FEATURE_MASK);
         }
-        if self.config.parallel && self.cus.len() > 1 && waves > 1 {
-            self.launch_parallel(&pk, waves, args, mem)
-        } else {
-            self.launch_serial(&pk, waves, args, mem)
+        match self.choose_mode(pk.len(), waves) {
+            LaunchMode::Parallel => self.launch_parallel(pk, waves, args, mem),
+            LaunchMode::Serial => self.launch_serial(pk, waves, args, mem),
         }
     }
 
@@ -250,7 +377,7 @@ impl Engine {
         let n_cus = self.cus.len();
         let mut cu_cycles = vec![0u64; n_cus];
         let mut stats = LaunchStats {
-            cu_cycles: Vec::new(),
+            mode: LaunchMode::Serial,
             ..LaunchStats::default()
         };
 
@@ -337,7 +464,7 @@ impl Engine {
 
         let mut cu_cycles = vec![0u64; n_cus];
         let mut stats = LaunchStats {
-            cu_cycles: Vec::new(),
+            mode: LaunchMode::Parallel,
             ..LaunchStats::default()
         };
         for slot in &mut per_wave {
@@ -493,6 +620,7 @@ mod tests {
         serial_cfg.cus = 5;
         let mut parallel_cfg = serial_cfg.clone();
         parallel_cfg.parallel = true;
+        parallel_cfg.parallel_min_work = 0; // force the parallel path
 
         let mut se = Engine::new(serial_cfg);
         let mut pe = Engine::new(parallel_cfg);
@@ -502,7 +630,13 @@ mod tests {
         let ps = pe.launch(&kernel, waves, &[0], &mut pmem).unwrap();
 
         assert_eq!(smem, pmem);
-        assert_eq!(ss, ps, "cycles, instructions, waves and per-CU busy cycles");
+        assert_eq!(ss.mode, LaunchMode::Serial);
+        assert_eq!(ps.mode, LaunchMode::Parallel);
+        assert_eq!(
+            ss.work(),
+            ps.work(),
+            "cycles, instructions, waves and per-CU busy cycles"
+        );
         assert_eq!(se.observed_coverage(), pe.observed_coverage());
     }
 
@@ -529,8 +663,9 @@ mod tests {
         .unwrap();
 
         let serial_cfg = EngineConfig::ml_miaow(&plan);
-        let parallel_cfg = serial_cfg.clone();
+        let mut parallel_cfg = serial_cfg.clone();
         assert!(parallel_cfg.parallel, "ml_miaow defaults to parallel");
+        parallel_cfg.parallel_min_work = 0; // force the parallel path
         let mut scfg = serial_cfg;
         scfg.parallel = false;
 
@@ -546,5 +681,96 @@ mod tests {
         assert!(matches!(serr, ExecError::TrimmedFeature { pc: 3, .. }));
         assert_eq!(smem, pmem, "partial stores of the faulting wave applied");
         assert_eq!(se.observed_coverage(), pe.observed_coverage());
+    }
+
+    #[test]
+    fn auto_mode_falls_back_to_serial_for_small_launches() {
+        // 11 waves × 4 instructions = 44 work units, far below the
+        // default threshold: a parallel-enabled engine must choose the
+        // serial path (the BENCH_pr2 regression case).
+        let kernel = store_kernel();
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 5;
+        cfg.parallel = true;
+        assert_eq!(cfg.parallel_min_work, DEFAULT_PARALLEL_MIN_WORK);
+        let mut e = Engine::new(cfg);
+        let mut mem = GpuMemory::new(11 * 16 * 4);
+        let stats = e.launch(&kernel, 11, &[0], &mut mem).unwrap();
+        assert_eq!(stats.mode, LaunchMode::Serial);
+
+        // Forcing (threshold 0) takes the parallel path on the same
+        // launch, with identical simulated work.
+        let mut forced_cfg = e.config().clone();
+        forced_cfg.parallel_min_work = 0;
+        let mut forced = Engine::new(forced_cfg);
+        let mut fmem = GpuMemory::new(11 * 16 * 4);
+        let fstats = forced.launch(&kernel, 11, &[0], &mut fmem).unwrap();
+        assert_eq!(fstats.mode, LaunchMode::Parallel);
+        assert_eq!(stats.work(), fstats.work());
+        assert_eq!(mem, fmem);
+    }
+
+    #[test]
+    fn auto_mode_engages_parallel_above_threshold_on_multicore() {
+        let kernel = store_kernel();
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 5;
+        cfg.parallel = true;
+        cfg.parallel_min_work = 8; // 11 waves × 4 instrs = 44 ≥ 8
+        let mut e = Engine::new(cfg);
+        let mut mem = GpuMemory::new(11 * 16 * 4);
+        let stats = e.launch(&kernel, 11, &[0], &mut mem).unwrap();
+        // On a single-threaded host the threshold still resolves to
+        // serial — the whole point of the auto fallback.
+        let expect = if super::host_threads() > 1 {
+            LaunchMode::Parallel
+        } else {
+            LaunchMode::Serial
+        };
+        assert_eq!(stats.mode, expect);
+    }
+
+    #[test]
+    fn launch_batch_matches_individual_launches() {
+        let kernel = store_kernel();
+        let waves = 3;
+        let jobs = 4;
+
+        // Reference: one launch per job on a fresh engine.
+        let mut re = Engine::new(EngineConfig::miaow());
+        let mut ref_mems: Vec<GpuMemory> =
+            (0..jobs).map(|_| GpuMemory::new(waves * 16 * 4)).collect();
+        let mut ref_stats = Vec::new();
+        for mem in &mut ref_mems {
+            ref_stats.push(re.launch(&kernel, waves, &[0], mem).unwrap());
+        }
+
+        let mut be = Engine::new(EngineConfig::miaow());
+        let mut mems: Vec<GpuMemory> = (0..jobs).map(|_| GpuMemory::new(waves * 16 * 4)).collect();
+        let args = [0u32];
+        let batch_jobs: Vec<(&[u32], &mut GpuMemory)> =
+            mems.iter_mut().map(|m| (&args[..], m)).collect();
+        let batch_stats = be.launch_batch(&kernel, waves, batch_jobs).unwrap();
+
+        assert_eq!(batch_stats, ref_stats);
+        assert_eq!(mems, ref_mems);
+        assert_eq!(re.observed_coverage(), be.observed_coverage());
+        // The whole batch cost one cache lookup, not one per job.
+        let rs = re.predecode_stats();
+        let bs = be.predecode_stats();
+        assert_eq!((rs.hits, rs.misses), (jobs as u64 - 1, 1));
+        assert_eq!((bs.hits, bs.misses), (0, 1));
+    }
+
+    #[test]
+    fn engine_exposes_predecode_stats() {
+        let mut e = Engine::new(EngineConfig::miaow());
+        let k = store_kernel();
+        let mut mem = GpuMemory::new(1024);
+        e.launch(&k, 1, &[0], &mut mem).unwrap();
+        e.launch(&k, 1, &[0], &mut mem).unwrap();
+        let s = e.predecode_stats();
+        assert_eq!((s.hits, s.misses, s.kernels), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
     }
 }

@@ -85,9 +85,9 @@ pub mod trim;
 pub use area::{variant_area, EngineVariant};
 pub use asm::{assemble, AssembleError};
 pub use coverage::{CoverageSet, Feature};
-pub use engine::{Engine, EngineConfig, LaunchStats};
+pub use engine::{Engine, EngineConfig, LaunchMode, LaunchStats, DEFAULT_PARALLEL_MIN_WORK};
 pub use exec::{ComputeUnit, Dispatch, ExecError, RunStats};
 pub use isa::{Instr, Kernel, WAVEFRONT_LANES};
 pub use memory::{DeviceMemory, GpuMemory, ShadowMemory};
-pub use predecode::PredecodedKernel;
+pub use predecode::{PredecodeStats, PredecodedKernel};
 pub use trim::{verify_trim, TrimPlan, TrimReport, TrimWorkload};

@@ -156,6 +156,31 @@ impl PredecodedKernel {
     }
 }
 
+/// Hit/miss/size counters of a [`PredecodeCache`], surfaced through
+/// [`Engine::predecode_stats`](crate::Engine::predecode_stats) and the
+/// benchmark telemetry so cache effectiveness is visible across PRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredecodeStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to lower the kernel.
+    pub misses: u64,
+    /// Distinct kernels currently cached.
+    pub kernels: usize,
+}
+
+impl PredecodeStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A fingerprint-keyed cache of lowered kernels. One per engine: the
 /// lowering bakes in the engine's cost model and retained set, which are
 /// fixed at engine construction, so the fingerprint alone is a sound
@@ -164,6 +189,8 @@ impl PredecodedKernel {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PredecodeCache {
     kernels: HashMap<u64, Arc<PredecodedKernel>>,
+    hits: u64,
+    misses: u64,
 }
 
 impl PredecodeCache {
@@ -175,16 +202,28 @@ impl PredecodeCache {
         retained: Option<&CoverageSet>,
     ) -> Arc<PredecodedKernel> {
         let fp = kernel.fingerprint();
-        Arc::clone(
-            self.kernels
-                .entry(fp)
-                .or_insert_with(|| Arc::new(PredecodedKernel::lower(kernel, cost, retained))),
-        )
+        if let Some(k) = self.kernels.get(&fp) {
+            self.hits += 1;
+            return Arc::clone(k);
+        }
+        self.misses += 1;
+        let k = Arc::new(PredecodedKernel::lower(kernel, cost, retained));
+        self.kernels.insert(fp, Arc::clone(&k));
+        k
     }
 
     /// Number of cached kernels.
     pub fn len(&self) -> usize {
         self.kernels.len()
+    }
+
+    /// Hit/miss/size counters.
+    pub fn stats(&self) -> PredecodeStats {
+        PredecodeStats {
+            hits: self.hits,
+            misses: self.misses,
+            kernels: self.kernels.len(),
+        }
     }
 }
 
@@ -265,5 +304,23 @@ mod tests {
         let other = assemble("v_mov_b32 v1, 1.0\ns_endpgm").unwrap();
         cache.get_or_lower(&other, &CostModel::miaow(), None);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let k = kernel();
+        let mut cache = PredecodeCache::default();
+        assert_eq!(cache.stats(), PredecodeStats::default());
+        cache.get_or_lower(&k, &CostModel::miaow(), None);
+        cache.get_or_lower(&k, &CostModel::miaow(), None);
+        cache.get_or_lower(&k, &CostModel::miaow(), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.kernels), (2, 1, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+
+        let other = assemble("v_mov_b32 v1, 1.0\ns_endpgm").unwrap();
+        cache.get_or_lower(&other, &CostModel::miaow(), None);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.kernels), (2, 2, 2));
     }
 }

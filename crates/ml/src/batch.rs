@@ -1,0 +1,310 @@
+//! Cross-stream batched inference for the serving pipeline.
+//!
+//! A detection host multiplexing many victim streams scores one window
+//! per stream per tick. Scoring each window with a separate
+//! [`Matrix::matvec`] pays per-call dispatch (and for the LSTM, per-step
+//! temporary allocation) B times; stacking the B ready windows as the
+//! rows of one matrix turns the same arithmetic into a single
+//! [`Matrix::matmul_t`] per layer.
+//!
+//! **Bit-identity contract.** Every batched score equals the scalar
+//! path's score bit for bit, because `matmul_t` computes each output
+//! row with exactly [`Matrix::matvec`]'s accumulation semantics (one
+//! `f64` dot per element, rounded to `f32` once) and every elementwise
+//! stage (bias add, gate nonlinearities, cell update, clipped softmax,
+//! squared-error reduction) reuses the scalar path's operations in the
+//! scalar path's order. The property tests in
+//! `tests/batch_equivalence.rs` pin this across random batch shapes;
+//! `rtad-soc`'s pipeline relies on it so batching can never change a
+//! verdict.
+//!
+//! The LSTM side steps **in lockstep**: one [`LstmLane`] per stream
+//! holds that stream's recurrent state, and one `score_next_batch` call
+//! advances every lane by one token (the same timestep), stacking the
+//! hidden states. Lanes are independent — a stream ending mid-batch
+//! simply stops contributing a lane; the others are unaffected.
+
+use crate::elm::{sigmoid, Elm};
+use crate::linalg::Matrix;
+use crate::lstm::{dev_tanh, softmax_clipped, Lstm};
+
+impl Elm {
+    /// Scores a batch of feature vectors in one pass: row `b` of the
+    /// result equals `self.score(xs[b])` bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's width differs from the input dimension.
+    pub fn score_batch(&self, xs: &[&[f32]]) -> Vec<f64> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let input_dim = self.config().input_dim;
+        for (b, x) in xs.iter().enumerate() {
+            assert_eq!(x.len(), input_dim, "batch row {b} width");
+        }
+        // X: B × input. One matmul_t per layer replaces B matvecs.
+        let x = Matrix::from_rows(xs);
+        let mut h = x.matmul_t(self.w_in());
+        let hidden = self.config().hidden;
+        for row in h.as_mut_slice().chunks_exact_mut(hidden) {
+            for (v, bias) in row.iter_mut().zip(self.b_in()) {
+                *v = sigmoid(*v + bias);
+            }
+        }
+        let rec = h.matmul_t(self.w_out());
+        rec.as_slice()
+            .chunks_exact(input_dim)
+            .zip(xs)
+            .map(|(row, x)| {
+                row.iter()
+                    .zip(*x)
+                    .map(|(r, v)| {
+                        let d = f64::from(r - v);
+                        d * d
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// One stream's recurrent LSTM state for lockstep batch stepping: the
+/// per-stream half of what [`Lstm`] keeps internally for the scalar
+/// path (hidden and cell vectors plus the standing next-token
+/// prediction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmLane {
+    h: Vec<f32>,
+    c: Vec<f32>,
+    probs: Vec<f32>,
+}
+
+impl LstmLane {
+    /// A fresh lane: the state [`crate::SequenceModel::reset`] gives the
+    /// scalar path (zero hidden/cell state, prediction from the zero
+    /// state).
+    pub fn new(lstm: &Lstm) -> Self {
+        let hd = lstm.config().hidden;
+        let h = vec![0.0; hd];
+        let c = vec![0.0; hd];
+        let probs = softmax_clipped(&lstm.logits(&h));
+        LstmLane { h, c, probs }
+    }
+
+    /// The standing next-token probability distribution (matches
+    /// [`Lstm::prediction`] of a scalar model with the same history).
+    pub fn prediction(&self) -> &[f32] {
+        &self.probs
+    }
+
+    /// The hidden and cell state (for equivalence tests).
+    pub fn state(&self) -> (&[f32], &[f32]) {
+        (&self.h, &self.c)
+    }
+}
+
+impl Lstm {
+    /// A fresh per-stream lane for [`Lstm::score_next_batch`].
+    pub fn lane(&self) -> LstmLane {
+        LstmLane::new(self)
+    }
+
+    /// Advances every lane by one token in lockstep and returns each
+    /// lane's anomaly score, bit-identical to calling
+    /// [`crate::SequenceModel::score_next`] on a scalar model carrying
+    /// the same history.
+    ///
+    /// The embedding lookups, gate pre-activations (`W·x` and `U·h`)
+    /// and output logits for all `B` lanes run as single
+    /// [`Matrix::matmul_t`] calls over the stacked rows; the elementwise
+    /// stages replicate the scalar step per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` and `tokens` disagree in length, or any token
+    /// is outside the vocabulary.
+    pub fn score_next_batch(&self, lanes: &mut [&mut LstmLane], tokens: &[u32]) -> Vec<f64> {
+        assert_eq!(lanes.len(), tokens.len(), "one token per lane");
+        if lanes.is_empty() {
+            return Vec::new();
+        }
+        let vocab = self.config().vocab;
+        let hd = self.config().hidden;
+        for &t in tokens {
+            assert!((t as usize) < vocab, "token outside vocabulary");
+        }
+
+        // Scores come from each lane's standing prediction, before the
+        // state advances — exactly score_next's order.
+        let scores: Vec<f64> = lanes
+            .iter()
+            .zip(tokens)
+            .map(|(lane, &t)| {
+                let p = lane.probs[t as usize].max(1e-12);
+                -f64::from(p.ln())
+            })
+            .collect();
+
+        // Stack the timestep: X (B × embed) gathers embeddings, Hprev
+        // (B × hidden) stacks the lanes' hidden states.
+        let xrows: Vec<&[f32]> = tokens
+            .iter()
+            .map(|&t| self.embedding().row(t as usize))
+            .collect();
+        let x = Matrix::from_rows(&xrows);
+        let hrows: Vec<&[f32]> = lanes.iter().map(|lane| lane.h.as_slice()).collect();
+        let h_prev = Matrix::from_rows(&hrows);
+
+        let wx = x.matmul_t(self.w());
+        let uh = h_prev.matmul_t(self.u());
+
+        for (b, lane) in lanes.iter_mut().enumerate() {
+            let wx_row = wx.row(b);
+            let uh_row = uh.row(b);
+            // z = Wx + Uh + b, gates i,f,g,o — the scalar step verbatim.
+            let z: Vec<f32> = wx_row
+                .iter()
+                .zip(uh_row)
+                .zip(self.b())
+                .map(|((a, b2), bias)| a + b2 + bias)
+                .collect();
+            let mut c = std::mem::take(&mut lane.c);
+            let mut h = std::mem::take(&mut lane.h);
+            for k in 0..hd {
+                let i = sigmoid(z[k]);
+                let f = sigmoid(z[hd + k]);
+                let g = dev_tanh(z[2 * hd + k]);
+                let o = sigmoid(z[3 * hd + k]);
+                c[k] = f * c[k] + i * g;
+                h[k] = o * dev_tanh(c[k]);
+            }
+            lane.c = c;
+            lane.h = h;
+        }
+
+        // Refresh every lane's prediction: one matmul_t for all logits.
+        let hrows: Vec<&[f32]> = lanes.iter().map(|lane| lane.h.as_slice()).collect();
+        let h_new = Matrix::from_rows(&hrows);
+        let logits = h_new.matmul_t(self.w_out());
+        for (lane, lrow) in lanes.iter_mut().zip(logits.as_slice().chunks_exact(vocab)) {
+            let with_bias: Vec<f32> = lrow.iter().zip(self.b_out()).map(|(v, b)| v + b).collect();
+            lane.probs = softmax_clipped(&with_bias);
+        }
+
+        scores
+    }
+}
+
+/// Scores one batch of ELM windows, pairing each score back to its
+/// caller-supplied tag (the pipeline's stream ids).
+pub fn elm_score_tagged<T: Copy>(elm: &Elm, windows: &[(T, Vec<f32>)]) -> Vec<(T, f64)> {
+    let rows: Vec<&[f32]> = windows.iter().map(|(_, v)| v.as_slice()).collect();
+    let scores = elm.score_batch(&rows);
+    windows.iter().map(|(tag, _)| *tag).zip(scores).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ElmConfig, LstmConfig, SequenceModel, VectorModel};
+
+    fn trained_elm(dim: usize) -> Elm {
+        let normal: Vec<Vec<f32>> = (0..120)
+            .map(|i| {
+                let mut v = vec![0.0; dim];
+                v[i % 3] = 0.6;
+                v[(i + 1) % 3] = 0.4;
+                v
+            })
+            .collect();
+        Elm::train(&ElmConfig::tiny(dim), &normal, 5)
+    }
+
+    #[test]
+    fn elm_batch_matches_scalar_bitwise() {
+        let elm = trained_elm(8);
+        let inputs: Vec<Vec<f32>> = (0..7)
+            .map(|i| (0..8).map(|j| ((i * 8 + j) as f32).sin()).collect())
+            .collect();
+        let rows: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let batched = elm.score_batch(&rows);
+        for (x, s) in inputs.iter().zip(&batched) {
+            assert_eq!(elm.score(x), *s, "batched ELM score must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn elm_empty_batch_is_empty() {
+        let elm = trained_elm(8);
+        assert!(elm.score_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn lstm_lockstep_matches_scalar_bitwise() {
+        let corpus: Vec<u32> = (0..400).map(|i| (i % 6) as u32).collect();
+        let lstm = Lstm::train(&LstmConfig::tiny(6), &corpus, 7);
+
+        // Three streams with different histories, stepped in lockstep.
+        let streams: [Vec<u32>; 3] = [
+            (0..20).map(|i| (i % 6) as u32).collect(),
+            (0..20).map(|i| ((i * 5 + 1) % 6) as u32).collect(),
+            (0..20).map(|i| ((i * 2 + 3) % 6) as u32).collect(),
+        ];
+
+        let mut lanes: Vec<LstmLane> = (0..3).map(|_| lstm.lane()).collect();
+        let mut batched_scores = vec![Vec::new(); 3];
+        for step in 0..20 {
+            let tokens: Vec<u32> = streams.iter().map(|s| s[step]).collect();
+            let mut refs: Vec<&mut LstmLane> = lanes.iter_mut().collect();
+            let scores = lstm.score_next_batch(&mut refs, &tokens);
+            for (out, s) in batched_scores.iter_mut().zip(scores) {
+                out.push(s);
+            }
+        }
+
+        for (stream, batched) in streams.iter().zip(&batched_scores) {
+            let mut scalar = lstm.clone();
+            scalar.reset();
+            for (&t, &b) in stream.iter().zip(batched) {
+                assert_eq!(
+                    scalar.score_next(t),
+                    b,
+                    "lockstep LSTM score must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_matches_reset_state() {
+        let lstm = Lstm::init(&LstmConfig::tiny(5), 3);
+        let lane = lstm.lane();
+        assert_eq!(lane.prediction(), lstm.prediction());
+        let (h, c) = lane.state();
+        assert!(h.iter().all(|&v| v == 0.0));
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn tagged_elm_scores_keep_their_tags() {
+        let elm = trained_elm(8);
+        let windows: Vec<(usize, Vec<f32>)> = (0..4)
+            .map(|i| (10 + i, (0..8).map(|j| (i + j) as f32 * 0.1).collect()))
+            .collect();
+        let scored = elm_score_tagged(&elm, &windows);
+        for ((tag, x), (stag, s)) in windows.iter().zip(&scored) {
+            assert_eq!(tag, stag);
+            assert_eq!(elm.score(x), *s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one token per lane")]
+    fn mismatched_lanes_and_tokens_panic() {
+        let lstm = Lstm::init(&LstmConfig::tiny(4), 0);
+        let mut lane = lstm.lane();
+        let mut refs = vec![&mut lane];
+        let _ = lstm.score_next_batch(&mut refs, &[0, 1]);
+    }
+}

@@ -49,6 +49,7 @@
 //! assert!(surprise > expected / 8.0);
 //! ```
 
+pub mod batch;
 pub mod elm;
 pub mod kernels;
 pub mod linalg;
@@ -57,6 +58,7 @@ pub mod mlp;
 pub mod ngram;
 pub mod score;
 
+pub use batch::LstmLane;
 pub use elm::{Elm, ElmConfig};
 pub use kernels::{DeviceInference, DeviceModel, DevicePlan, ElmDevice, LstmDevice};
 pub use linalg::Matrix;

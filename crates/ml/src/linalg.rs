@@ -149,6 +149,40 @@ impl Matrix {
         out.into_iter().map(|v| v as f32).collect()
     }
 
+    /// Matrix product `self * rhsᵀ`, with [`Matrix::matvec`] rounding
+    /// semantics: every output element is one `f64`-accumulated dot
+    /// product of a `self` row and a `rhs` row, rounded to `f32` once.
+    ///
+    /// This is the batched-inference primitive: row `i` of the result
+    /// equals `rhs.matvec(self.row(i))` bit for bit, so stacking B
+    /// input vectors as the rows of `self` scores a whole batch in one
+    /// call without perturbing any single-vector score. (Plain
+    /// [`Matrix::matmul`] rounds to `f32` after every accumulation step
+    /// — different semantics, kept for the training path that was tuned
+    /// against it.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for (arow, orow) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(out.data.chunks_exact_mut(rhs.rows))
+        {
+            for (o, brow) in orow.iter_mut().zip(rhs.data.chunks_exact(rhs.cols)) {
+                let mut acc = 0f64;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += f64::from(*a) * f64::from(*b);
+                }
+                *o = acc as f32;
+            }
+        }
+        out
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// # Panics
@@ -458,5 +492,31 @@ mod tests {
             }
         }
         assert_eq!(a.matmul(&b), mm_ref);
+    }
+
+    /// `matmul_t` row `i` must equal `rhs.matvec(self.row(i))` bit for
+    /// bit — the contract batched inference relies on.
+    #[test]
+    fn matmul_t_rows_match_matvec() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(11);
+        let mut xs = Matrix::zeros(7, 9);
+        xs.randomize(&mut rng, 3.0);
+        let mut w = Matrix::zeros(5, 9);
+        w.randomize(&mut rng, 3.0);
+        let prod = xs.matmul_t(&w);
+        assert_eq!(prod.rows(), 7);
+        assert_eq!(prod.cols(), 5);
+        for i in 0..xs.rows() {
+            assert_eq!(prod.row(i), w.matvec(xs.row(i)).as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_t dimension mismatch")]
+    fn matmul_t_checks_dims() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(3);
+        let _ = a.matmul_t(&b);
     }
 }

@@ -413,6 +413,31 @@ impl DetectionRun {
         self.cycles_per_event
     }
 
+    /// Exports this prepared experiment as a streaming-pipeline spec:
+    /// the same IGM table/format, the same trained model, the same
+    /// calibrated thresholds and smoothing, and the same measured
+    /// per-event cycles. The timed burst window does not transfer to
+    /// the untimed streaming path, so the caller chooses the
+    /// event-count window (`burst_window_events`) that replaces it.
+    pub fn serve_spec(&self, burst_window_events: u64) -> crate::pipeline::ServeSpec {
+        use crate::pipeline::{ServeModel, ServeSpec, VerdictPolicy};
+        ServeSpec {
+            igm: self.igm_config.clone(),
+            model: match &self.scorer {
+                ScorerKind::Elm(elm) => ServeModel::Elm(elm.clone()),
+                ScorerKind::Lstm(lstm) => ServeModel::Lstm(lstm.clone()),
+            },
+            policy: VerdictPolicy {
+                threshold: self.threshold,
+                hard_threshold: self.hard_threshold,
+                alpha: self.config.smoothing_alpha,
+                burst_k: self.config.burst_k,
+                burst_window_events,
+            },
+            cycles_per_event: self.cycles_per_event,
+        }
+    }
+
     /// Runs the attacked trace through the full hardware pipeline and
     /// measures detection.
     pub fn execute(&self) -> DetectionOutcome {

@@ -19,6 +19,11 @@
 //! * [`backend`] — [`rtad_mcm::InferenceEngine`] implementations: the
 //!   full device path and the calibrated hybrid (host-functional,
 //!   device-timed) used for long experiment sweeps.
+//! * [`pipeline`] — the multi-stream streaming detection server:
+//!   N concurrent victim trace streams through bounded-queue stages
+//!   (per-stream IGM decode/encode → cross-stream batched ELM/LSTM
+//!   inference → per-stream verdicts), bit-identical to the per-window
+//!   serial path.
 //! * [`sweep`] — the batched sweep runner: order-preserving parallel
 //!   execution of independent experiment cells (figure output stays
 //!   byte-identical to the serial loops).
@@ -44,6 +49,7 @@ pub mod area;
 pub mod backend;
 pub mod detection;
 pub mod overhead;
+pub mod pipeline;
 pub mod sweep;
 pub mod transfer;
 pub mod watchlist;
@@ -57,6 +63,10 @@ pub use detection::{
     DetectionConfig, DetectionOutcome, DetectionRun, ModelKind, PreparedDetection,
 };
 pub use overhead::{OverheadModel, OverheadRow, TraceMechanism};
+pub use pipeline::{
+    encode_streams, run_pipeline, serial_reference, PipelineConfig, PipelineRun, PipelineStats,
+    ServeModel, ServeSpec, StreamOutcome, VerdictPolicy, VerdictState,
+};
 pub use sweep::{parallel_map, sweep_threads};
 pub use transfer::{
     measure_rtad_transfer, measure_sw_transfer, SwTransferModel, TransferBreakdown,

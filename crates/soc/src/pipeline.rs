@@ -1,0 +1,783 @@
+//! The multi-stream streaming detection pipeline (the serving host).
+//!
+//! A deployment of RTAD watches many victim cores at once: every core's
+//! TPIU emits its own trace byte stream, and the serving host must keep
+//! up with all of them concurrently. The batch harness in [`detection`]
+//! processes one attacked trace at a time with full timing simulation;
+//! this module is the *throughput* path that multiplexes N live streams
+//! through three bounded-queue stages:
+//!
+//! ```text
+//!   stream 0 bytes ─┐
+//!   stream 1 bytes ─┤  [ingest]          [inference]         [verdict]
+//!        ...        ├─ per-stream   ──▶  cross-stream   ──▶  per-stream ──▶ outcomes
+//!   stream N bytes ─┘  StreamingIgm      batched ELM/LSTM    EMA+threshold
+//!                      (decode+encode)   (≤ B windows)       state machine
+//! ```
+//!
+//! * **Ingest** owns one [`StreamingIgm`] per stream (TPIU deframing,
+//!   PTM decode, P2S admission, mapper/encoder — the IGM performs decode
+//!   and vector encode as one hardware module) and round-robins arriving
+//!   byte chunks across streams, emitting encoded windows downstream.
+//! * **Inference** gathers up to `max_batch` ready windows *across*
+//!   streams and scores them as one batch: a single
+//!   `Elm::score_batch` matmul instead of B matvecs, or one lockstep
+//!   `Lstm::score_next_batch` step over per-stream [`LstmLane`]s (at
+//!   most one token per stream per batch, so every lane advances by
+//!   exactly one timestep per call).
+//! * **Verdict** keeps each stream's smoothing/burst/hard-threshold
+//!   state and accumulates the per-stream [`StreamOutcome`].
+//!
+//! Stages are connected by bounded `sync_channel`s: a slow stage blocks
+//! its producer (backpressure) instead of buffering unboundedly.
+//! Messages travel in groups (one group per ingest chunk / per scored
+//! batch) so channel synchronization is paid per group, not per window;
+//! `queue_depth` bounds the number of in-flight groups. Each
+//! stream ends with an explicit end-of-stream marker that drains through
+//! every stage, so ragged stream lengths and early stream termination
+//! are handled gracefully — a finished stream simply stops contributing
+//! windows while the rest continue.
+//!
+//! **Bit-identity contract.** Batching is a host-side throughput
+//! optimization only. `rtad-ml`'s batch kernels are bit-identical to the
+//! scalar path (its property tests pin this), per-stream window order is
+//! preserved end to end, and verdict state is per-stream — so the
+//! pipeline's scores and flags equal [`serial_reference`]'s for *any*
+//! batch composition the scheduler happens to produce, and the
+//! equivalence tests assert exact equality.
+//!
+//! **Cycle-accounting contract.** Simulated device cycles are
+//! per-window and unchanged by batching: every window costs
+//! [`ServeSpec::cycles_per_event`] engine cycles exactly as in the
+//! single-stream path, and [`StreamOutcome::device_cycles`] is simply
+//! `windows x cycles_per_event`. Cross-stream batching amortizes *host*
+//! dispatch, not modeled silicon; no paper number moves.
+//!
+//! [`detection`]: crate::detection
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread;
+use std::time::Instant;
+
+use rtad_igm::{IgmConfig, StreamingIgm, VectorPayload};
+use rtad_ml::{Elm, Lstm, LstmLane, SequenceModel, VectorModel};
+use rtad_trace::{BranchRecord, PtmConfig, StreamEncoder};
+
+use crate::sweep::parallel_map;
+
+/// The model served by the pipeline (cloned host models; scores are
+/// device-equivalent by `rtad-ml`'s kernel tests).
+#[derive(Debug, Clone)]
+pub enum ServeModel {
+    /// Dense-window ELM.
+    Elm(Elm),
+    /// Token-stream LSTM (one recurrent lane per stream).
+    Lstm(Lstm),
+}
+
+/// Per-stream verdict policy: the [`HybridBackend`] compare chain with
+/// the burst window expressed in *events* instead of arrival picoseconds
+/// (the streaming path carries no simulated timestamps).
+///
+/// [`HybridBackend`]: crate::backend::HybridBackend
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerdictPolicy {
+    /// The calibrated detection threshold on the smoothed score.
+    pub threshold: f64,
+    /// One smoothed score above this flags immediately (`+inf` off).
+    pub hard_threshold: f64,
+    /// EMA smoothing factor in (0, 1]; 1 = raw scores.
+    pub alpha: f64,
+    /// Flag after `burst_k` above-threshold events within
+    /// `burst_window_events` of each other; `k = 1` is a plain compare.
+    pub burst_k: usize,
+    /// See [`VerdictPolicy::burst_k`].
+    pub burst_window_events: u64,
+}
+
+impl VerdictPolicy {
+    /// A plain threshold compare (no smoothing, burst or hard path).
+    pub fn simple(threshold: f64) -> Self {
+        VerdictPolicy {
+            threshold,
+            hard_threshold: f64::INFINITY,
+            alpha: 1.0,
+            burst_k: 1,
+            burst_window_events: 0,
+        }
+    }
+}
+
+/// Everything the serving pipeline needs for one deployed model:
+/// exported from a prepared detection experiment by
+/// [`DetectionRun::serve_spec`](crate::DetectionRun::serve_spec) or
+/// assembled directly for benches.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// IGM configuration (address table, vector format, P2S depth).
+    pub igm: IgmConfig,
+    /// The deployed model.
+    pub model: ServeModel,
+    /// The per-stream verdict policy.
+    pub policy: VerdictPolicy,
+    /// Simulated engine cycles per window on the deployed engine
+    /// variant — constant per window regardless of batching.
+    pub cycles_per_event: u64,
+}
+
+/// Knobs of the streaming pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Maximum windows per inference batch (`B`).
+    pub max_batch: usize,
+    /// Capacity of each inter-stage queue, in message groups
+    /// (backpressure bound; a group is one ingest chunk's windows or one
+    /// scored batch).
+    pub queue_depth: usize,
+    /// Bytes ingested from one stream per round-robin turn.
+    pub chunk_bytes: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_batch: 32,
+            queue_depth: 256,
+            chunk_bytes: 1024,
+        }
+    }
+}
+
+/// What the pipeline produced for one stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StreamOutcome {
+    /// Windows scored.
+    pub windows: u64,
+    /// Smoothed scores, in window order.
+    pub scores: Vec<f64>,
+    /// Window indices (0-based) at which the verdict flagged.
+    pub flags: Vec<u64>,
+    /// Simulated engine cycles: `windows * cycles_per_event` (the
+    /// cycle-accounting contract — batching never changes this).
+    pub device_cycles: u64,
+}
+
+/// Host-side telemetry of one pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineStats {
+    /// Total windows scored across streams.
+    pub windows: u64,
+    /// Inference batches issued.
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch_seen: usize,
+    /// Busy milliseconds in the ingest stage (decode + encode).
+    pub decode_ms: f64,
+    /// Busy milliseconds in the inference stage (batched scoring).
+    pub infer_ms: f64,
+    /// Busy milliseconds in the verdict stage.
+    pub verdict_ms: f64,
+    /// End-to-end wall-clock of the run, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Outcomes plus telemetry of one [`run_pipeline`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRun {
+    /// Per-stream results, indexed like the input streams.
+    pub outcomes: Vec<StreamOutcome>,
+    /// Host-side stage telemetry.
+    pub stats: PipelineStats,
+}
+
+/// One stream's verdict state: the [`HybridBackend`] chain keyed by
+/// window index instead of arrival time. Public so baselines (e.g. the
+/// bench crate's timed serial serving path) run the *same* state
+/// machine rather than a re-implementation.
+///
+/// [`HybridBackend`]: crate::backend::HybridBackend
+#[derive(Debug, Clone, Default)]
+pub struct VerdictState {
+    ema: Option<f64>,
+    recent_hits: VecDeque<u64>,
+}
+
+impl VerdictState {
+    /// A fresh per-stream state.
+    pub fn new() -> Self {
+        VerdictState::default()
+    }
+
+    /// Feeds the window-`seq` raw score through smoothing, the burst
+    /// window and the hard threshold; returns `(smoothed, flagged)`.
+    pub fn observe(&mut self, p: &VerdictPolicy, seq: u64, score: f64) -> (f64, bool) {
+        let smoothed = match self.ema {
+            None => score,
+            Some(prev) => p.alpha * score + (1.0 - p.alpha) * prev,
+        };
+        self.ema = Some(smoothed);
+        if smoothed > p.threshold {
+            self.recent_hits.push_back(seq);
+        }
+        while let Some(&front) = self.recent_hits.front() {
+            if seq - front > p.burst_window_events && p.burst_k > 1 {
+                self.recent_hits.pop_front();
+            } else {
+                break;
+            }
+        }
+        let flagged = self.recent_hits.len() >= p.burst_k || smoothed > p.hard_threshold;
+        (smoothed, flagged)
+    }
+}
+
+/// Ingest → inference messages.
+enum WindowMsg {
+    /// One encoded window of `stream`.
+    Window {
+        stream: usize,
+        payload: VectorPayload,
+    },
+    /// `stream` produced its last window.
+    End { stream: usize },
+}
+
+/// Inference → verdict messages.
+enum ScoredMsg {
+    /// One scored window of `stream` (raw model score, pre-smoothing).
+    Score { stream: usize, score: f64 },
+    /// `stream` is fully scored.
+    End { stream: usize },
+}
+
+/// Runs the three-stage pipeline over `streams` (one TPIU byte stream
+/// per victim) and returns per-stream outcomes plus stage telemetry.
+///
+/// Scores and flags are bit-identical to [`serial_reference`] for every
+/// `config`; only host wall-clock differs.
+///
+/// # Panics
+///
+/// Panics if a payload's shape does not match the model (dense windows
+/// for the ELM, tokens for the LSTM) — a misconfigured [`ServeSpec`].
+pub fn run_pipeline(spec: &ServeSpec, config: &PipelineConfig, streams: &[Vec<u8>]) -> PipelineRun {
+    let n = streams.len();
+    if n == 0 {
+        return PipelineRun {
+            outcomes: Vec::new(),
+            stats: PipelineStats::default(),
+        };
+    }
+    let chunk = config.chunk_bytes.max(1);
+    let start = Instant::now();
+
+    let (win_tx, win_rx) = sync_channel::<Vec<WindowMsg>>(config.queue_depth.max(1));
+    let (score_tx, score_rx) = sync_channel::<Vec<ScoredMsg>>(config.queue_depth.max(1));
+
+    let (outcomes, mut stats) = thread::scope(|s| {
+        let ingest = s.spawn(move || ingest_stage(spec, streams, chunk, &win_tx));
+        let infer = s.spawn(move || inference_stage(spec, config, n, &win_rx, &score_tx));
+        let verdict = s.spawn(move || verdict_stage(spec, n, &score_rx));
+
+        let decode_ms = ingest.join().expect("ingest stage");
+        let (infer_ms, batches, max_batch_seen) = infer.join().expect("inference stage");
+        let (outcomes, verdict_ms) = verdict.join().expect("verdict stage");
+        let windows = outcomes.iter().map(|o| o.windows).sum();
+        (
+            outcomes,
+            PipelineStats {
+                windows,
+                batches,
+                max_batch_seen,
+                decode_ms,
+                infer_ms,
+                verdict_ms,
+                wall_ms: 0.0,
+            },
+        )
+    });
+    stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PipelineRun { outcomes, stats }
+}
+
+/// Stage 1: round-robin byte chunks across per-stream [`StreamingIgm`]s,
+/// emitting windows and end-of-stream markers. Returns busy ms.
+fn ingest_stage(
+    spec: &ServeSpec,
+    streams: &[Vec<u8>],
+    chunk: usize,
+    tx: &SyncSender<Vec<WindowMsg>>,
+) -> f64 {
+    let n = streams.len();
+    let mut igms: Vec<StreamingIgm> = (0..n).map(|_| StreamingIgm::new(&spec.igm)).collect();
+    let mut offset = vec![0usize; n];
+    let mut live = n;
+    let mut emitted = Vec::new();
+    let mut busy = 0.0f64;
+    while live > 0 {
+        for stream in 0..n {
+            if offset[stream] > streams[stream].len() {
+                continue;
+            }
+            let bytes = &streams[stream];
+            let end = (offset[stream] + chunk).min(bytes.len());
+            let t0 = Instant::now();
+            igms[stream].push_bytes(&bytes[offset[stream]..end], &mut emitted);
+            let finished = end == bytes.len();
+            if finished {
+                igms[stream].finish(&mut emitted);
+            }
+            busy += t0.elapsed().as_secs_f64() * 1e3;
+            // Mark exhausted with a sentinel past the end.
+            offset[stream] = if finished { end + 1 } else { end };
+            // One message group per chunk: channel synchronization is
+            // paid once per chunk, not once per window.
+            let mut group: Vec<WindowMsg> = emitted
+                .drain(..)
+                .map(|v| WindowMsg::Window {
+                    stream,
+                    payload: v.payload,
+                })
+                .collect();
+            if finished {
+                group.push(WindowMsg::End { stream });
+                live -= 1;
+            }
+            if !group.is_empty() {
+                tx.send(group).expect("inference stage alive");
+            }
+        }
+    }
+    busy
+}
+
+/// Stage 2: gather ready windows across streams and score them batched.
+/// Returns (busy ms, batches, largest batch).
+fn inference_stage(
+    spec: &ServeSpec,
+    config: &PipelineConfig,
+    n: usize,
+    rx: &Receiver<Vec<WindowMsg>>,
+    tx: &SyncSender<Vec<ScoredMsg>>,
+) -> (f64, u64, usize) {
+    let max_batch = config.max_batch.max(1);
+    // Lockstep stepping advances each lane one token per call, so an
+    // LSTM batch takes at most one window per stream.
+    let (lockstep, mut lanes): (bool, Vec<Option<LstmLane>>) = match &spec.model {
+        ServeModel::Elm(_) => (false, Vec::new()),
+        ServeModel::Lstm(lstm) => (true, (0..n).map(|_| Some(lstm.lane())).collect()),
+    };
+
+    let mut queue: VecDeque<(usize, VectorPayload)> = VecDeque::new();
+    let mut pending = vec![0usize; n];
+    let mut ended = vec![false; n];
+    let mut end_sent = vec![false; n];
+    let mut closed = false;
+    let (mut busy, mut batches, mut max_seen) = (0.0f64, 0u64, 0usize);
+
+    let handle = |group: Vec<WindowMsg>,
+                  queue: &mut VecDeque<(usize, VectorPayload)>,
+                  pending: &mut [usize],
+                  ended: &mut [bool]| {
+        for msg in group {
+            match msg {
+                WindowMsg::Window { stream, payload } => {
+                    pending[stream] += 1;
+                    queue.push_back((stream, payload));
+                }
+                WindowMsg::End { stream } => ended[stream] = true,
+            }
+        }
+    };
+
+    loop {
+        if queue.is_empty() && !closed {
+            match rx.recv() {
+                Ok(g) => handle(g, &mut queue, &mut pending, &mut ended),
+                Err(_) => closed = true,
+            }
+        }
+        if !closed {
+            // Opportunistically drain whatever the ingest stage has
+            // already queued: this is what fills batches.
+            while let Ok(g) = rx.try_recv() {
+                handle(g, &mut queue, &mut pending, &mut ended);
+            }
+        }
+
+        // One outgoing group per loop turn: the batch's scores plus any
+        // end-of-stream markers that became eligible.
+        let mut out: Vec<ScoredMsg> = Vec::new();
+        if !queue.is_empty() {
+            let batch = take_batch(&mut queue, &mut pending, max_batch, lockstep, n);
+            let t0 = Instant::now();
+            let scores = score_batch(spec, &mut lanes, &batch);
+            busy += t0.elapsed().as_secs_f64() * 1e3;
+            batches += 1;
+            max_seen = max_seen.max(batch.len());
+            out.extend(
+                batch
+                    .iter()
+                    .zip(scores)
+                    .map(|((stream, _), score)| ScoredMsg::Score {
+                        stream: *stream,
+                        score,
+                    }),
+            );
+        }
+
+        // A stream's marker is forwarded only after its last window was
+        // scored (markers trail windows on the same channel, so by the
+        // time `ended` is set all its windows are queued).
+        for stream in 0..n {
+            if ended[stream] && !end_sent[stream] && pending[stream] == 0 {
+                end_sent[stream] = true;
+                out.push(ScoredMsg::End { stream });
+            }
+        }
+        let done = closed && queue.is_empty();
+        if done {
+            for (stream, sent) in end_sent.iter_mut().enumerate() {
+                if !*sent {
+                    *sent = true;
+                    out.push(ScoredMsg::End { stream });
+                }
+            }
+        }
+        if !out.is_empty() {
+            tx.send(out).expect("verdict stage alive");
+        }
+        if done {
+            return (busy, batches, max_seen);
+        }
+    }
+}
+
+/// Pops the next batch: up to `max_batch` windows in arrival order; in
+/// lockstep mode at most one window per stream (later windows of the
+/// same stream keep their order for the next batch).
+fn take_batch(
+    queue: &mut VecDeque<(usize, VectorPayload)>,
+    pending: &mut [usize],
+    max_batch: usize,
+    lockstep: bool,
+    n: usize,
+) -> Vec<(usize, VectorPayload)> {
+    let mut batch = Vec::with_capacity(max_batch.min(queue.len()));
+    if lockstep {
+        let mut in_batch = vec![false; n];
+        let mut rest = VecDeque::with_capacity(queue.len());
+        while let Some((stream, payload)) = queue.pop_front() {
+            if batch.len() < max_batch && !in_batch[stream] {
+                in_batch[stream] = true;
+                pending[stream] -= 1;
+                batch.push((stream, payload));
+            } else {
+                rest.push_back((stream, payload));
+            }
+        }
+        *queue = rest;
+    } else {
+        while batch.len() < max_batch {
+            match queue.pop_front() {
+                Some((stream, payload)) => {
+                    pending[stream] -= 1;
+                    batch.push((stream, payload));
+                }
+                None => break,
+            }
+        }
+    }
+    batch
+}
+
+/// Scores one gathered batch with the model's batched kernel.
+fn score_batch(
+    spec: &ServeSpec,
+    lanes: &mut [Option<LstmLane>],
+    batch: &[(usize, VectorPayload)],
+) -> Vec<f64> {
+    match &spec.model {
+        ServeModel::Elm(elm) => {
+            let rows: Vec<&[f32]> = batch
+                .iter()
+                .map(|(_, p)| p.as_dense().expect("ELM pipeline needs dense windows"))
+                .collect();
+            elm.score_batch(&rows)
+        }
+        ServeModel::Lstm(lstm) => {
+            let tokens: Vec<u32> = batch
+                .iter()
+                .map(|(_, p)| p.as_token().expect("LSTM pipeline needs token windows"))
+                .collect();
+            let mut taken: Vec<LstmLane> = batch
+                .iter()
+                .map(|(stream, _)| {
+                    lanes[*stream]
+                        .take()
+                        .expect("one window per lane per batch")
+                })
+                .collect();
+            let mut refs: Vec<&mut LstmLane> = taken.iter_mut().collect();
+            let scores = lstm.score_next_batch(&mut refs, &tokens);
+            for ((stream, _), lane) in batch.iter().zip(taken) {
+                lanes[*stream] = Some(lane);
+            }
+            scores
+        }
+    }
+}
+
+/// Stage 3: per-stream verdict state machines. Returns the outcomes and
+/// busy ms.
+fn verdict_stage(
+    spec: &ServeSpec,
+    n: usize,
+    rx: &Receiver<Vec<ScoredMsg>>,
+) -> (Vec<StreamOutcome>, f64) {
+    let mut outcomes = vec![StreamOutcome::default(); n];
+    let mut states = vec![VerdictState::default(); n];
+    let mut busy = 0.0f64;
+    while let Ok(group) = rx.recv() {
+        let t0 = Instant::now();
+        for msg in group {
+            match msg {
+                ScoredMsg::Score { stream, score } => {
+                    let out = &mut outcomes[stream];
+                    let seq = out.windows;
+                    let (smoothed, flagged) = states[stream].observe(&spec.policy, seq, score);
+                    out.scores.push(smoothed);
+                    if flagged {
+                        out.flags.push(seq);
+                    }
+                    out.windows += 1;
+                }
+                ScoredMsg::End { stream } => {
+                    outcomes[stream].device_cycles =
+                        outcomes[stream].windows * spec.cycles_per_event;
+                }
+            }
+        }
+        busy += t0.elapsed().as_secs_f64() * 1e3;
+    }
+    (outcomes, busy)
+}
+
+/// The per-window serial reference: each stream decoded and scored on
+/// its own with the scalar model path (`Elm::score` / `Lstm::score_next`
+/// through a fresh clone), then run through the same verdict state
+/// machine. This is the oracle the pipeline must match bit for bit.
+pub fn serial_reference(spec: &ServeSpec, streams: &[Vec<u8>]) -> Vec<StreamOutcome> {
+    streams
+        .iter()
+        .map(|bytes| {
+            let mut igm = StreamingIgm::new(&spec.igm);
+            let mut windows = Vec::new();
+            igm.push_bytes(bytes, &mut windows);
+            igm.finish(&mut windows);
+
+            let mut scorer: Box<dyn FnMut(&VectorPayload) -> f64> = match &spec.model {
+                ServeModel::Elm(elm) => {
+                    let elm = elm.clone();
+                    Box::new(move |p| elm.score(p.as_dense().expect("dense window")))
+                }
+                ServeModel::Lstm(lstm) => {
+                    let mut m = lstm.clone();
+                    m.reset();
+                    Box::new(move |p| m.score_next(p.as_token().expect("token window")))
+                }
+            };
+
+            let mut out = StreamOutcome::default();
+            let mut state = VerdictState::default();
+            for w in &windows {
+                let seq = out.windows;
+                let (smoothed, flagged) = state.observe(&spec.policy, seq, scorer(&w.payload));
+                out.scores.push(smoothed);
+                if flagged {
+                    out.flags.push(seq);
+                }
+                out.windows += 1;
+            }
+            out.device_cycles = out.windows * spec.cycles_per_event;
+            out
+        })
+        .collect()
+}
+
+/// Encodes one PTM/TPIU byte stream per branch run — the sweep-wired
+/// front door for benches and tests that start from raw branch records.
+/// Encoding is per-stream independent, so it fans out over the batched
+/// sweep runner; output order matches input order.
+pub fn encode_streams(runs: &[Vec<BranchRecord>], threads: usize) -> Vec<Vec<u8>> {
+    parallel_map(runs, threads, |_, run| {
+        let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(run);
+        trace.bytes.iter().map(|tb| tb.byte).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtad_ml::{ElmConfig, LstmConfig};
+    use rtad_trace::{BranchKind, VirtAddr};
+
+    fn targets(n: u32) -> Vec<VirtAddr> {
+        (0..n).map(|k| VirtAddr::new(0x4000 + k * 0x40)).collect()
+    }
+
+    fn runs(n_streams: usize, lens: &[usize], n_targets: u32) -> Vec<Vec<BranchRecord>> {
+        let tgts = targets(n_targets);
+        (0..n_streams)
+            .map(|s| {
+                (0..lens[s % lens.len()])
+                    .map(|i| {
+                        BranchRecord::new(
+                            VirtAddr::new(0x1000 + (i as u32) * 4),
+                            tgts[(i * (s + 2) + s) % tgts.len()],
+                            BranchKind::IndirectJump,
+                            (i as u64) * 25,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn elm_spec() -> ServeSpec {
+        let tgts = targets(8);
+        let normal: Vec<Vec<f32>> = (0..100)
+            .map(|i| {
+                let mut v = vec![0.0; 8];
+                v[i % 4] = 0.7;
+                v[(i + 2) % 4] = 0.3;
+                v
+            })
+            .collect();
+        ServeSpec {
+            igm: IgmConfig::histogram(&tgts, 8),
+            model: ServeModel::Elm(Elm::train(&ElmConfig::tiny(8), &normal, 3)),
+            policy: VerdictPolicy {
+                threshold: 0.05,
+                hard_threshold: 5.0,
+                alpha: 0.4,
+                burst_k: 2,
+                burst_window_events: 6,
+            },
+            cycles_per_event: 1234,
+        }
+    }
+
+    fn lstm_spec() -> ServeSpec {
+        let tgts = targets(6);
+        let corpus: Vec<u32> = (0..400).map(|i| (i % 6) as u32).collect();
+        ServeSpec {
+            igm: IgmConfig::token_stream(&tgts),
+            model: ServeModel::Lstm(Lstm::train(&LstmConfig::tiny(6), &corpus, 9)),
+            policy: VerdictPolicy::simple(2.5),
+            cycles_per_event: 777,
+        }
+    }
+
+    fn assert_pipeline_matches_reference(
+        spec: &ServeSpec,
+        config: &PipelineConfig,
+        lens: &[usize],
+    ) {
+        let streams = encode_streams(&runs(lens.len(), lens, 6), 1);
+        let reference = serial_reference(spec, &streams);
+        let run = run_pipeline(spec, config, &streams);
+        assert_eq!(
+            run.outcomes, reference,
+            "pipeline must match the serial oracle"
+        );
+        assert_eq!(
+            run.stats.windows,
+            reference.iter().map(|o| o.windows).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn elm_pipeline_matches_reference() {
+        assert_pipeline_matches_reference(
+            &elm_spec(),
+            &PipelineConfig::default(),
+            &[200, 150, 90, 200],
+        );
+    }
+
+    #[test]
+    fn lstm_pipeline_matches_reference_over_ragged_streams() {
+        assert_pipeline_matches_reference(
+            &lstm_spec(),
+            &PipelineConfig {
+                max_batch: 4,
+                queue_depth: 16,
+                chunk_bytes: 64,
+            },
+            &[120, 0, 33, 250, 75],
+        );
+    }
+
+    #[test]
+    fn tiny_queues_only_change_wall_clock() {
+        let spec = lstm_spec();
+        let streams = encode_streams(&runs(3, &[80, 50, 64], 6), 1);
+        let wide = run_pipeline(&spec, &PipelineConfig::default(), &streams);
+        let narrow = run_pipeline(
+            &spec,
+            &PipelineConfig {
+                max_batch: 1,
+                queue_depth: 1,
+                chunk_bytes: 7,
+            },
+            &streams,
+        );
+        assert_eq!(wide.outcomes, narrow.outcomes);
+    }
+
+    #[test]
+    fn cycle_accounting_is_per_window() {
+        let spec = elm_spec();
+        let streams = encode_streams(&runs(2, &[100, 40], 6), 1);
+        let run = run_pipeline(&spec, &PipelineConfig::default(), &streams);
+        for o in &run.outcomes {
+            assert_eq!(o.device_cycles, o.windows * spec.cycles_per_event);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_run() {
+        let run = run_pipeline(&elm_spec(), &PipelineConfig::default(), &[]);
+        assert!(run.outcomes.is_empty());
+        assert_eq!(run.stats.windows, 0);
+    }
+
+    #[test]
+    fn verdict_state_mirrors_hybrid_backend_chain() {
+        let policy = VerdictPolicy {
+            threshold: 1.0,
+            hard_threshold: 10.0,
+            alpha: 1.0,
+            burst_k: 2,
+            burst_window_events: 3,
+        };
+        let mut st = VerdictState::default();
+        // One hit: no flag (burst needs two within the window).
+        assert!(!st.observe(&policy, 0, 2.0).1);
+        // Second hit 5 events later: the first fell out of the window.
+        assert!(!st.observe(&policy, 5, 2.0).1);
+        // Third hit within the window of the second: flags.
+        assert!(st.observe(&policy, 7, 2.0).1);
+        // A hard-threshold score flags on its own.
+        let mut st = VerdictState::default();
+        assert!(st.observe(&policy, 0, 11.0).1);
+    }
+
+    #[test]
+    fn encode_streams_is_parallel_map_stable() {
+        let rs = runs(5, &[60, 30], 6);
+        assert_eq!(encode_streams(&rs, 1), encode_streams(&rs, 4));
+    }
+}

@@ -51,5 +51,5 @@ pub mod tpiu;
 
 pub use branch::{BranchKind, BranchRecord, IsetMode, VirtAddr};
 pub use ptm::{DecodeError, Packet, PacketDecoder, PacketEncoder};
-pub use stream::{PtmConfig, PtmFifoModel, StreamEncoder, TimedByte, TraceMode};
+pub use stream::{PtmConfig, PtmFifoModel, StreamEncoder, TimedByte, TimedTrace, TraceMode};
 pub use tpiu::{TpiuDeframer, TpiuFormatter, TraceId};
