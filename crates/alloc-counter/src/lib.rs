@@ -1,0 +1,96 @@
+//! A counting global allocator for allocation-discipline tests and
+//! bench telemetry.
+//!
+//! The PR 4 data-plane overhaul promises *zero steady-state heap
+//! allocations* on the decode and inference hot paths. That promise is
+//! only worth something if it is measured, so this crate wraps the
+//! system allocator with an event counter behind a gate:
+//!
+//! ```
+//! use rtad_alloc_counter::{allocations, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static GLOBAL: CountingAlloc = CountingAlloc;
+//!
+//! let n = allocations(|| {
+//!     let v: Vec<u8> = Vec::with_capacity(32);
+//!     drop(v);
+//! });
+//! assert_eq!(n, 1);
+//! ```
+//!
+//! Counting covers allocation events (`alloc`, `realloc`,
+//! `alloc_zeroed`); frees are deliberately uncounted — releasing warm
+//! buffers is never the regression these measurements guard against.
+//! The gate is process-global, so measuring code must ensure no other
+//! thread allocates concurrently (run measurements in a single test
+//! function, or a single-threaded binary section).
+//!
+//! This crate is the workspace's one sanctioned `unsafe` hole: a
+//! [`std::alloc::GlobalAlloc`] impl cannot be written without `unsafe`,
+//! so it lives here, quarantined behind this safe counting API, instead
+//! of weakening the `unsafe_code = "forbid"` policy everywhere else.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static GATE: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator: forwards everything to [`System`], bumping a
+/// global event counter while the gate is open. Install it with
+/// `#[global_allocator]` in the measuring binary or test crate.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if GATE.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if GATE.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if GATE.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+/// Opens the gate, runs `f`, closes the gate; returns the number of
+/// allocation events `f` performed. Only meaningful when
+/// [`CountingAlloc`] is installed as the global allocator — with the
+/// default allocator this always returns 0.
+pub fn allocations(f: impl FnOnce()) -> u64 {
+    GATE.store(true, Ordering::SeqCst);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    let after = ALLOCS.load(Ordering::SeqCst);
+    GATE.store(false, Ordering::SeqCst);
+    after - before
+}
+
+/// Whether counting is live, i.e. [`CountingAlloc`] is installed *and*
+/// observable. Lets telemetry report "not measured" instead of a bogus
+/// zero when the counting allocator is not the global one.
+pub fn is_installed() -> bool {
+    let n = allocations(|| {
+        // black_box keeps release builds from optimizing the probe
+        // allocation away (which would misreport "not installed").
+        let probe: Vec<u8> = std::hint::black_box(Vec::with_capacity(1));
+        drop(std::hint::black_box(probe));
+    });
+    n > 0
+}

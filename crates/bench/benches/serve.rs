@@ -64,6 +64,7 @@ fn bench_serving(c: &mut Criterion) {
         max_batch: 64,
         queue_depth: 1024,
         chunk_bytes: 2048,
+        decode_shards: 0,
     };
     let mut group = c.benchmark_group("serve");
     for &n in &[1usize, 8] {

@@ -6,7 +6,7 @@
 //! cargo run --release -p rtad-bench --bin repro -- fig8          # 3-benchmark subset
 //! cargo run --release -p rtad-bench --bin repro -- fig8-full     # all twelve
 //! cargo run --release -p rtad-bench --bin repro -- fig8-full --serial
-//! cargo run --release -p rtad-bench --bin repro -- serve         # BENCH_pr3.json
+//! cargo run --release -p rtad-bench --bin repro -- serve         # BENCH_pr4.json
 //! ```
 //!
 //! Sweeps run on the batched sweep runner (one worker per core) by
@@ -14,8 +14,18 @@
 //! way the tables and figures are byte-identical — only host wall-clock
 //! changes. `fig8-full` additionally writes `BENCH_pr2.json` (host
 //! perf telemetry; schema in EXPERIMENTS.md) to the working directory.
+//!
+//! This binary installs the counting global allocator so the `serve`
+//! report carries real steady-state allocation counts (the hot-path
+//! zero-allocation contract); counting is gated and adds one relaxed
+//! atomic load per allocation, negligible against the measured paths.
 
 use std::time::Instant;
+
+use rtad_alloc_counter::CountingAlloc;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 use rtad_bench::{
     measure_engine_speedup, BenchReport, Fig6, Fig7, Fig8, ServeReport, Table1, Table2, REPRO_SEED,
@@ -88,10 +98,10 @@ fn main() {
     }
     if wanted.contains(&"serve") {
         // Explicit-only (like fig8-full): the multi-stream serving
-        // throughput report. Writes BENCH_pr3.json.
+        // throughput report. Writes BENCH_pr4.json.
         let report = ServeReport::measure(REPRO_SEED, 4_096, &[1, 8, 64], 8);
         print!("{}", report.summary());
-        let path = std::path::Path::new("BENCH_pr3.json");
+        let path = std::path::Path::new("BENCH_pr4.json");
         match report.write_to(path) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("could not write {}: {e}", path.display()),

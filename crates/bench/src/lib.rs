@@ -11,7 +11,9 @@ pub mod perf;
 pub mod serve;
 
 pub use perf::{measure_engine_speedup, BenchReport, EngineComparison, StageTiming};
-pub use serve::{InferenceMicro, ServeReport, StageBreakdown, ThroughputCell};
+pub use serve::{
+    AllocTelemetry, InferenceMicro, ServeReport, ShardScalingCell, StageBreakdown, ThroughputCell,
+};
 
 use rtad::miaow::area::{variant_area, EngineVariant};
 use rtad::sim::Zc706;

@@ -1,4 +1,4 @@
-//! Multi-stream serving throughput telemetry (`BENCH_pr3.json`).
+//! Multi-stream serving throughput telemetry (`BENCH_pr4.json`).
 //!
 //! Measures the streaming detection pipeline of `rtad-soc::pipeline`
 //! against the per-window serial serving path the repository shipped
@@ -16,15 +16,26 @@
 //! fix, runs the engine's *auto* mode: parallel CU execution engages
 //! only above the work threshold on multi-threaded hosts, and falls
 //! back to the serial path otherwise.
+//!
+//! PR 4 extends the report with the data-plane overhaul's telemetry:
+//! each throughput cell records the decode-shard mode the pipeline
+//! actually ran in (`0` = inline single-threaded data plane), a
+//! shard-scaling section re-runs the widest LSTM cell at forced shard
+//! counts, and a steady-state allocation section counts heap
+//! allocations on the warm decode and batched-inference hot paths —
+//! `0` everywhere is the contract, pinned by `rtad-soc`'s
+//! `alloc_free` test and re-measured here whenever the reproducing
+//! binary installs the counting allocator (the `repro` bin does;
+//! library tests report `null`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use rtad::igm::{Igm, IgmConfig, VectorPayload};
+use rtad::igm::{Igm, IgmConfig, StreamingIgm, VectorPayload};
 use rtad::miaow::{Engine, EngineConfig, PredecodeStats};
 use rtad::ml::{
-    DeviceModel, Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice, LstmLane, SequenceModel,
-    VectorModel,
+    BatchArena, DeviceModel, Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice, LstmLane,
+    SequenceModel, VectorModel,
 };
 use rtad::soc::backend::{measure_elm_cycles, measure_lstm_cycles, profile_trim_plan};
 use rtad::soc::pipeline::{
@@ -72,6 +83,10 @@ pub struct ThroughputCell {
     /// device tolerance (the device computes in f32; see `rtad-ml`'s
     /// kernel equivalence tests).
     pub engine_scores_close: bool,
+    /// Decode-shard mode the pipeline actually used for this cell:
+    /// `0` is the inline single-threaded data plane, `k ≥ 1` the
+    /// threaded pipeline with `k` ingest workers.
+    pub decode_shards: usize,
 }
 
 impl ThroughputCell {
@@ -135,7 +150,7 @@ pub struct StageBreakdown {
     pub stats: PipelineStats,
 }
 
-/// The `BENCH_pr3.json` payload.
+/// The `BENCH_pr4.json` payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Master seed.
@@ -148,6 +163,11 @@ pub struct ServeReport {
     pub stages: Option<StageBreakdown>,
     /// Inference-only micro-comparison.
     pub micro: Vec<InferenceMicro>,
+    /// The widest LSTM cell re-run at forced decode-shard counts.
+    pub shard_scaling: Vec<ShardScalingCell>,
+    /// Steady-state hot-path allocation counts; `None` when the
+    /// counting allocator is not installed (library test runs).
+    pub alloc: Option<AllocTelemetry>,
     /// Predecode-cache counters after a steady-state inference pass.
     pub predecode: PredecodeStats,
     /// Serial-vs-auto engine comparison.
@@ -356,6 +376,13 @@ fn timed_serial_pass(spec: &ServeSpec, traces: &[TimedTrace]) -> (Vec<StreamOutc
     (outcomes, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Timed passes per measurement; the reported wall is the fastest trial.
+/// Every pass is deterministic, so trials can only differ in scheduler /
+/// frequency noise — which on a shared host easily reaches ±15%, far
+/// above the effects the report exists to show. Outcomes are asserted
+/// identical across trials as a free determinism check.
+const TRIALS: usize = 3;
+
 fn measure_cell(
     name: &str,
     spec: &ServeSpec,
@@ -364,9 +391,29 @@ fn measure_cell(
     bytes: &[Vec<u8>],
     config: &PipelineConfig,
 ) -> (ThroughputCell, PipelineStats) {
-    let (host_out, host_ms) = timed_serial_pass(spec, traces);
-    let (engine_ms, engine_close) = engine_serial_pass(spec, setup, traces, &host_out);
-    let run = run_pipeline(spec, config, bytes);
+    let (host_out, mut host_ms) = timed_serial_pass(spec, traces);
+    for _ in 1..TRIALS {
+        let (out, ms) = timed_serial_pass(spec, traces);
+        assert_eq!(out, host_out, "serial serving pass must be deterministic");
+        host_ms = host_ms.min(ms);
+    }
+    let (mut engine_ms, mut engine_close) = engine_serial_pass(spec, setup, traces, &host_out);
+    for _ in 1..TRIALS {
+        let (ms, close) = engine_serial_pass(spec, setup, traces, &host_out);
+        engine_ms = engine_ms.min(ms);
+        engine_close &= close;
+    }
+    let mut run = run_pipeline(spec, config, bytes);
+    for _ in 1..TRIALS {
+        let again = run_pipeline(spec, config, bytes);
+        assert_eq!(
+            again.outcomes, run.outcomes,
+            "pipeline outcomes must be deterministic across trials ({name})"
+        );
+        if again.stats.wall_ms < run.stats.wall_ms {
+            run = again;
+        }
+    }
     let identical = run.outcomes == host_out && run.outcomes == serial_reference(spec, bytes);
     assert!(
         identical,
@@ -388,9 +435,42 @@ fn measure_cell(
             max_batch_seen: run.stats.max_batch_seen,
             scores_bit_identical: identical,
             engine_scores_close: engine_close,
+            decode_shards: run.stats.decode_shards,
         },
         run.stats,
     )
+}
+
+/// One decode-shard scaling point: the widest LSTM cell re-run with a
+/// forced shard count (`requested == 0` is the auto policy). Outcomes
+/// are asserted identical across all points — only wall-clock moves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardScalingCell {
+    /// The `decode_shards` value requested in the config.
+    pub requested: usize,
+    /// Shards the pipeline actually ran (`0` = inline data plane).
+    pub used: usize,
+    /// End-to-end wall-clock, ms.
+    pub wall_ms: f64,
+    /// Decode-stage busy time, ms (max per-shard under sharding).
+    pub decode_stage_ms: f64,
+}
+
+/// Steady-state allocation counts of the hot paths, measured with the
+/// counting global allocator (see `rtad-alloc-counter`). Every field's
+/// contract is **zero**; the soc `alloc_free` test enforces it, this
+/// telemetry re-witnesses it in the shipped report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocTelemetry {
+    /// Allocations while re-decoding the warm dense (histogram) stream
+    /// with window-buffer recycling.
+    pub decode_dense: u64,
+    /// Allocations while re-decoding the warm token stream.
+    pub decode_token: u64,
+    /// Allocations across warm batched-ELM arena scoring passes.
+    pub elm_batch: u64,
+    /// Allocations across warm lockstep-LSTM arena steps.
+    pub lstm_batch: u64,
 }
 
 fn inference_micro(spec_elm: &ServeSpec, spec_lstm: &ServeSpec) -> Vec<InferenceMicro> {
@@ -403,16 +483,32 @@ fn inference_micro(spec_elm: &ServeSpec, spec_lstm: &ServeSpec) -> Vec<Inference
                     .collect()
             })
             .collect();
-        let t0 = Instant::now();
-        let scalar: Vec<f64> = windows.iter().map(|w| elm.score(w)).collect();
-        let scalar_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t0 = Instant::now();
-        let mut batched = Vec::with_capacity(windows.len());
-        for chunk in windows.chunks(64) {
-            let rows: Vec<&[f32]> = chunk.iter().map(Vec::as_slice).collect();
-            batched.extend(elm.score_batch(&rows));
+        let mut scalar: Vec<f64> = Vec::new();
+        let mut scalar_ms = f64::INFINITY;
+        for _ in 0..TRIALS {
+            let t0 = Instant::now();
+            scalar = windows.iter().map(|w| elm.score(w)).collect();
+            scalar_ms = scalar_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         }
-        let batched_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // The serving path's kernel: one warm arena across all chunks,
+        // no per-batch row-pointer tables or output allocations.
+        let mut arena = BatchArena::new();
+        let mut scores = Vec::new();
+        let mut batched = Vec::with_capacity(windows.len());
+        let mut batched_ms = f64::INFINITY;
+        for _ in 0..TRIALS {
+            batched.clear();
+            let t0 = Instant::now();
+            for chunk in windows.chunks(64) {
+                arena.begin(16);
+                for w in chunk {
+                    arena.push_row(w);
+                }
+                elm.score_batch_arena(&mut arena, &mut scores);
+                batched.extend_from_slice(&scores);
+            }
+            batched_ms = batched_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
         assert_eq!(scalar, batched, "ELM micro scores must be bit-identical");
         out.push(InferenceMicro {
             model: "elm".to_string(),
@@ -427,32 +523,42 @@ fn inference_micro(spec_elm: &ServeSpec, spec_lstm: &ServeSpec) -> Vec<Inference
         let vocab = 16u32;
         let token = |lane: usize, step: usize| ((lane * 5 + step * 3) as u32) % vocab;
 
-        let t0 = Instant::now();
         let mut scalar: Vec<Vec<f64>> = (0..lanes_n).map(|_| Vec::with_capacity(steps)).collect();
-        for (lane, scores) in scalar.iter_mut().enumerate() {
-            let mut m = lstm.clone();
-            m.reset();
-            for step in 0..steps {
-                scores.push(m.score_next(token(lane, step)));
+        let mut scalar_ms = f64::INFINITY;
+        for _ in 0..TRIALS {
+            scalar.iter_mut().for_each(Vec::clear);
+            let t0 = Instant::now();
+            for (lane, scores) in scalar.iter_mut().enumerate() {
+                let mut m = lstm.clone();
+                m.reset();
+                for step in 0..steps {
+                    scores.push(m.score_next(token(lane, step)));
+                }
             }
+            scalar_ms = scalar_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         }
-        let scalar_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        let t0 = Instant::now();
-        let mut lanes: Vec<LstmLane> = (0..lanes_n).map(|_| lstm.lane()).collect();
+        let idx: Vec<usize> = (0..lanes_n).collect();
+        let mut tokens = vec![0u32; lanes_n];
+        let mut arena = BatchArena::new();
+        let mut scores = Vec::new();
         let mut batched: Vec<Vec<f64>> = (0..lanes_n).map(|_| Vec::with_capacity(steps)).collect();
-        for step in 0..steps {
-            let tokens: Vec<u32> = (0..lanes_n).map(|lane| token(lane, step)).collect();
-            let mut refs: Vec<&mut LstmLane> = lanes.iter_mut().collect();
-            for (lane, score) in lstm
-                .score_next_batch(&mut refs, &tokens)
-                .into_iter()
-                .enumerate()
-            {
-                batched[lane].push(score);
+        let mut batched_ms = f64::INFINITY;
+        for _ in 0..TRIALS {
+            batched.iter_mut().for_each(Vec::clear);
+            let mut lanes: Vec<LstmLane> = (0..lanes_n).map(|_| lstm.lane()).collect();
+            let t0 = Instant::now();
+            for step in 0..steps {
+                for (lane, t) in tokens.iter_mut().enumerate() {
+                    *t = token(lane, step);
+                }
+                lstm.score_next_batch_arena(&mut lanes, &idx, &tokens, &mut arena, &mut scores);
+                for (lane, &score) in scores.iter().enumerate() {
+                    batched[lane].push(score);
+                }
             }
+            batched_ms = batched_ms.min(t0.elapsed().as_secs_f64() * 1e3);
         }
-        let batched_ms = t0.elapsed().as_secs_f64() * 1e3;
         assert_eq!(scalar, batched, "LSTM micro scores must be bit-identical");
         out.push(InferenceMicro {
             model: "lstm".to_string(),
@@ -462,6 +568,133 @@ fn inference_micro(spec_elm: &ServeSpec, spec_lstm: &ServeSpec) -> Vec<Inference
         });
     }
     out
+}
+
+/// Re-runs the widest LSTM cell at forced decode-shard counts (plus the
+/// auto policy), asserting every run's outcomes are identical.
+fn shard_scaling(
+    spec: &ServeSpec,
+    config: &PipelineConfig,
+    bytes: &[Vec<u8>],
+) -> Vec<ShardScalingCell> {
+    let mut cells = Vec::new();
+    let mut reference: Option<Vec<StreamOutcome>> = None;
+    for requested in [0usize, 1, 2, 4] {
+        let cfg = PipelineConfig {
+            decode_shards: requested,
+            ..*config
+        };
+        let mut run = run_pipeline(spec, &cfg, bytes);
+        for _ in 1..TRIALS {
+            let again = run_pipeline(spec, &cfg, bytes);
+            if again.stats.wall_ms < run.stats.wall_ms {
+                run = again;
+            }
+        }
+        match &reference {
+            None => reference = Some(run.outcomes),
+            Some(r) => assert_eq!(
+                &run.outcomes, r,
+                "decode_shards={requested} changed pipeline outcomes"
+            ),
+        }
+        cells.push(ShardScalingCell {
+            requested,
+            used: run.stats.decode_shards,
+            wall_ms: run.stats.wall_ms,
+            decode_stage_ms: run.stats.decode_ms,
+        });
+    }
+    cells
+}
+
+/// Measures steady-state hot-path allocations with the counting
+/// allocator: warm each path on the full input once, then count a
+/// second identical pass. Returns `None` when the counting allocator is
+/// not the process's global allocator (library tests), so the report
+/// says "not measured" instead of a vacuous zero.
+/// Fewest allocation events over three runs of `pass` (each pass is
+/// deterministic; the minimum filters one-off allocations from runtime
+/// threads that the process-global gate would otherwise count).
+fn settled_allocations(mut pass: impl FnMut()) -> u64 {
+    (0..3)
+        .map(|_| rtad_alloc_counter::allocations(&mut pass))
+        .min()
+        .unwrap_or(0)
+}
+
+fn alloc_telemetry(setup: &ServeSetup, bytes: &[Vec<u8>]) -> Option<AllocTelemetry> {
+    if !rtad_alloc_counter::is_installed() {
+        return None;
+    }
+    let stream = bytes.first()?;
+    let mut emitted = Vec::new();
+    let mut scratch = Vec::new();
+    let mut decode_pass = |igm: &mut StreamingIgm| {
+        for chunk in stream.chunks(2048) {
+            igm.push_bytes(chunk, &mut emitted);
+            for v in emitted.drain(..) {
+                if let VectorPayload::Dense(buf) = v.payload {
+                    scratch.clear();
+                    scratch.extend_from_slice(&buf);
+                    igm.recycle(buf);
+                }
+            }
+        }
+    };
+    let mut igm = StreamingIgm::new(&setup.spec_elm.igm);
+    decode_pass(&mut igm);
+    let decode_dense = settled_allocations(|| decode_pass(&mut igm));
+    let mut igm = StreamingIgm::new(&setup.spec_lstm.igm);
+    decode_pass(&mut igm);
+    let decode_token = settled_allocations(|| decode_pass(&mut igm));
+
+    let ServeModel::Elm(elm) = &setup.spec_elm.model else {
+        return None;
+    };
+    let rows: Vec<Vec<f32>> = (0..64)
+        .map(|r| (0..16).map(|j| ((r * 16 + j) % 7) as f32 * 0.1).collect())
+        .collect();
+    let mut arena = BatchArena::new();
+    let mut scores = Vec::new();
+    let elm_pass = |arena: &mut BatchArena, scores: &mut Vec<f64>| {
+        arena.begin(16);
+        for r in &rows {
+            arena.push_row(r);
+        }
+        elm.score_batch_arena(arena, scores);
+    };
+    elm_pass(&mut arena, &mut scores);
+    let elm_batch = settled_allocations(|| {
+        for _ in 0..4 {
+            elm_pass(&mut arena, &mut scores);
+        }
+    });
+
+    let ServeModel::Lstm(lstm) = &setup.spec_lstm.model else {
+        return None;
+    };
+    let mut lanes: Vec<LstmLane> = (0..32).map(|_| lstm.lane()).collect();
+    let idx: Vec<usize> = (0..32).collect();
+    let mut tokens = vec![0u32; 32];
+    let mut arena = BatchArena::new();
+    for step in 0..3u32 {
+        tokens.iter_mut().for_each(|t| *t = step % 16);
+        lstm.score_next_batch_arena(&mut lanes, &idx, &tokens, &mut arena, &mut scores);
+    }
+    let lstm_batch = settled_allocations(|| {
+        for step in 3..8u32 {
+            tokens.iter_mut().for_each(|t| *t = step % 16);
+            lstm.score_next_batch_arena(&mut lanes, &idx, &tokens, &mut arena, &mut scores);
+        }
+    });
+
+    Some(AllocTelemetry {
+        decode_dense,
+        decode_token,
+        elm_batch,
+        lstm_batch,
+    })
 }
 
 /// A steady-state inference pass on one ML-MIAOW engine, returning its
@@ -531,6 +764,7 @@ impl ServeReport {
             max_batch: 64,
             queue_depth: 1024,
             chunk_bytes: 2048,
+            decode_shards: 0,
         };
         let mut cells = Vec::new();
         let mut stages = None;
@@ -548,6 +782,11 @@ impl ServeReport {
                 cells.push(cell);
             }
         }
+        let scaling = if max_streams > 1 {
+            shard_scaling(&setup.spec_lstm, &config, &bytes)
+        } else {
+            Vec::new()
+        };
 
         ServeReport {
             seed,
@@ -555,6 +794,8 @@ impl ServeReport {
             cells,
             stages,
             micro: inference_micro(&setup.spec_elm, &setup.spec_lstm),
+            shard_scaling: scaling,
+            alloc: alloc_telemetry(&setup, &bytes),
             predecode: predecode_telemetry(seed, 8),
             engine: measure_engine_speedup(seed, engine_reps),
         }
@@ -587,6 +828,28 @@ impl ServeReport {
                 m.windows
             );
         }
+        for c in &self.shard_scaling {
+            let _ = writeln!(
+                s,
+                "decode shards requested {} (used {}): wall {:.2} ms, decode stage {:.2} ms",
+                c.requested, c.used, c.wall_ms, c.decode_stage_ms
+            );
+        }
+        match &self.alloc {
+            None => {
+                let _ = writeln!(
+                    s,
+                    "steady-state allocs: not measured (no counting allocator)"
+                );
+            }
+            Some(a) => {
+                let _ = writeln!(
+                    s,
+                    "steady-state allocs: decode dense {} / token {}, elm batch {}, lstm batch {}",
+                    a.decode_dense, a.decode_token, a.elm_batch, a.lstm_batch
+                );
+            }
+        }
         let _ = writeln!(
             s,
             "predecode cache: {} hits / {} misses ({} kernels, hit rate {:.3})",
@@ -609,7 +872,7 @@ impl ServeReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"rtad-bench-pr3/v1\",");
+        let _ = writeln!(s, "  \"schema\": \"rtad-bench-pr4/v1\",");
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
         let _ = writeln!(
             s,
@@ -627,7 +890,7 @@ impl ServeReport {
                  \"engine_serial_windows_per_sec\": {}, \"host_serial_windows_per_sec\": {}, \
                  \"pipeline_windows_per_sec\": {}, \
                  \"speedup\": {}, \"host_speedup\": {}, \
-                 \"batches\": {}, \"max_batch_seen\": {}, \
+                 \"batches\": {}, \"max_batch_seen\": {}, \"decode_shards\": {}, \
                  \"scores_bit_identical\": {}, \"engine_scores_close\": {} }}{sep}",
                 c.model,
                 c.streams,
@@ -642,6 +905,7 @@ impl ServeReport {
                 json_f64(c.host_speedup()),
                 c.batches,
                 c.max_batch_seen,
+                c.decode_shards,
                 c.scores_bit_identical,
                 c.engine_scores_close
             );
@@ -658,14 +922,15 @@ impl ServeReport {
                     s,
                     "  \"stage_wall_ms\": {{ \"model\": \"{}\", \"streams\": {}, \
                      \"decode\": {}, \"inference\": {}, \"verdict\": {}, \
-                     \"end_to_end\": {}, \"batches\": {} }},",
+                     \"end_to_end\": {}, \"batches\": {}, \"decode_shards\": {} }},",
                     b.model,
                     b.streams,
                     json_f64(b.stats.decode_ms),
                     json_f64(b.stats.infer_ms),
                     json_f64(b.stats.verdict_ms),
                     json_f64(b.stats.wall_ms),
-                    b.stats.batches
+                    b.stats.batches,
+                    b.stats.decode_shards
                 );
             }
         }
@@ -688,6 +953,39 @@ impl ServeReport {
         } else {
             "\n  ],\n"
         });
+        s.push_str("  \"decode_shard_scaling\": [");
+        for (i, c) in self.shard_scaling.iter().enumerate() {
+            let sep = if i + 1 < self.shard_scaling.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = write!(
+                s,
+                "\n    {{ \"requested\": {}, \"used\": {}, \"wall_ms\": {}, \
+                 \"decode_stage_ms\": {} }}{sep}",
+                c.requested,
+                c.used,
+                json_f64(c.wall_ms),
+                json_f64(c.decode_stage_ms)
+            );
+        }
+        s.push_str(if self.shard_scaling.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        match &self.alloc {
+            None => s.push_str("  \"steady_state_allocs\": null,\n"),
+            Some(a) => {
+                let _ = writeln!(
+                    s,
+                    "  \"steady_state_allocs\": {{ \"decode_dense\": {}, \"decode_token\": {}, \
+                     \"elm_batch\": {}, \"lstm_batch\": {} }},",
+                    a.decode_dense, a.decode_token, a.elm_batch, a.lstm_batch
+                );
+            }
+        }
         let _ = writeln!(
             s,
             "  \"predecode_cache\": {{ \"hits\": {}, \"misses\": {}, \"kernels\": {}, \"hit_rate\": {} }},",
@@ -759,14 +1057,27 @@ mod tests {
         assert!(report.predecode.misses > 0);
         assert!(report.predecode.hits > 0, "steady state must hit the cache");
 
+        // Forced shard counts were exercised (and matched, or
+        // `shard_scaling` would have panicked); the auto row reports
+        // what the policy picked on this host.
+        assert_eq!(report.shard_scaling.len(), 4);
+        assert_eq!(report.shard_scaling[0].requested, 0);
+        assert_eq!(report.shard_scaling[1].used, 1);
+        // The library test binary does not install the counting
+        // allocator, so allocation telemetry must say "not measured".
+        assert!(report.alloc.is_none());
+
         let json = report.to_json();
         for key in [
-            "\"schema\": \"rtad-bench-pr3/v1\"",
+            "\"schema\": \"rtad-bench-pr4/v1\"",
             "\"throughput\": [",
             "\"engine_serial_wall_ms\"",
             "\"host_speedup\"",
+            "\"decode_shards\"",
             "\"stage_wall_ms\": {",
             "\"inference_micro\": [",
+            "\"decode_shard_scaling\": [",
+            "\"steady_state_allocs\": null",
             "\"predecode_cache\": {",
             "\"mode\": \"auto_vs_serial\"",
             "\"scores_bit_identical\": true",

@@ -203,6 +203,22 @@ impl VectorEncoder {
     ///
     /// Panics if `token` is outside the vocabulary.
     pub fn encode(&mut self, token: u32) -> VectorPayload {
+        let mut empty_pool = Vec::new();
+        self.encode_pooled(token, &mut empty_pool)
+    }
+
+    /// Encodes one accepted token, drawing any dense-payload buffer from
+    /// `pool` instead of the heap. Payloads are bit-identical to
+    /// [`VectorEncoder::encode`]'s; token payloads never touch the pool.
+    ///
+    /// A steady-state session recycles scored window buffers back into
+    /// its pool, so histogram emission allocates only while the pool
+    /// warms up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary.
+    pub fn encode_pooled(&mut self, token: u32, pool: &mut Vec<Vec<f32>>) -> VectorPayload {
         assert!(
             (token as usize) < self.vocab,
             "token {token} outside vocabulary of {}",
@@ -221,7 +237,10 @@ impl VectorEncoder {
                 self.head = (self.head + 1) % window;
                 self.counts[token as usize] += 1;
                 let denom = self.filled as f32;
-                VectorPayload::Dense(self.counts.iter().map(|&c| c as f32 / denom).collect())
+                let mut buf = pool.pop().unwrap_or_default();
+                buf.clear();
+                buf.extend(self.counts.iter().map(|&c| c as f32 / denom));
+                VectorPayload::Dense(buf)
             }
         }
     }

@@ -24,7 +24,7 @@
 //! that start from raw branch runs.
 
 use rtad_trace::ptm::{Packet, PacketDecoder};
-use rtad_trace::tpiu::{TpiuDeframer, FRAME_BYTES};
+use rtad_trace::tpiu::{TpiuDeframer, TraceId, FRAME_BYTES};
 use rtad_trace::{BranchRecord, VirtAddr};
 
 use crate::ivg::{AddressMapper, VectorEncoder, VectorPayload};
@@ -84,8 +84,19 @@ pub struct StreamingIgm {
     /// Targets decoded from the current frame's completed words
     /// (reused across frames to avoid per-frame allocation).
     burst: Vec<(VirtAddr, u32)>,
+    /// Deframer output scratch (reused across frames).
+    deframe_buf: Vec<(TraceId, u8)>,
+    /// Recycled dense-window buffers: consumers hand scored windows back
+    /// via [`StreamingIgm::recycle`] so steady-state histogram emission
+    /// allocates nothing.
+    pool: Vec<Vec<f32>>,
     stats: StreamingStats,
 }
+
+/// Upper bound on recycled window buffers held per session; anything
+/// past this is dropped (recycling is an allocation optimization, never
+/// a correctness requirement).
+const WINDOW_POOL_CAP: usize = 256;
 
 impl StreamingIgm {
     /// Builds the streaming chain from the same configuration as the
@@ -105,7 +116,17 @@ impl StreamingIgm {
             frame_buf: [0u8; FRAME_BYTES],
             frame_fill: 0,
             burst: Vec::with_capacity(8),
+            deframe_buf: Vec::with_capacity(FRAME_BYTES),
+            pool: Vec::new(),
             stats: StreamingStats::default(),
+        }
+    }
+
+    /// Hands a scored dense-window buffer back for reuse by the next
+    /// histogram emission. Buffers past the pool cap are dropped.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if self.pool.len() < WINDOW_POOL_CAP {
+            self.pool.push(buf);
         }
     }
 
@@ -122,25 +143,46 @@ impl StreamingIgm {
     /// Pushes an arbitrary chunk of the TPIU byte stream, emitting every
     /// vector that completes. Chunks need not align with frames.
     pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<StreamedVector>) {
-        for &b in bytes {
-            self.frame_buf[self.frame_fill] = b;
-            self.frame_fill += 1;
-            if self.frame_fill == FRAME_BYTES {
-                self.frame_fill = 0;
-                let frame = self.frame_buf;
-                self.push_frame(&frame, out);
+        let mut rest = bytes;
+        // Complete any partial frame carried over from earlier chunks.
+        if self.frame_fill > 0 {
+            let take = (FRAME_BYTES - self.frame_fill).min(rest.len());
+            self.frame_buf[self.frame_fill..self.frame_fill + take].copy_from_slice(&rest[..take]);
+            self.frame_fill += take;
+            rest = &rest[take..];
+            if self.frame_fill < FRAME_BYTES {
+                return;
             }
+            self.frame_fill = 0;
+            let frame = self.frame_buf;
+            self.push_frame(&frame, out);
         }
+        // Aligned fast path: whole frames straight out of the chunk,
+        // no per-byte staging copy.
+        let mut frames = rest.chunks_exact(FRAME_BYTES);
+        for frame in frames.by_ref() {
+            let frame: &[u8; FRAME_BYTES] = frame.try_into().expect("chunk is frame-sized");
+            self.push_frame(frame, out);
+        }
+        let tail = frames.remainder();
+        self.frame_buf[..tail.len()].copy_from_slice(tail);
+        self.frame_fill = tail.len();
     }
 
     /// Pushes one complete TPIU frame. Malformed frames are dropped, as
     /// the hardware (and the timed path) drop them.
     pub fn push_frame(&mut self, frame: &[u8; FRAME_BYTES], out: &mut Vec<StreamedVector>) {
-        let Ok(payload) = self.deframer.feed_frame(frame) else {
+        self.deframe_buf.clear();
+        if self
+            .deframer
+            .feed_frame_into(frame, &mut self.deframe_buf)
+            .is_err()
+        {
             return;
-        };
+        }
         self.stats.frames += 1;
-        self.pending.extend(payload.iter().map(|&(_, b)| b));
+        self.pending
+            .extend(self.deframe_buf.iter().map(|&(_, b)| b));
         // Decode only completed 4-byte words; stragglers wait for the
         // next frame (or `finish`), exactly like the TA's lane buffer.
         let whole = self.pending.len() - self.pending.len() % 4;
@@ -201,7 +243,7 @@ impl StreamingIgm {
                     out.push(StreamedVector {
                         target,
                         context_id,
-                        payload: self.encoder.encode(token),
+                        payload: self.encoder.encode_pooled(token, &mut self.pool),
                     });
                 }
             }
@@ -344,6 +386,44 @@ mod tests {
         assert!(n_torn <= got_whole.len());
         // The torn prefix is a prefix of the whole decode.
         assert_eq!(&got_whole[..n_torn], &got[..]);
+    }
+
+    #[test]
+    fn recycled_buffers_are_bit_identical_to_fresh_allocations() {
+        let (run, targets) = run_with_targets(300);
+        let config = IgmConfig::histogram(&targets, 16);
+        let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(&run);
+        let bytes: Vec<u8> = trace.bytes.iter().map(|tb| tb.byte).collect();
+
+        let mut fresh = StreamingIgm::new(&config);
+        let mut expect = Vec::new();
+        fresh.push_bytes(&bytes, &mut expect);
+        fresh.finish(&mut expect);
+
+        let mut pooled = StreamingIgm::new(&config);
+        let mut emitted = Vec::new();
+        let mut got = Vec::new();
+        let drain = |pooled: &mut StreamingIgm,
+                     emitted: &mut Vec<StreamedVector>,
+                     got: &mut Vec<StreamedVector>| {
+            for v in emitted.drain(..) {
+                got.push(v.clone());
+                if let VectorPayload::Dense(mut buf) = v.payload {
+                    // Poison the returned buffer: the pooled encode must
+                    // fully overwrite recycled storage.
+                    buf.iter_mut().for_each(|x| *x = f32::NAN);
+                    pooled.recycle(buf);
+                }
+            }
+        };
+        for c in bytes.chunks(64) {
+            pooled.push_bytes(c, &mut emitted);
+            drain(&mut pooled, &mut emitted, &mut got);
+        }
+        pooled.finish(&mut emitted);
+        drain(&mut pooled, &mut emitted, &mut got);
+
+        assert_eq!(got, expect, "recycling must not change emitted vectors");
     }
 
     #[test]

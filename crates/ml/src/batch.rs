@@ -26,11 +26,90 @@
 
 use crate::elm::{sigmoid, Elm};
 use crate::linalg::Matrix;
-use crate::lstm::{dev_tanh, softmax_clipped, Lstm};
+use crate::lstm::{dev_tanh, softmax_clipped, softmax_clipped_into, Lstm};
+
+/// Reusable scratch for batched inference: the stacked input rows plus
+/// every intermediate buffer the batch kernels need. One arena lives
+/// per inference worker; after the first batch warms its buffers up to
+/// the steady batch shape, scoring allocates nothing.
+///
+/// For ELM, callers stack windows with [`BatchArena::begin`] +
+/// [`BatchArena::push_row`] and hand the arena to
+/// [`Elm::score_batch_arena`]. For the LSTM,
+/// [`Lstm::score_next_batch_arena`] fills the stacks itself. The same
+/// arena can serve both models (the buffers are shape-agnostic).
+#[derive(Debug, Default)]
+pub struct BatchArena {
+    /// Stacked input rows, row-major (`rows × cols`).
+    x: Vec<f32>,
+    cols: usize,
+    rows: usize,
+    /// Stacked per-lane hidden states (LSTM).
+    hstack: Vec<f32>,
+    /// First matmul product (ELM pre-activations / LSTM `W·x`, logits).
+    p1: Vec<f32>,
+    /// Second matmul product (ELM reconstruction / LSTM `U·h`).
+    p2: Vec<f32>,
+    /// One lane's gate pre-activations (`4 × hidden`).
+    z: Vec<f32>,
+    /// One lane's biased logits.
+    tmp: Vec<f32>,
+}
+
+impl BatchArena {
+    /// An empty arena; buffers grow to the steady batch shape on first
+    /// use and are reused from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new input batch of `cols`-wide rows, discarding any
+    /// previously stacked rows (the buffer is kept).
+    pub fn begin(&mut self, cols: usize) {
+        assert!(cols > 0, "arena rows need at least one column");
+        self.x.clear();
+        self.rows = 0;
+        self.cols = cols;
+    }
+
+    /// Appends one input row to the current batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not `cols` wide.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "batch row {} width", self.rows);
+        self.x.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Rows currently stacked.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Width of the current batch's rows.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stacked row `i` (a bit-exact copy of what was pushed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of range");
+        &self.x[i * self.cols..(i + 1) * self.cols]
+    }
+}
 
 impl Elm {
     /// Scores a batch of feature vectors in one pass: row `b` of the
     /// result equals `self.score(xs[b])` bit for bit.
+    ///
+    /// Thin allocating wrapper over [`Elm::score_batch_arena`]; hot
+    /// paths hold an arena and call the core directly.
     ///
     /// # Panics
     ///
@@ -40,32 +119,63 @@ impl Elm {
             return Vec::new();
         }
         let input_dim = self.config().input_dim;
+        let mut arena = BatchArena::new();
+        arena.begin(input_dim);
         for (b, x) in xs.iter().enumerate() {
             assert_eq!(x.len(), input_dim, "batch row {b} width");
+            arena.push_row(x);
         }
-        // X: B × input. One matmul_t per layer replaces B matvecs.
-        let x = Matrix::from_rows(xs);
-        let mut h = x.matmul_t(self.w_in());
+        let mut out = Vec::with_capacity(xs.len());
+        self.score_batch_arena(&mut arena, &mut out);
+        out
+    }
+
+    /// Scores the rows stacked in `arena` into `out` (cleared first),
+    /// bit-identical to [`Elm::score`] per row. The allocation-free
+    /// core: with a warmed arena and pre-sized `out`, a batch of the
+    /// steady shape never touches the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena's rows are not `input_dim` wide.
+    pub fn score_batch_arena(&self, arena: &mut BatchArena, out: &mut Vec<f64>) {
+        out.clear();
+        let b = arena.rows;
+        if b == 0 {
+            return;
+        }
+        let input_dim = self.config().input_dim;
+        assert_eq!(arena.cols, input_dim, "arena row width");
         let hidden = self.config().hidden;
-        for row in h.as_mut_slice().chunks_exact_mut(hidden) {
+        // X: B × input. One matmul_t per layer replaces B matvecs; the
+        // arena's buffers move into Matrix views and back without copies.
+        let x = Matrix::from_vec(b, input_dim, std::mem::take(&mut arena.x));
+        x.matmul_t_into(self.w_in(), &mut arena.p1);
+        for row in arena.p1.chunks_exact_mut(hidden) {
             for (v, bias) in row.iter_mut().zip(self.b_in()) {
                 *v = sigmoid(*v + bias);
             }
         }
-        let rec = h.matmul_t(self.w_out());
-        rec.as_slice()
+        let h = Matrix::from_vec(b, hidden, std::mem::take(&mut arena.p1));
+        h.matmul_t_into(self.w_out(), &mut arena.p2);
+        out.reserve(b);
+        for (row, xrow) in arena
+            .p2
             .chunks_exact(input_dim)
-            .zip(xs)
-            .map(|(row, x)| {
+            .zip(x.as_slice().chunks_exact(input_dim))
+        {
+            out.push(
                 row.iter()
-                    .zip(*x)
+                    .zip(xrow)
                     .map(|(r, v)| {
                         let d = f64::from(r - v);
                         d * d
                     })
-                    .sum()
-            })
-            .collect()
+                    .sum(),
+            );
+        }
+        arena.p1 = h.into_vec();
+        arena.x = x.into_vec();
     }
 }
 
@@ -73,7 +183,10 @@ impl Elm {
 /// per-stream half of what [`Lstm`] keeps internally for the scalar
 /// path (hidden and cell vectors plus the standing next-token
 /// prediction).
-#[derive(Debug, Clone, PartialEq)]
+/// `Default` is an *empty placeholder* lane (zero-width state) used to
+/// move lanes in and out of slots without allocating; it must be
+/// replaced by a real lane (from [`Lstm::lane`]) before stepping.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LstmLane {
     h: Vec<f32>,
     c: Vec<f32>,
@@ -126,73 +239,132 @@ impl Lstm {
     /// is outside the vocabulary.
     pub fn score_next_batch(&self, lanes: &mut [&mut LstmLane], tokens: &[u32]) -> Vec<f64> {
         assert_eq!(lanes.len(), tokens.len(), "one token per lane");
-        if lanes.is_empty() {
-            return Vec::new();
+        let mut owned: Vec<LstmLane> = lanes.iter_mut().map(|l| std::mem::take(&mut **l)).collect();
+        let idx: Vec<usize> = (0..owned.len()).collect();
+        let mut arena = BatchArena::new();
+        let mut out = Vec::with_capacity(tokens.len());
+        self.score_next_batch_arena(&mut owned, &idx, tokens, &mut arena, &mut out);
+        for (slot, lane) in lanes.iter_mut().zip(owned) {
+            **slot = lane;
+        }
+        out
+    }
+
+    /// The allocation-free core of [`Lstm::score_next_batch`]: advances
+    /// `lanes[idx[b]]` by `tokens[b]` for every batch slot `b` and
+    /// pushes the per-slot scores into `out` (cleared first).
+    ///
+    /// Lanes are addressed by index into a caller-owned pool so no
+    /// per-batch `Vec<&mut LstmLane>` is needed; with a warmed `arena`
+    /// and pre-sized `out`, a batch of the steady shape never touches
+    /// the heap. Scores and lane states are bit-identical to the
+    /// allocating wrapper (and hence to the scalar path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` and `tokens` disagree in length, any index is
+    /// out of range, or any token is outside the vocabulary.
+    pub fn score_next_batch_arena(
+        &self,
+        lanes: &mut [LstmLane],
+        idx: &[usize],
+        tokens: &[u32],
+        arena: &mut BatchArena,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(idx.len(), tokens.len(), "one token per lane");
+        out.clear();
+        if idx.is_empty() {
+            return;
         }
         let vocab = self.config().vocab;
         let hd = self.config().hidden;
+        let embed = self.config().embed;
         for &t in tokens {
             assert!((t as usize) < vocab, "token outside vocabulary");
         }
 
         // Scores come from each lane's standing prediction, before the
         // state advances — exactly score_next's order.
-        let scores: Vec<f64> = lanes
-            .iter()
-            .zip(tokens)
-            .map(|(lane, &t)| {
-                let p = lane.probs[t as usize].max(1e-12);
-                -f64::from(p.ln())
-            })
-            .collect();
+        out.reserve(idx.len());
+        for (&li, &t) in idx.iter().zip(tokens) {
+            let p = lanes[li].probs[t as usize].max(1e-12);
+            out.push(-f64::from(p.ln()));
+        }
 
         // Stack the timestep: X (B × embed) gathers embeddings, Hprev
-        // (B × hidden) stacks the lanes' hidden states.
-        let xrows: Vec<&[f32]> = tokens
-            .iter()
-            .map(|&t| self.embedding().row(t as usize))
-            .collect();
-        let x = Matrix::from_rows(&xrows);
-        let hrows: Vec<&[f32]> = lanes.iter().map(|lane| lane.h.as_slice()).collect();
-        let h_prev = Matrix::from_rows(&hrows);
+        // (B × hidden) stacks the lanes' hidden states. The arena's
+        // stacks move into Matrix views and back without copies.
+        let b = idx.len();
+        arena.begin(embed);
+        for &t in tokens {
+            arena.push_row(self.embedding().row(t as usize));
+        }
+        let x = Matrix::from_vec(b, embed, std::mem::take(&mut arena.x));
+        x.matmul_t_into(self.w(), &mut arena.p1); // W·x: B × 4·hidden
+        arena.x = x.into_vec();
 
-        let wx = x.matmul_t(self.w());
-        let uh = h_prev.matmul_t(self.u());
+        arena.hstack.clear();
+        for &li in idx {
+            arena.hstack.extend_from_slice(&lanes[li].h);
+        }
+        let h_prev = Matrix::from_vec(b, hd, std::mem::take(&mut arena.hstack));
+        h_prev.matmul_t_into(self.u(), &mut arena.p2); // U·h: B × 4·hidden
+        arena.hstack = h_prev.into_vec();
 
-        for (b, lane) in lanes.iter_mut().enumerate() {
-            let wx_row = wx.row(b);
-            let uh_row = uh.row(b);
+        for (slot, &li) in idx.iter().enumerate() {
+            let wx_row = &arena.p1[slot * 4 * hd..(slot + 1) * 4 * hd];
+            let uh_row = &arena.p2[slot * 4 * hd..(slot + 1) * 4 * hd];
             // z = Wx + Uh + b, gates i,f,g,o — the scalar step verbatim.
-            let z: Vec<f32> = wx_row
-                .iter()
-                .zip(uh_row)
-                .zip(self.b())
-                .map(|((a, b2), bias)| a + b2 + bias)
-                .collect();
-            let mut c = std::mem::take(&mut lane.c);
-            let mut h = std::mem::take(&mut lane.h);
-            for k in 0..hd {
-                let i = sigmoid(z[k]);
-                let f = sigmoid(z[hd + k]);
-                let g = dev_tanh(z[2 * hd + k]);
-                let o = sigmoid(z[3 * hd + k]);
-                c[k] = f * c[k] + i * g;
-                h[k] = o * dev_tanh(c[k]);
+            arena.z.clear();
+            arena.z.extend(
+                wx_row
+                    .iter()
+                    .zip(uh_row)
+                    .zip(self.b())
+                    .map(|((a, b2), bias)| a + b2 + bias),
+            );
+            let lane = &mut lanes[li];
+            // Split the gate block once so the per-element loop is
+            // bounds-check-free; the arithmetic (and its order) is the
+            // scalar step verbatim.
+            let (zi, rest) = arena.z.split_at(hd);
+            let (zf, rest) = rest.split_at(hd);
+            let (zg, zo) = rest.split_at(hd);
+            for (((((c, h), &zi), &zf), &zg), &zo) in lane
+                .c
+                .iter_mut()
+                .zip(lane.h.iter_mut())
+                .zip(zi)
+                .zip(zf)
+                .zip(zg)
+                .zip(zo)
+            {
+                let i = sigmoid(zi);
+                let f = sigmoid(zf);
+                let g = dev_tanh(zg);
+                let o = sigmoid(zo);
+                *c = f * *c + i * g;
+                *h = o * dev_tanh(*c);
             }
-            lane.c = c;
-            lane.h = h;
         }
 
         // Refresh every lane's prediction: one matmul_t for all logits.
-        let hrows: Vec<&[f32]> = lanes.iter().map(|lane| lane.h.as_slice()).collect();
-        let h_new = Matrix::from_rows(&hrows);
-        let logits = h_new.matmul_t(self.w_out());
-        for (lane, lrow) in lanes.iter_mut().zip(logits.as_slice().chunks_exact(vocab)) {
-            let with_bias: Vec<f32> = lrow.iter().zip(self.b_out()).map(|(v, b)| v + b).collect();
-            lane.probs = softmax_clipped(&with_bias);
+        arena.hstack.clear();
+        for &li in idx {
+            arena.hstack.extend_from_slice(&lanes[li].h);
         }
-
-        scores
+        let h_new = Matrix::from_vec(b, hd, std::mem::take(&mut arena.hstack));
+        h_new.matmul_t_into(self.w_out(), &mut arena.p1); // logits: B × vocab
+        arena.hstack = h_new.into_vec();
+        for (slot, &li) in idx.iter().enumerate() {
+            let lrow = &arena.p1[slot * vocab..(slot + 1) * vocab];
+            arena.tmp.clear();
+            arena
+                .tmp
+                .extend(lrow.iter().zip(self.b_out()).map(|(v, bo)| v + bo));
+            softmax_clipped_into(&arena.tmp, &mut lanes[li].probs);
+        }
     }
 }
 

@@ -58,7 +58,7 @@ pub mod mlp;
 pub mod ngram;
 pub mod score;
 
-pub use batch::LstmLane;
+pub use batch::{BatchArena, LstmLane};
 pub use elm::{Elm, ElmConfig};
 pub use kernels::{DeviceInference, DeviceModel, DevicePlan, ElmDevice, LstmDevice};
 pub use linalg::Matrix;

@@ -29,6 +29,13 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+/// Tile edge for the cache-blocked `matmul_t` kernel. 32×32 output
+/// tiles keep a tile's worth of `rhs` rows resident in L1/L2 while the
+/// `self` rows stream past; blocking is over *output* coordinates only,
+/// so each element remains a single full-length dot product and the
+/// bit-identity contract of [`Matrix::matmul_t`] is preserved.
+const MATMUL_T_TILE: usize = 32;
+
 impl Matrix {
     /// A `rows × cols` zero matrix.
     ///
@@ -101,6 +108,15 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consumes the matrix, returning its flat row-major buffer.
+    ///
+    /// Arenas move a scratch buffer into a [`Matrix::from_vec`] view for
+    /// the duration of a batch and reclaim it here — no copy, no
+    /// allocation in either direction.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Row `i` as a slice.
     ///
     /// # Panics
@@ -117,19 +133,31 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// `self * x` into a caller-owned buffer (cleared, then filled with
+    /// `rows` elements). Bit-identical to [`Matrix::matvec`]; reusing
+    /// `out` across calls keeps the hot path off the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_into(&self, x: &[f32], out: &mut Vec<f32>) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        out.clear();
+        out.reserve(self.rows);
         // chunks_exact + zip compile to index-free loops (the length
         // relation is known up front), unlike per-element indexing.
-        self.data
-            .chunks_exact(self.cols)
-            .map(|row| {
-                let mut acc = 0f64;
-                for (a, b) in row.iter().zip(x) {
-                    acc += f64::from(*a) * f64::from(*b);
-                }
-                acc as f32
-            })
-            .collect()
+        for row in self.data.chunks_exact(self.cols) {
+            let mut acc = 0f64;
+            for (a, b) in row.iter().zip(x) {
+                acc += f64::from(*a) * f64::from(*b);
+            }
+            out.push(acc as f32);
+        }
     }
 
     /// `selfᵀ * x` (saves materializing the transpose in hot paths).
@@ -165,22 +193,77 @@ impl Matrix {
     ///
     /// Panics if `self.cols != rhs.cols`.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * rhs.rows);
+        self.matmul_t_into(rhs, &mut data);
+        Matrix::from_vec(self.rows, rhs.rows, data)
+    }
+
+    /// `self * rhsᵀ` into a caller-owned flat row-major buffer (cleared,
+    /// then resized to `self.rows * rhs.rows`).
+    ///
+    /// This is the cache-blocked core of [`Matrix::matmul_t`]: the
+    /// output is walked in [`MATMUL_T_TILE`]-square tiles so a tile's
+    /// worth of `rhs` rows stays cache-resident while the batch rows
+    /// stream past it, and within a tile four output columns advance
+    /// together so their `f64` accumulators form independent dependency
+    /// chains (a single chain is latency-bound: ~4 cycles per add, which
+    /// dominates small-model inference). Blocking and interleaving cover
+    /// output coordinates only — every element is still one full-length
+    /// `f64` dot accumulated in index order and rounded to `f32` once,
+    /// so results are bit-identical to the unblocked kernel and row `i`
+    /// still equals `rhs.matvec(self.row(i))` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Vec<f32>) {
         assert_eq!(self.cols, rhs.cols, "matmul_t dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for (arow, orow) in self
-            .data
-            .chunks_exact(self.cols)
-            .zip(out.data.chunks_exact_mut(rhs.rows))
-        {
-            for (o, brow) in orow.iter_mut().zip(rhs.data.chunks_exact(rhs.cols)) {
-                let mut acc = 0f64;
-                for (a, b) in arow.iter().zip(brow) {
-                    acc += f64::from(*a) * f64::from(*b);
+        let n = rhs.rows;
+        let c = rhs.cols;
+        out.clear();
+        out.resize(self.rows * n, 0.0);
+        for i0 in (0..self.rows).step_by(MATMUL_T_TILE) {
+            let i1 = (i0 + MATMUL_T_TILE).min(self.rows);
+            for j0 in (0..n).step_by(MATMUL_T_TILE) {
+                let j1 = (j0 + MATMUL_T_TILE).min(n);
+                let bblock = &rhs.data[j0 * c..j1 * c];
+                for i in i0..i1 {
+                    let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let orow = &mut out[i * n + j0..i * n + j1];
+                    let mut ochunks = orow.chunks_exact_mut(4);
+                    let mut bchunks = bblock.chunks_exact(4 * c);
+                    for (og, bg) in ochunks.by_ref().zip(bchunks.by_ref()) {
+                        let (b0, rest) = bg.split_at(c);
+                        let (b1, rest) = rest.split_at(c);
+                        let (b2, b3) = rest.split_at(c);
+                        let (mut s0, mut s1, mut s2, mut s3) = (0f64, 0f64, 0f64, 0f64);
+                        for ((((a, x0), x1), x2), x3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                        {
+                            let av = f64::from(*a);
+                            s0 += av * f64::from(*x0);
+                            s1 += av * f64::from(*x1);
+                            s2 += av * f64::from(*x2);
+                            s3 += av * f64::from(*x3);
+                        }
+                        og[0] = s0 as f32;
+                        og[1] = s1 as f32;
+                        og[2] = s2 as f32;
+                        og[3] = s3 as f32;
+                    }
+                    for (o, brow) in ochunks
+                        .into_remainder()
+                        .iter_mut()
+                        .zip(bchunks.remainder().chunks_exact(c))
+                    {
+                        let mut acc = 0f64;
+                        for (a, b) in arow.iter().zip(brow) {
+                            acc += f64::from(*a) * f64::from(*b);
+                        }
+                        *o = acc as f32;
+                    }
                 }
-                *o = acc as f32;
             }
         }
-        out
     }
 
     /// Matrix product `self * rhs`.
@@ -510,6 +593,58 @@ mod tests {
         for i in 0..xs.rows() {
             assert_eq!(prod.row(i), w.matvec(xs.row(i)).as_slice());
         }
+    }
+
+    /// The cache-blocked `matmul_t_into` must be bit-identical to the
+    /// unblocked reference at shapes that are smaller than, equal to,
+    /// and straddling the tile edge.
+    #[test]
+    fn matmul_t_into_matches_unblocked_reference() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(23);
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (7, 5, 9),
+            (32, 32, 16),
+            (33, 47, 20),
+            (65, 31, 33),
+        ] {
+            let mut a = Matrix::zeros(m, k);
+            a.randomize(&mut rng, 3.0);
+            let mut b = Matrix::zeros(n, k);
+            b.randomize(&mut rng, 3.0);
+            // Unblocked reference: one f64 dot per element, rounded once.
+            let mut reference = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0f64;
+                    for kk in 0..k {
+                        acc += f64::from(a[(i, kk)]) * f64::from(b[(j, kk)]);
+                    }
+                    reference[(i, j)] = acc as f32;
+                }
+            }
+            assert_eq!(a.matmul_t(&b), reference, "shape ({m},{n},{k})");
+            let mut out = vec![1.0; 3]; // non-empty: exercises clear+resize
+            a.matmul_t_into(&b, &mut out);
+            assert_eq!(out, reference.as_slice(), "into, shape ({m},{n},{k})");
+        }
+    }
+
+    /// `matvec_into` must fill exactly what `matvec` returns and must
+    /// not allocate when the buffer already has capacity.
+    #[test]
+    fn matvec_into_matches_and_reuses_buffer() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(29);
+        let mut a = Matrix::zeros(17, 13);
+        a.randomize(&mut rng, 2.0);
+        let x: Vec<f32> = (0..13).map(|i| i as f32 * 0.7 - 4.0).collect();
+        let mut out = Vec::with_capacity(17);
+        let ptr = out.as_ptr();
+        a.matvec_into(&x, &mut out);
+        assert_eq!(out, a.matvec(&x));
+        assert_eq!(out.as_ptr(), ptr, "pre-sized buffer must not reallocate");
     }
 
     #[test]

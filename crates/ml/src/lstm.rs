@@ -519,12 +519,26 @@ fn softmax(logits: &[f32]) -> Vec<f32> {
 /// Device-matching softmax: clip to ±[`LOGIT_CLIP`], exponentiate
 /// without max-shifting (safe after the clip), normalize.
 pub(crate) fn softmax_clipped(logits: &[f32]) -> Vec<f32> {
-    let exps: Vec<f32> = logits
-        .iter()
-        .map(|&v| v.clamp(-LOGIT_CLIP, LOGIT_CLIP).exp())
-        .collect();
-    let s: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / s).collect()
+    let mut out = Vec::with_capacity(logits.len());
+    softmax_clipped_into(logits, &mut out);
+    out
+}
+
+/// [`softmax_clipped`] into a caller-owned buffer (cleared first).
+/// Same operations in the same order, so results are bit-identical;
+/// reusing `out` keeps steady-state batch inference off the heap.
+pub(crate) fn softmax_clipped_into(logits: &[f32], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(logits.len());
+    out.extend(
+        logits
+            .iter()
+            .map(|&v| v.clamp(-LOGIT_CLIP, LOGIT_CLIP).exp()),
+    );
+    let s: f32 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= s;
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use rtad_ml::{Elm, ElmConfig, Lstm, LstmConfig, LstmLane, SequenceModel, VectorModel};
+use rtad_ml::{BatchArena, Elm, ElmConfig, Lstm, LstmConfig, LstmLane, SequenceModel, VectorModel};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -97,6 +97,102 @@ proptest! {
             for (&t, &b) in stream.iter().zip(scores) {
                 let s = scalar.score_next(t);
                 prop_assert_eq!(s.to_bits(), b.to_bits(), "scalar {} batched {}", s, b);
+            }
+        }
+    }
+
+    /// Reusing one dirty [`BatchArena`] and score buffer across many ELM
+    /// batches of varying sizes is bit-identical to the allocating
+    /// wrapper on every batch — arena residue never leaks into scores.
+    #[test]
+    fn elm_arena_reuse_is_bit_identical(
+        seed in any::<u64>(),
+        dim in 2usize..12,
+        batches in proptest::collection::vec(1usize..17, 1..5),
+        raw in proptest::collection::vec(-1.0f32..1.0, 16 * 12),
+    ) {
+        let normal: Vec<Vec<f32>> = (0..60)
+            .map(|i| {
+                let mut v = vec![0.0; dim];
+                v[i % dim] = 1.0;
+                v
+            })
+            .collect();
+        let elm = Elm::train(&ElmConfig::tiny(dim), &normal, seed);
+        let mut arena = BatchArena::new();
+        let mut scores = Vec::new();
+        let mut cursor = 0usize;
+        for batch in batches {
+            let inputs: Vec<Vec<f32>> = (0..batch)
+                .map(|b| {
+                    (0..dim)
+                        .map(|j| raw[(cursor + b * dim + j) % raw.len()])
+                        .collect()
+                })
+                .collect();
+            cursor += batch * dim;
+            arena.begin(dim);
+            for x in &inputs {
+                arena.push_row(x);
+            }
+            elm.score_batch_arena(&mut arena, &mut scores);
+            let rows: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+            let reference = elm.score_batch(&rows);
+            prop_assert_eq!(scores.len(), batch);
+            for (r, s) in reference.iter().zip(&scores) {
+                prop_assert_eq!(r.to_bits(), s.to_bits(), "wrapper {} arena {}", r, s);
+            }
+        }
+    }
+
+    /// The indexed arena LSTM step over ragged streams, reusing one
+    /// arena and score buffer throughout, matches the scalar per-stream
+    /// replay bit for bit.
+    #[test]
+    fn lstm_arena_reuse_is_bit_identical(
+        seed in any::<u64>(),
+        vocab in 3usize..10,
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u32..3, 0..24),
+            1..9,
+        ),
+    ) {
+        let streams: Vec<Vec<u32>> = streams
+            .into_iter()
+            .map(|s| s.into_iter().map(|t| t % vocab as u32).collect())
+            .collect();
+        let lstm = Lstm::init(&LstmConfig::tiny(vocab), seed);
+
+        let mut lanes: Vec<LstmLane> = streams.iter().map(|_| lstm.lane()).collect();
+        let mut arena = BatchArena::new();
+        let mut scores = Vec::new();
+        let mut batched: Vec<Vec<f64>> = streams.iter().map(|_| Vec::new()).collect();
+        let max_len = streams.iter().map(Vec::len).max().unwrap_or(0);
+        for step in 0..max_len {
+            let mut idx = Vec::new();
+            let mut tokens = Vec::new();
+            for (i, s) in streams.iter().enumerate() {
+                if step < s.len() {
+                    idx.push(i);
+                    tokens.push(s[step]);
+                }
+            }
+            if idx.is_empty() {
+                continue;
+            }
+            lstm.score_next_batch_arena(&mut lanes, &idx, &tokens, &mut arena, &mut scores);
+            for (&i, &s) in idx.iter().zip(&scores) {
+                batched[i].push(s);
+            }
+        }
+
+        for (stream, scores) in streams.iter().zip(&batched) {
+            prop_assert_eq!(stream.len(), scores.len());
+            let mut scalar = lstm.clone();
+            scalar.reset();
+            for (&t, &b) in stream.iter().zip(scores) {
+                let s = scalar.score_next(t);
+                prop_assert_eq!(s.to_bits(), b.to_bits(), "scalar {} arena {}", s, b);
             }
         }
     }

@@ -61,7 +61,7 @@ use std::thread;
 use std::time::Instant;
 
 use rtad_igm::{IgmConfig, StreamingIgm, VectorPayload};
-use rtad_ml::{Elm, Lstm, LstmLane, SequenceModel, VectorModel};
+use rtad_ml::{BatchArena, Elm, Lstm, LstmLane, SequenceModel, VectorModel};
 use rtad_trace::{BranchRecord, PtmConfig, StreamEncoder};
 
 use crate::sweep::parallel_map;
@@ -137,6 +137,16 @@ pub struct PipelineConfig {
     pub queue_depth: usize,
     /// Bytes ingested from one stream per round-robin turn.
     pub chunk_bytes: usize,
+    /// Decode-shard worker count, mirroring the paper's parallel TA
+    /// units. `0` picks automatically: the threaded pipeline with
+    /// `min(4, streams, cores)` shards when both streams and cores are
+    /// plural, otherwise the inline single-threaded data plane (one
+    /// stream or one core gains nothing from stage threads — this is
+    /// what makes `streams == 1` at least as fast as host-serial). Any
+    /// explicit value ≥ 1 forces the threaded pipeline with that many
+    /// shards (clamped to the stream count), so shard scaling can be
+    /// measured even where auto would choose inline.
+    pub decode_shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -145,6 +155,7 @@ impl Default for PipelineConfig {
             max_batch: 32,
             queue_depth: 256,
             chunk_bytes: 1024,
+            decode_shards: 0,
         }
     }
 }
@@ -172,7 +183,9 @@ pub struct PipelineStats {
     pub batches: u64,
     /// Largest batch observed.
     pub max_batch_seen: usize,
-    /// Busy milliseconds in the ingest stage (decode + encode).
+    /// Busy milliseconds in the ingest stage (decode + encode). Under
+    /// sharded decode this is the *maximum* per-shard busy time — the
+    /// stage's critical path, not the sum across workers.
     pub decode_ms: f64,
     /// Busy milliseconds in the inference stage (batched scoring).
     pub infer_ms: f64,
@@ -180,6 +193,9 @@ pub struct PipelineStats {
     pub verdict_ms: f64,
     /// End-to-end wall-clock of the run, milliseconds.
     pub wall_ms: f64,
+    /// Decode shards the run actually used; `0` means the inline
+    /// single-threaded data plane (no stage threads at all).
+    pub decode_shards: usize,
 }
 
 /// Outcomes plus telemetry of one [`run_pipeline`] call.
@@ -271,16 +287,79 @@ pub fn run_pipeline(spec: &ServeSpec, config: &PipelineConfig, streams: &[Vec<u8
     }
     let chunk = config.chunk_bytes.max(1);
     let start = Instant::now();
+    let (outcomes, mut stats) = match effective_shards(config, n) {
+        None => run_inline(spec, config, streams, chunk),
+        Some(shards) => run_threaded(spec, config, streams, chunk, shards),
+    };
+    stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PipelineRun { outcomes, stats }
+}
 
+/// Decode-shard policy: `Some(k)` runs the threaded pipeline with `k`
+/// ingest workers, `None` the inline single-threaded data plane. See
+/// [`PipelineConfig::decode_shards`].
+fn effective_shards(config: &PipelineConfig, n: usize) -> Option<usize> {
+    match config.decode_shards {
+        0 => {
+            let cores = thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            if n <= 1 || cores <= 1 {
+                None
+            } else {
+                Some(4.min(n).min(cores))
+            }
+        }
+        k => Some(k.min(n)),
+    }
+}
+
+/// Capacity of each shard's buffer-return channel, in recycled windows.
+/// Full just means a buffer is dropped instead of reused — recycling is
+/// an allocation optimization, never a correctness dependency, so the
+/// inference stage never blocks on it.
+const RETURN_DEPTH: usize = 256;
+
+/// The threaded pipeline: `shards` ingest workers (per-stream affinity:
+/// worker `k` owns the streams with `stream % shards == k`, so every
+/// stream's windows stay in order), one inference thread, one verdict
+/// thread, plus per-shard buffer-return channels flowing scored dense
+/// windows back to their decode sessions.
+fn run_threaded(
+    spec: &ServeSpec,
+    config: &PipelineConfig,
+    streams: &[Vec<u8>],
+    chunk: usize,
+    shards: usize,
+) -> (Vec<StreamOutcome>, PipelineStats) {
+    let n = streams.len();
     let (win_tx, win_rx) = sync_channel::<Vec<WindowMsg>>(config.queue_depth.max(1));
     let (score_tx, score_rx) = sync_channel::<Vec<ScoredMsg>>(config.queue_depth.max(1));
+    let mut ret_txs = Vec::with_capacity(shards);
+    let mut ret_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = sync_channel::<(usize, Vec<f32>)>(RETURN_DEPTH);
+        ret_txs.push(tx);
+        ret_rxs.push(rx);
+    }
 
-    let (outcomes, mut stats) = thread::scope(|s| {
-        let ingest = s.spawn(move || ingest_stage(spec, streams, chunk, &win_tx));
-        let infer = s.spawn(move || inference_stage(spec, config, n, &win_rx, &score_tx));
+    thread::scope(|s| {
+        let workers: Vec<_> = ret_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(shard, ret_rx)| {
+                let win_tx = win_tx.clone();
+                s.spawn(move || ingest_shard(spec, streams, chunk, shard, shards, &win_tx, &ret_rx))
+            })
+            .collect();
+        // Inference sees channel EOF once every shard has finished.
+        drop(win_tx);
+        let infer = s.spawn(move || inference_stage(spec, config, n, &win_rx, &score_tx, &ret_txs));
         let verdict = s.spawn(move || verdict_stage(spec, n, &score_rx));
 
-        let decode_ms = ingest.join().expect("ingest stage");
+        // The stage's critical path is its slowest shard.
+        let decode_ms = workers
+            .into_iter()
+            .map(|w| w.join().expect("ingest shard"))
+            .fold(0.0f64, f64::max);
         let (infer_ms, batches, max_batch_seen) = infer.join().expect("inference stage");
         let (outcomes, verdict_ms) = verdict.join().expect("verdict stage");
         let windows = outcomes.iter().map(|o| o.windows).sum();
@@ -294,43 +373,50 @@ pub fn run_pipeline(spec: &ServeSpec, config: &PipelineConfig, streams: &[Vec<u8
                 infer_ms,
                 verdict_ms,
                 wall_ms: 0.0,
+                decode_shards: shards,
             },
         )
-    });
-    stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    PipelineRun { outcomes, stats }
+    })
 }
 
-/// Stage 1: round-robin byte chunks across per-stream [`StreamingIgm`]s,
-/// emitting windows and end-of-stream markers. Returns busy ms.
-fn ingest_stage(
+/// One decode shard: round-robins byte chunks across the streams it
+/// owns, emitting windows and end-of-stream markers. Returns busy ms.
+fn ingest_shard(
     spec: &ServeSpec,
     streams: &[Vec<u8>],
     chunk: usize,
+    shard: usize,
+    shards: usize,
     tx: &SyncSender<Vec<WindowMsg>>,
+    ret_rx: &Receiver<(usize, Vec<f32>)>,
 ) -> f64 {
-    let n = streams.len();
-    let mut igms: Vec<StreamingIgm> = (0..n).map(|_| StreamingIgm::new(&spec.igm)).collect();
-    let mut offset = vec![0usize; n];
-    let mut live = n;
+    // Owned streams: shard, shard+shards, ... — local index s/shards.
+    let own: Vec<usize> = (shard..streams.len()).step_by(shards).collect();
+    let mut igms: Vec<StreamingIgm> = own.iter().map(|_| StreamingIgm::new(&spec.igm)).collect();
+    let mut offset = vec![0usize; own.len()];
+    let mut live = own.len();
     let mut emitted = Vec::new();
     let mut busy = 0.0f64;
     while live > 0 {
-        for stream in 0..n {
-            if offset[stream] > streams[stream].len() {
+        for (li, &stream) in own.iter().enumerate() {
+            if offset[li] > streams[stream].len() {
                 continue;
             }
+            // Reclaim scored window buffers for this shard's sessions.
+            while let Ok((s, buf)) = ret_rx.try_recv() {
+                igms[s / shards].recycle(buf);
+            }
             let bytes = &streams[stream];
-            let end = (offset[stream] + chunk).min(bytes.len());
+            let end = (offset[li] + chunk).min(bytes.len());
             let t0 = Instant::now();
-            igms[stream].push_bytes(&bytes[offset[stream]..end], &mut emitted);
+            igms[li].push_bytes(&bytes[offset[li]..end], &mut emitted);
             let finished = end == bytes.len();
             if finished {
-                igms[stream].finish(&mut emitted);
+                igms[li].finish(&mut emitted);
             }
             busy += t0.elapsed().as_secs_f64() * 1e3;
             // Mark exhausted with a sentinel past the end.
-            offset[stream] = if finished { end + 1 } else { end };
+            offset[li] = if finished { end + 1 } else { end };
             // One message group per chunk: channel synchronization is
             // paid once per chunk, not once per window.
             let mut group: Vec<WindowMsg> = emitted
@@ -352,6 +438,72 @@ fn ingest_stage(
     busy
 }
 
+/// Per-worker inference state: the reusable [`BatchArena`] plus the
+/// per-stream LSTM lane pool and the index/token/score scratch that
+/// feeds the arena kernels. After the first batch of the steady shape,
+/// scoring a batch allocates nothing.
+struct InferCtx {
+    /// Lockstep mode: at most one window per stream per batch (LSTM).
+    lockstep: bool,
+    arena: BatchArena,
+    /// One recurrent lane per stream (LSTM only).
+    lanes: Vec<LstmLane>,
+    /// Lane index per batch slot.
+    idx: Vec<usize>,
+    /// Token per batch slot.
+    tokens: Vec<u32>,
+    /// Scores of the last batch, slot-aligned.
+    scores: Vec<f64>,
+}
+
+impl InferCtx {
+    fn new(spec: &ServeSpec, n: usize) -> Self {
+        let (lockstep, lanes) = match &spec.model {
+            ServeModel::Elm(_) => (false, Vec::new()),
+            ServeModel::Lstm(lstm) => (true, (0..n).map(|_| lstm.lane()).collect()),
+        };
+        InferCtx {
+            lockstep,
+            arena: BatchArena::new(),
+            lanes,
+            idx: Vec::new(),
+            tokens: Vec::new(),
+            scores: Vec::new(),
+        }
+    }
+
+    /// Scores `batch` into `self.scores` (slot-aligned) through the
+    /// arena kernels — bit-identical to the scalar path per window.
+    fn score(&mut self, spec: &ServeSpec, batch: &[(usize, VectorPayload)]) {
+        match &spec.model {
+            ServeModel::Elm(elm) => {
+                self.arena.begin(elm.input_dim());
+                for (_, p) in batch {
+                    self.arena
+                        .push_row(p.as_dense().expect("ELM pipeline needs dense windows"));
+                }
+                elm.score_batch_arena(&mut self.arena, &mut self.scores);
+            }
+            ServeModel::Lstm(lstm) => {
+                self.idx.clear();
+                self.tokens.clear();
+                for (stream, p) in batch {
+                    self.idx.push(*stream);
+                    self.tokens
+                        .push(p.as_token().expect("LSTM pipeline needs token windows"));
+                }
+                lstm.score_next_batch_arena(
+                    &mut self.lanes,
+                    &self.idx,
+                    &self.tokens,
+                    &mut self.arena,
+                    &mut self.scores,
+                );
+            }
+        }
+    }
+}
+
 /// Stage 2: gather ready windows across streams and score them batched.
 /// Returns (busy ms, batches, largest batch).
 fn inference_stage(
@@ -360,16 +512,15 @@ fn inference_stage(
     n: usize,
     rx: &Receiver<Vec<WindowMsg>>,
     tx: &SyncSender<Vec<ScoredMsg>>,
+    ret_txs: &[SyncSender<(usize, Vec<f32>)>],
 ) -> (f64, u64, usize) {
     let max_batch = config.max_batch.max(1);
-    // Lockstep stepping advances each lane one token per call, so an
-    // LSTM batch takes at most one window per stream.
-    let (lockstep, mut lanes): (bool, Vec<Option<LstmLane>>) = match &spec.model {
-        ServeModel::Elm(_) => (false, Vec::new()),
-        ServeModel::Lstm(lstm) => (true, (0..n).map(|_| Some(lstm.lane())).collect()),
-    };
+    let shards = ret_txs.len();
+    let mut ctx = InferCtx::new(spec, n);
 
     let mut queue: VecDeque<(usize, VectorPayload)> = VecDeque::new();
+    let mut batch: Vec<(usize, VectorPayload)> = Vec::with_capacity(max_batch);
+    let mut in_batch = vec![false; n];
     let mut pending = vec![0usize; n];
     let mut ended = vec![false; n];
     let mut end_sent = vec![false; n];
@@ -410,21 +561,32 @@ fn inference_stage(
         // end-of-stream markers that became eligible.
         let mut out: Vec<ScoredMsg> = Vec::new();
         if !queue.is_empty() {
-            let batch = take_batch(&mut queue, &mut pending, max_batch, lockstep, n);
+            take_batch(
+                &mut queue,
+                &mut pending,
+                max_batch,
+                ctx.lockstep,
+                &mut in_batch,
+                &mut batch,
+            );
             let t0 = Instant::now();
-            let scores = score_batch(spec, &mut lanes, &batch);
+            ctx.score(spec, &batch);
             busy += t0.elapsed().as_secs_f64() * 1e3;
             batches += 1;
             max_seen = max_seen.max(batch.len());
-            out.extend(
-                batch
-                    .iter()
-                    .zip(scores)
-                    .map(|((stream, _), score)| ScoredMsg::Score {
-                        stream: *stream,
-                        score,
-                    }),
-            );
+            out.extend(batch.iter().zip(&ctx.scores).map(|((stream, _), &score)| {
+                ScoredMsg::Score {
+                    stream: *stream,
+                    score,
+                }
+            }));
+            // Scored dense windows flow back to their decode shard for
+            // reuse; a full return queue just drops the buffer.
+            for (stream, payload) in batch.drain(..) {
+                if let VectorPayload::Dense(buf) = payload {
+                    let _ = ret_txs[stream % shards].try_send((stream, buf));
+                }
+            }
         }
 
         // A stream's marker is forwarded only after its last window was
@@ -454,30 +616,36 @@ fn inference_stage(
     }
 }
 
-/// Pops the next batch: up to `max_batch` windows in arrival order; in
-/// lockstep mode at most one window per stream (later windows of the
-/// same stream keep their order for the next batch).
+/// Pops the next batch into `batch` (cleared first): up to `max_batch`
+/// windows in arrival order; in lockstep mode at most one window per
+/// stream. Skipped windows rotate to the back of the queue in scan
+/// order, which preserves every stream's relative window order without
+/// rebuilding the queue — the whole call is allocation-free once the
+/// scratch buffers are warm.
 fn take_batch(
     queue: &mut VecDeque<(usize, VectorPayload)>,
     pending: &mut [usize],
     max_batch: usize,
     lockstep: bool,
-    n: usize,
-) -> Vec<(usize, VectorPayload)> {
-    let mut batch = Vec::with_capacity(max_batch.min(queue.len()));
+    in_batch: &mut [bool],
+    batch: &mut Vec<(usize, VectorPayload)>,
+) {
+    batch.clear();
     if lockstep {
-        let mut in_batch = vec![false; n];
-        let mut rest = VecDeque::with_capacity(queue.len());
-        while let Some((stream, payload)) = queue.pop_front() {
+        in_batch.iter_mut().for_each(|b| *b = false);
+        // Examine each queued window exactly once; rejects rotate to the
+        // back, so after `len` pops the queue holds exactly the rejects
+        // in their original relative order.
+        for _ in 0..queue.len() {
+            let (stream, payload) = queue.pop_front().expect("queue length fixed this pass");
             if batch.len() < max_batch && !in_batch[stream] {
                 in_batch[stream] = true;
                 pending[stream] -= 1;
                 batch.push((stream, payload));
             } else {
-                rest.push_back((stream, payload));
+                queue.push_back((stream, payload));
             }
         }
-        *queue = rest;
     } else {
         while batch.len() < max_batch {
             match queue.pop_front() {
@@ -489,44 +657,115 @@ fn take_batch(
             }
         }
     }
-    batch
 }
 
-/// Scores one gathered batch with the model's batched kernel.
-fn score_batch(
+/// The inline single-threaded data plane: decode, batched inference and
+/// verdicts interleaved on the calling thread, no stage threads or
+/// channels at all. Chosen automatically for one stream or one core,
+/// where stage threads cost context switches without buying overlap;
+/// produces bit-identical outcomes to the threaded pipeline (both match
+/// [`serial_reference`]). Scored dense windows recycle straight back
+/// into their stream's decode session.
+fn run_inline(
     spec: &ServeSpec,
-    lanes: &mut [Option<LstmLane>],
-    batch: &[(usize, VectorPayload)],
-) -> Vec<f64> {
-    match &spec.model {
-        ServeModel::Elm(elm) => {
-            let rows: Vec<&[f32]> = batch
-                .iter()
-                .map(|(_, p)| p.as_dense().expect("ELM pipeline needs dense windows"))
-                .collect();
-            elm.score_batch(&rows)
-        }
-        ServeModel::Lstm(lstm) => {
-            let tokens: Vec<u32> = batch
-                .iter()
-                .map(|(_, p)| p.as_token().expect("LSTM pipeline needs token windows"))
-                .collect();
-            let mut taken: Vec<LstmLane> = batch
-                .iter()
-                .map(|(stream, _)| {
-                    lanes[*stream]
-                        .take()
-                        .expect("one window per lane per batch")
-                })
-                .collect();
-            let mut refs: Vec<&mut LstmLane> = taken.iter_mut().collect();
-            let scores = lstm.score_next_batch(&mut refs, &tokens);
-            for ((stream, _), lane) in batch.iter().zip(taken) {
-                lanes[*stream] = Some(lane);
+    config: &PipelineConfig,
+    streams: &[Vec<u8>],
+    chunk: usize,
+) -> (Vec<StreamOutcome>, PipelineStats) {
+    let n = streams.len();
+    let max_batch = config.max_batch.max(1);
+    let mut ctx = InferCtx::new(spec, n);
+    let mut igms: Vec<StreamingIgm> = (0..n).map(|_| StreamingIgm::new(&spec.igm)).collect();
+    let mut offset = vec![0usize; n];
+    let mut live = n;
+    let mut emitted = Vec::new();
+    let mut queue: VecDeque<(usize, VectorPayload)> = VecDeque::new();
+    let mut batch: Vec<(usize, VectorPayload)> = Vec::with_capacity(max_batch);
+    let mut in_batch = vec![false; n];
+    let mut pending = vec![0usize; n];
+    let mut outcomes = vec![StreamOutcome::default(); n];
+    let mut states = vec![VerdictState::default(); n];
+    let (mut decode_ms, mut infer_ms, mut verdict_ms) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut batches, mut max_seen) = (0u64, 0usize);
+
+    while live > 0 {
+        // One round-robin pass of decoding, exactly like a shard's.
+        for stream in 0..n {
+            if offset[stream] > streams[stream].len() {
+                continue;
             }
-            scores
+            let bytes = &streams[stream];
+            let end = (offset[stream] + chunk).min(bytes.len());
+            let t0 = Instant::now();
+            igms[stream].push_bytes(&bytes[offset[stream]..end], &mut emitted);
+            let finished = end == bytes.len();
+            if finished {
+                igms[stream].finish(&mut emitted);
+            }
+            decode_ms += t0.elapsed().as_secs_f64() * 1e3;
+            offset[stream] = if finished { end + 1 } else { end };
+            if finished {
+                live -= 1;
+            }
+            for v in emitted.drain(..) {
+                pending[stream] += 1;
+                queue.push_back((stream, v.payload));
+            }
+        }
+
+        // Score and verdict everything this pass decoded.
+        while !queue.is_empty() {
+            take_batch(
+                &mut queue,
+                &mut pending,
+                max_batch,
+                ctx.lockstep,
+                &mut in_batch,
+                &mut batch,
+            );
+            let t0 = Instant::now();
+            ctx.score(spec, &batch);
+            infer_ms += t0.elapsed().as_secs_f64() * 1e3;
+            batches += 1;
+            max_seen = max_seen.max(batch.len());
+
+            let t0 = Instant::now();
+            for ((stream, _), &score) in batch.iter().zip(&ctx.scores) {
+                let out = &mut outcomes[*stream];
+                let seq = out.windows;
+                let (smoothed, flagged) = states[*stream].observe(&spec.policy, seq, score);
+                out.scores.push(smoothed);
+                if flagged {
+                    out.flags.push(seq);
+                }
+                out.windows += 1;
+            }
+            verdict_ms += t0.elapsed().as_secs_f64() * 1e3;
+            for (stream, payload) in batch.drain(..) {
+                if let VectorPayload::Dense(buf) = payload {
+                    igms[stream].recycle(buf);
+                }
+            }
         }
     }
+
+    let windows = outcomes.iter().map(|o| o.windows).sum();
+    for o in &mut outcomes {
+        o.device_cycles = o.windows * spec.cycles_per_event;
+    }
+    (
+        outcomes,
+        PipelineStats {
+            windows,
+            batches,
+            max_batch_seen: max_seen,
+            decode_ms,
+            infer_ms,
+            verdict_ms,
+            wall_ms: 0.0,
+            decode_shards: 0,
+        },
+    )
 }
 
 /// Stage 3: per-stream verdict state machines. Returns the outcomes and
@@ -715,6 +954,7 @@ mod tests {
                 max_batch: 4,
                 queue_depth: 16,
                 chunk_bytes: 64,
+                decode_shards: 0,
             },
             &[120, 0, 33, 250, 75],
         );
@@ -731,10 +971,43 @@ mod tests {
                 max_batch: 1,
                 queue_depth: 1,
                 chunk_bytes: 7,
+                decode_shards: 0,
             },
             &streams,
         );
         assert_eq!(wide.outcomes, narrow.outcomes);
+    }
+
+    #[test]
+    fn every_shard_count_matches_reference() {
+        for spec in [elm_spec(), lstm_spec()] {
+            let streams = encode_streams(&runs(5, &[120, 0, 33, 250, 75], 6), 1);
+            let reference = serial_reference(&spec, &streams);
+            for shards in [1usize, 2, 3, 5, 8] {
+                let run = run_pipeline(
+                    &spec,
+                    &PipelineConfig {
+                        decode_shards: shards,
+                        ..PipelineConfig::default()
+                    },
+                    &streams,
+                );
+                assert_eq!(run.outcomes, reference, "shards={shards}");
+                assert_eq!(run.stats.decode_shards, shards.min(streams.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn single_stream_auto_uses_inline_data_plane() {
+        let spec = lstm_spec();
+        let streams = encode_streams(&runs(1, &[150], 6), 1);
+        let run = run_pipeline(&spec, &PipelineConfig::default(), &streams);
+        assert_eq!(
+            run.stats.decode_shards, 0,
+            "one stream must take the inline data plane"
+        );
+        assert_eq!(run.outcomes, serial_reference(&spec, &streams));
     }
 
     #[test]

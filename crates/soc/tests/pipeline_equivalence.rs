@@ -105,10 +105,11 @@ proptest! {
         max_batch in 1usize..40,
         queue_depth in 1usize..64,
         chunk_bytes in 1usize..300,
+        decode_shards in 0usize..6,
     ) {
         let spec = spec_for(ModelChoice::Elm);
         let streams = synth_streams(&lens, 8);
-        let config = PipelineConfig { max_batch, queue_depth, chunk_bytes };
+        let config = PipelineConfig { max_batch, queue_depth, chunk_bytes, decode_shards };
         let run = run_pipeline(&spec, &config, &streams);
         prop_assert_eq!(run.outcomes, serial_reference(&spec, &streams));
     }
@@ -119,10 +120,11 @@ proptest! {
         max_batch in 1usize..40,
         queue_depth in 1usize..64,
         chunk_bytes in 1usize..300,
+        decode_shards in 0usize..6,
     ) {
         let spec = spec_for(ModelChoice::Lstm);
         let streams = synth_streams(&lens, 6);
-        let config = PipelineConfig { max_batch, queue_depth, chunk_bytes };
+        let config = PipelineConfig { max_batch, queue_depth, chunk_bytes, decode_shards };
         let run = run_pipeline(&spec, &config, &streams);
         prop_assert_eq!(run.outcomes, serial_reference(&spec, &streams));
     }
@@ -178,6 +180,7 @@ fn eight_attacked_streams_match_serial_reference() {
         max_batch: 8,
         queue_depth: 32,
         chunk_bytes: 512,
+        decode_shards: 2,
     };
     let outcomes = run_pipeline(&spec, &config, &streams).outcomes;
     let reference = serial_reference(&spec, &streams);

@@ -61,14 +61,19 @@ impl fmt::Display for DecodeError {
 
 impl Error for DecodeError {}
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum State {
     Idle,
     AsyncZeros(usize),
-    Branch(Vec<u8>),
+    // Packet accumulators are fixed inline arrays, not heap buffers:
+    // branch packets arrive once per traced branch, and a per-packet
+    // `Vec` (plus its growth reallocations) dominated the decode hot
+    // path. Every packet kind has a small architectural length bound,
+    // so `[u8; N]` + fill count loses nothing.
+    Branch { buf: [u8; 5], len: u8 },
     BranchException { target: VirtAddr, mode: IsetMode },
-    Isync(Vec<u8>),
-    CtxId(Vec<u8>),
+    Isync { buf: [u8; 9], len: u8 },
+    CtxId { buf: [u8; 4], len: u8 },
     Timestamp { acc: u64, shift: u32, bytes: usize },
 }
 
@@ -171,9 +176,9 @@ impl PacketDecoder {
                     Err(DecodeError::AsyncInterrupted { zeros: n, byte })
                 }
             }
-            State::Branch(mut bytes) => {
-                bytes.push(byte);
-                self.continue_branch(bytes)
+            State::Branch { mut buf, len } => {
+                buf[len as usize] = byte;
+                self.continue_branch(buf, len as usize + 1)
             }
             State::BranchException { target, mode } => {
                 let exc = byte & 0x7F;
@@ -183,17 +188,17 @@ impl PacketDecoder {
                     exception: Some(exc),
                 }))
             }
-            State::Isync(mut bytes) => {
-                bytes.push(byte);
-                if bytes.len() == 9 {
-                    let addr =
-                        VirtAddr::new(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]));
-                    let mode = if bytes[4] & 0x01 != 0 {
+            State::Isync { mut buf, len } => {
+                buf[len as usize] = byte;
+                let len = len + 1;
+                if len == 9 {
+                    let addr = VirtAddr::new(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]));
+                    let mode = if buf[4] & 0x01 != 0 {
                         IsetMode::Thumb
                     } else {
                         IsetMode::Arm
                     };
-                    let context_id = u32::from_le_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+                    let context_id = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
                     self.last_halfword = addr.halfword_index();
                     self.last_mode = mode;
                     Ok(Some(Packet::Isync {
@@ -202,18 +207,19 @@ impl PacketDecoder {
                         context_id,
                     }))
                 } else {
-                    self.state = State::Isync(bytes);
+                    self.state = State::Isync { buf, len };
                     Ok(None)
                 }
             }
-            State::CtxId(mut bytes) => {
-                bytes.push(byte);
-                if bytes.len() == 4 {
+            State::CtxId { mut buf, len } => {
+                buf[len as usize] = byte;
+                let len = len + 1;
+                if len == 4 {
                     Ok(Some(Packet::ContextId(u32::from_le_bytes([
-                        bytes[0], bytes[1], bytes[2], bytes[3],
+                        buf[0], buf[1], buf[2], buf[3],
                     ]))))
                 } else {
-                    self.state = State::CtxId(bytes);
+                    self.state = State::CtxId { buf, len };
                     Ok(None)
                 }
             }
@@ -239,7 +245,9 @@ impl PacketDecoder {
     fn start_packet(&mut self, byte: u8) -> Result<Option<Packet>, DecodeError> {
         if byte & 0x01 != 0 {
             // Branch-address packet.
-            return self.continue_branch(vec![byte]);
+            let mut buf = [0u8; 5];
+            buf[0] = byte;
+            return self.continue_branch(buf, 1);
         }
         match byte {
             0x00 => {
@@ -247,11 +255,17 @@ impl PacketDecoder {
                 Ok(None)
             }
             0x08 => {
-                self.state = State::Isync(Vec::with_capacity(9));
+                self.state = State::Isync {
+                    buf: [0; 9],
+                    len: 0,
+                };
                 Ok(None)
             }
             0x6E => {
-                self.state = State::CtxId(Vec::with_capacity(4));
+                self.state = State::CtxId {
+                    buf: [0; 4],
+                    len: 0,
+                };
                 Ok(None)
             }
             0x42 => {
@@ -277,22 +291,21 @@ impl PacketDecoder {
         }
     }
 
-    fn continue_branch(&mut self, bytes: Vec<u8>) -> Result<Option<Packet>, DecodeError> {
-        let last = *bytes.last().expect("branch accumulator is never empty");
-        let n = bytes.len();
+    fn continue_branch(&mut self, buf: [u8; 5], n: usize) -> Result<Option<Packet>, DecodeError> {
+        let last = buf[n - 1];
         if last & 0x80 != 0 {
             // Continuation set.
             if n >= 5 {
                 return Err(DecodeError::BranchTooLong);
             }
-            self.state = State::Branch(bytes);
+            self.state = State::Branch { buf, len: n as u8 };
             return Ok(None);
         }
 
         // Final byte seen: reconstruct the halfword index over the
         // previous address.
         let mut h = self.last_halfword;
-        for (i, &b) in bytes.iter().enumerate() {
+        for (i, &b) in buf[..n].iter().enumerate() {
             let g = match i {
                 0 => u32::from((b >> 1) & 0x3F),
                 4 => u32::from(b & 0x0F),
@@ -303,7 +316,7 @@ impl PacketDecoder {
         }
 
         let (mode, exception_flag) = if n == 5 {
-            let fin = bytes[4];
+            let fin = buf[4];
             if fin & 0x40 != 0 {
                 return Err(DecodeError::ReservedBitSet(fin));
             }

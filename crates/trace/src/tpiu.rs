@@ -336,8 +336,28 @@ impl TpiuDeframer {
         &mut self,
         frame: &[u8; FRAME_BYTES],
     ) -> Result<Vec<(TraceId, u8)>, DeframeError> {
-        let aux = frame[FRAME_BYTES - 1];
         let mut out = Vec::with_capacity(FRAME_BYTES - 1);
+        self.feed_frame_into(frame, &mut out)?;
+        Ok(out)
+    }
+
+    /// Unpacks one 16-byte frame, appending to a caller-owned buffer.
+    ///
+    /// This is the allocation-free core of [`TpiuDeframer::feed_frame`]:
+    /// a steady-state receiver reuses one scratch `Vec` across frames so
+    /// deframing never touches the heap after warm-up. Emitted pairs are
+    /// bit-identical to `feed_frame`'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeframeError::ReservedId`] if the frame announces an ID
+    /// in the architecturally reserved range.
+    pub fn feed_frame_into(
+        &mut self,
+        frame: &[u8; FRAME_BYTES],
+        out: &mut Vec<(TraceId, u8)>,
+    ) -> Result<(), DeframeError> {
+        let aux = frame[FRAME_BYTES - 1];
         for (slot, &b) in frame.iter().enumerate().take(FRAME_BYTES - 1) {
             if slot.is_multiple_of(2) {
                 let k = slot / 2;
@@ -359,13 +379,13 @@ impl TpiuDeframer {
                 } else {
                     // Data byte; true LSB deferred to aux.
                     let byte = b | u8::from(flag);
-                    self.emit(&mut out, byte);
+                    self.emit(out, byte);
                 }
             } else {
-                self.emit(&mut out, b);
+                self.emit(out, b);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn emit(&mut self, out: &mut Vec<(TraceId, u8)>, byte: u8) {
