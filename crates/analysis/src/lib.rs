@@ -34,7 +34,7 @@ pub mod verify;
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{undefined_uses, RegSet, UndefUse};
 pub use features::static_features;
-pub use report::{Finding, FindingKind, KernelReport, Reg, Severity};
+pub use report::{Finding, FindingKind, KernelReport, Reg, Severity, SuperblockInfo};
 pub use verify::{
     analyze, analyze_against_plan, trim_findings, LaunchError, VerifiedEngine, VerifiedKernel,
 };

@@ -104,6 +104,22 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Tier-2 lowering metadata for a verified kernel: how the engine's
+/// superblock trace covers it (see `rtad-miaow`'s DESIGN.md §13). Purely
+/// descriptive — superblock execution is bit-identical to the tier-1
+/// interpreter, so none of these numbers affect any verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SuperblockInfo {
+    /// Straight-line superblocks formed between branch targets, control
+    /// flow and trap sites.
+    pub superblocks: usize,
+    /// Macro-ops across all superblocks (fused lane groups count as
+    /// one).
+    pub macro_ops: usize,
+    /// Lane-local vector ops fused into multi-op macro groups.
+    pub fused_lane_ops: usize,
+}
+
 /// The result of statically analyzing one kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelReport {
@@ -119,6 +135,10 @@ pub struct KernelReport {
     pub static_features: CoverageSet,
     /// The findings, in program order.
     pub findings: Vec<Finding>,
+    /// Tier-2 trace metadata, populated when a verifying engine lowered
+    /// the kernel with superblock traces (`None` for pure static
+    /// analysis, tier-1 engines, or rejected kernels).
+    pub superblocks: Option<SuperblockInfo>,
 }
 
 impl KernelReport {
@@ -152,6 +172,13 @@ impl fmt::Display for KernelReport {
             self.static_features.len(),
             self.findings.len()
         )?;
+        if let Some(sb) = &self.superblocks {
+            writeln!(
+                f,
+                "  tier-2: {} superblocks, {} macro-ops, {} fused lane ops",
+                sb.superblocks, sb.macro_ops, sb.fused_lane_ops
+            )?;
+        }
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
         }
@@ -196,6 +223,7 @@ mod tests {
                 mk(Severity::Warning, FindingKind::UnreachableCode),
                 mk(Severity::Error, FindingKind::UseBeforeDef),
             ],
+            superblocks: None,
         };
         assert_eq!(report.errors().count(), 1);
         assert_eq!(report.warnings().count(), 1);

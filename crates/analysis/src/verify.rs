@@ -87,6 +87,7 @@ pub fn analyze(kernel: &Kernel, n_args: usize) -> KernelReport {
         blocks: cfg.blocks().len(),
         static_features: static_features(&cfg, code),
         findings,
+        superblocks: None,
     }
 }
 
@@ -279,8 +280,17 @@ impl VerifiedEngine {
                 // A clean verdict means this kernel is about to run;
                 // lower it into the engine's predecode cache now (both
                 // caches key on the same content fingerprint) so the
-                // first launch pays no lowering cost.
-                self.engine.predecode(kernel);
+                // first launch pays no lowering cost. When the engine
+                // lowers with tier-2 traces, surface the trace shape in
+                // the report.
+                let pk = self.engine.predecode(kernel);
+                if pk.has_trace() {
+                    report.superblocks = Some(crate::report::SuperblockInfo {
+                        superblocks: pk.superblocks(),
+                        macro_ops: pk.macro_ops(),
+                        fused_lane_ops: pk.fused_lane_ops(),
+                    });
+                }
             }
             self.verdicts.insert(key, report);
         }
@@ -417,6 +427,33 @@ mod tests {
             |f| f.kind == FindingKind::TrimIncompatible && f.feature == Some(Feature::ValuExp)
         ));
         assert_eq!(mem2, before, "rejection must precede any execution");
+    }
+
+    #[test]
+    fn verified_engine_surfaces_superblock_metadata() {
+        let store = assemble(
+            "v_lshl_b32 v1, v0, 2\nv_cvt_f32_i32 v2, v0\nbuffer_store_dword v2, v1, s0\ns_endpgm",
+        )
+        .unwrap();
+        let mut profiler = Engine::new(EngineConfig::miaow());
+        let mut mem = GpuMemory::new(1024);
+        profiler.launch(&store, 1, &[0], &mut mem).unwrap();
+        let plan = TrimPlan::from_coverage(profiler.observed_coverage());
+
+        // The serving engine lowers with tier-2 traces: the verdict
+        // carries the trace shape.
+        let mut serving = VerifiedEngine::new(Engine::new(EngineConfig::ml_miaow(&plan)));
+        assert!(serving.engine().uses_superblocks());
+        let report = serving.verify(&store, 1);
+        let sb = report.superblocks.expect("tier-2 metadata populated");
+        assert!(sb.superblocks >= 1);
+        assert!(sb.macro_ops >= 1);
+
+        // A tier-1 profiling engine produces no trace metadata.
+        let mut profiling = VerifiedEngine::new(Engine::new(EngineConfig::miaow()));
+        assert!(!profiling.engine().uses_superblocks());
+        let report = profiling.verify(&store, 1);
+        assert_eq!(report.superblocks, None);
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //! CUs is ~2.75×, not 5×: short recurrent kernels (LSTM steps) pay the
 //! dispatch overhead every step and don't always have 5 CUs worth of
 //! wavefronts.
+//!
+//! Host-side execution has two orthogonal accelerations (DESIGN.md §13):
+//! tier-2 **superblock traces** (fused macro-ops over straight-line
+//! regions, selected by [`EngineConfig::superblocks`]) and the
+//! **work-partitioned batch launcher** ([`Engine::launch_batch`]), which
+//! assigns whole jobs — not interleaved wavefronts — to CU worker
+//! threads so the hot path has no cross-CU write-log merge. Both are
+//! bit-identical to the serial tier-1 reference in every simulated
+//! quantity.
 
 use std::sync::{Arc, OnceLock};
 use std::thread;
@@ -16,28 +25,36 @@ use std::thread;
 use rtad_sim::{AreaEstimate, ClockDomain, Picos};
 
 use crate::area::{area_of_retained, full_area, EngineVariant};
-use crate::coverage::CoverageSet;
-use crate::exec::{ComputeUnit, CostModel, ExecError, WaveOutcome};
+use crate::coverage::{CoverageSet, Feature};
+use crate::exec::{ComputeUnit, CostModel, ExecError};
 use crate::isa::Kernel;
-use crate::memory::{GpuMemory, ShadowMemory};
+use crate::memory::{GpuMemory, UndoMemory};
 use crate::predecode::{PredecodeCache, PredecodedKernel, CORE_FEATURE_MASK};
 use crate::trim::TrimPlan;
 
 /// Watchdog budget for a single wavefront (simulated cycles).
 const MAX_CYCLES_PER_WAVE: u64 = 10_000_000;
 
-/// Default minimum estimated launch work (waves × static instruction
-/// count) before the parallel host path engages when
-/// [`EngineConfig::parallel_min_work`] is left at its default.
+/// Default minimum estimated batch work (jobs × waves × static
+/// instruction count) before the partitioned parallel batch path
+/// engages when [`EngineConfig::parallel_min_work`] is left at its
+/// default.
 ///
-/// Spawning one scoped thread per CU costs tens of microseconds per
-/// launch; the per-event ELM/LSTM inference launches (a few waves of a
-/// few hundred static instructions) finish serially in far less than
-/// that, which is how BENCH_pr2.json's forced-parallel path came out
-/// 6.7× *slower* than serial. The static product underestimates looping
-/// kernels, so any launch clearing this bound carries enough dynamic
-/// work to amortize the spawns.
-pub const DEFAULT_PARALLEL_MIN_WORK: u64 = 4096;
+/// Spawning one scoped thread per CU costs tens to hundreds of
+/// microseconds per launch (25–180 µs measured on the bench host),
+/// while a single batched job runs in single-digit microseconds; a
+/// batch must carry enough work per worker to buy that back. The
+/// crossover measured on the bench host (`rtad-bench`'s
+/// `engine_scaling` sweep and BENCH_pr5.json; method in DESIGN.md §13)
+/// shows forced CU partitioning *losing* to the in-thread serial loop
+/// everywhere below ≈2×10⁵ work units per launch and only reaching
+/// break-even around 2–2.5×10⁵ (1024-stream LSTM batches). The default
+/// therefore engages the partitioned path only past 4×10⁵ units —
+/// roughly 2× the measured break-even — which keeps every serving-size
+/// batch (64 jobs × ≤4 waves × ≤80 static instructions ≈ 2×10⁴) on the
+/// serial path. Single-core hosts never engage it regardless (the
+/// [`host_threads`] gate).
+pub const DEFAULT_PARALLEL_MIN_WORK: u64 = 400_000;
 
 /// Host threads available to the process (cached; the launch-mode
 /// decision consults it so a single-core host never pays thread-spawn
@@ -46,13 +63,6 @@ fn host_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
 }
-
-/// Per-wave record of the parallel path: (cu index, store-log span
-/// start, span end, wave outcome).
-type WaveRecord = (usize, usize, usize, WaveOutcome);
-
-/// One parallel worker's yield: its wave records plus its full store log.
-type CuYield = (Vec<WaveRecord>, Vec<(u32, u32)>);
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -67,28 +77,42 @@ pub struct EngineConfig {
     pub dispatch_overhead: u64,
     /// The engine clock (50 MHz on the prototype).
     pub clock: ClockDomain,
-    /// Run each launch's wavefronts on one host thread per CU
-    /// (`std::thread::scope`). Purely a host-side execution strategy:
+    /// Allow [`Engine::launch_batch`] to partition a batch's jobs over
+    /// one host thread per CU. Purely a host-side execution strategy:
     /// device memory, coverage, scores and every simulated-cycle count
     /// are bit-identical to the serial reference path (`false`), which
     /// remains available as the oracle the determinism property test
-    /// compares against. See DESIGN.md §10.
+    /// compares against. See DESIGN.md §13.
     pub parallel: bool,
-    /// Minimum estimated launch work — `waves × static instruction
-    /// count` — below which a `parallel: true` engine auto-falls back
-    /// to the serial path (small launches lose more to thread spawning
-    /// than CU parallelism recovers; see
+    /// Minimum estimated batch work — `jobs × waves × static
+    /// instruction count` — below which a `parallel: true` engine
+    /// auto-falls back to the serial batch path (small batches lose
+    /// more to thread spawning than job-level parallelism recovers; see
     /// [`DEFAULT_PARALLEL_MIN_WORK`]). `0` disables the fallback and
-    /// forces the parallel path whenever `parallel` is set — the knob
-    /// the determinism tests use to exercise it. When the threshold is
-    /// active, a single-threaded host also falls back to serial. The
-    /// resolved choice of every launch is recorded in
+    /// forces the partitioned path whenever its safety gates allow —
+    /// the knob the determinism tests use to exercise it. When the
+    /// threshold is active, a single-threaded host also falls back to
+    /// serial. The resolved choice of every launch is recorded in
     /// [`LaunchStats::mode`].
     pub parallel_min_work: u64,
+    /// Enable tier-2 lowering: kernels are split into straight-line
+    /// superblocks of fused macro-ops executed by contiguous lane loops
+    /// ([`PredecodedKernel::superblocks`]). Bit-identical to the tier-1
+    /// interpreter; only host throughput differs. Effective only when
+    /// [`EngineConfig::observe_coverage`] is off.
+    pub superblocks: bool,
+    /// Run every wave on the tier-1 per-instruction interpreter even if
+    /// `superblocks` is set. Profiling engines (Fig. 4 step 1) keep
+    /// this on so coverage observation retains per-instruction
+    /// granularity; the trimmed serving engine leaves it off and takes
+    /// the superblock fast path. Coverage masks are recorded either
+    /// way — this knob only selects the execution tier.
+    pub observe_coverage: bool,
 }
 
 impl EngineConfig {
-    /// The original MIAOW prototype configuration: one full CU.
+    /// The original MIAOW prototype configuration: one full CU, used as
+    /// the coverage profiler (tier-1 interpretation).
     pub fn miaow() -> Self {
         EngineConfig {
             cus: 1,
@@ -98,10 +122,13 @@ impl EngineConfig {
             clock: ClockDomain::rtad_miaow(),
             parallel: false,
             parallel_min_work: DEFAULT_PARALLEL_MIN_WORK,
+            superblocks: true,
+            observe_coverage: true,
         }
     }
 
-    /// The ML-MIAOW prototype configuration: five CUs trimmed to `plan`.
+    /// The ML-MIAOW prototype configuration: five CUs trimmed to `plan`,
+    /// superblock execution, partitioned batch parallelism.
     pub fn ml_miaow(plan: &TrimPlan) -> Self {
         EngineConfig {
             cus: EngineVariant::MlMiaow.prototype_cus(),
@@ -111,6 +138,8 @@ impl EngineConfig {
             clock: ClockDomain::rtad_miaow(),
             parallel: true,
             parallel_min_work: DEFAULT_PARALLEL_MIN_WORK,
+            superblocks: true,
+            observe_coverage: false,
         }
     }
 }
@@ -122,7 +151,7 @@ pub enum LaunchMode {
     /// Waves ran one after another on the calling thread.
     #[default]
     Serial,
-    /// Waves ran on one scoped worker thread per CU.
+    /// The batch's jobs ran partitioned over one worker thread per CU.
     Parallel,
 }
 
@@ -158,6 +187,19 @@ impl LaunchStats {
     }
 }
 
+/// One partitioned-batch job's outcome, carried back across the worker
+/// join: its stats/coverage on success, its undo log for rollback if an
+/// earlier job faulted, and the job's memory handle (moved through the
+/// worker) so the rollback can be applied.
+struct JobResult<'m> {
+    idx: usize,
+    stats: LaunchStats,
+    covmask: u64,
+    undo: Vec<(u32, u32)>,
+    error: Option<ExecError>,
+    mem: &'m mut GpuMemory,
+}
+
 /// A multi-CU engine instance.
 ///
 /// # Examples
@@ -180,6 +222,11 @@ pub struct Engine {
     config: EngineConfig,
     cus: Vec<ComputeUnit>,
     observed: CoverageSet,
+    /// Bit-mask shadow of `observed`: feature recording is on the
+    /// per-wave hot path, and the steady state records the same few
+    /// bits over and over — the mask check turns that into one AND per
+    /// wave instead of a `BTreeSet` walk.
+    observed_mask: u64,
     cache: PredecodeCache,
 }
 
@@ -200,6 +247,7 @@ impl Engine {
             config,
             cus,
             observed: CoverageSet::new(),
+            observed_mask: 0,
             cache: PredecodeCache::default(),
         }
     }
@@ -248,13 +296,35 @@ impl Engine {
         }
     }
 
+    /// Whether launches on this engine execute tier-2 superblock traces
+    /// (see [`EngineConfig::superblocks`] /
+    /// [`EngineConfig::observe_coverage`]).
+    pub fn uses_superblocks(&self) -> bool {
+        self.config.superblocks && !self.config.observe_coverage
+    }
+
+    /// Merges a coverage mask into the engine's observed set, skipping
+    /// the `BTreeSet` walk when every bit has been seen before (the
+    /// steady state of a serving engine).
+    fn observe(&mut self, mask: u64) {
+        if mask & !self.observed_mask != 0 {
+            self.observed_mask |= mask;
+            self.observed.record_mask(mask);
+        }
+    }
+
     /// Lowers `kernel` into its predecoded form for this engine's cost
-    /// model and retained set, caching by [`Kernel::fingerprint`].
-    /// Drivers can call this ahead of time (e.g. while loading model
-    /// weights) so the first real launch is already a cache hit.
+    /// model, retained set and lowering tier, caching by
+    /// ([`Kernel::fingerprint`], trim mask). Drivers can call this
+    /// ahead of time (e.g. while loading model weights) so the first
+    /// real launch is already a cache hit.
     pub fn predecode(&mut self, kernel: &Kernel) -> Arc<PredecodedKernel> {
-        self.cache
-            .get_or_lower(kernel, &self.config.cost, self.config.retained.as_ref())
+        self.cache.get_or_lower(
+            kernel,
+            &self.config.cost,
+            self.config.retained.as_ref(),
+            self.uses_superblocks(),
+        )
     }
 
     /// Number of distinct kernels lowered into the predecode cache.
@@ -267,17 +337,30 @@ impl Engine {
         self.cache.stats()
     }
 
-    /// Resolves the host execution path for a launch of `waves` waves
-    /// of a `kernel_len`-instruction kernel (see
-    /// [`EngineConfig::parallel_min_work`]).
-    fn choose_mode(&self, kernel_len: usize, waves: usize) -> LaunchMode {
-        if !self.config.parallel || self.cus.len() < 2 || waves < 2 {
+    /// Resolves the host execution path for a batch of `jobs` jobs of
+    /// `waves` waves each (see [`EngineConfig::parallel_min_work`]).
+    ///
+    /// Safety gates force serial regardless of the threshold:
+    /// single-CU engines, single-job batches, kernels with trimmed-trap
+    /// sites (they fault on job 0 immediately — partitioning wastes the
+    /// other workers), and kernels that write LDS (per-CU LDS replicas
+    /// must stay identical, which whole-job partitioning cannot
+    /// guarantee; the serial round-robin path can — see
+    /// `run_lds_loader`).
+    fn batch_mode(&self, pk: &PredecodedKernel, waves: usize, jobs: usize) -> LaunchMode {
+        if !self.config.parallel
+            || self.cus.len() < 2
+            || jobs < 2
+            || waves == 0
+            || pk.traps()
+            || pk.static_mask() & Feature::LdsWrite.bit() != 0
+        {
             return LaunchMode::Serial;
         }
         if self.config.parallel_min_work == 0 {
             return LaunchMode::Parallel;
         }
-        let estimated = waves as u64 * kernel_len as u64;
+        let estimated = jobs as u64 * waves as u64 * pk.len() as u64;
         if estimated >= self.config.parallel_min_work && host_threads() > 1 {
             LaunchMode::Parallel
         } else {
@@ -296,8 +379,7 @@ impl Engine {
     ///
     /// Returns the first [`ExecError`] any CU hits (trimmed-feature
     /// traps, bad addresses, watchdog), "first" meaning the lowest
-    /// global wave index — identical between the serial and parallel
-    /// paths.
+    /// global wave index.
     pub fn launch(
         &mut self,
         kernel: &Kernel,
@@ -305,29 +387,30 @@ impl Engine {
         args: &[u32],
         mem: &mut GpuMemory,
     ) -> Result<LaunchStats, ExecError> {
-        let pk = self
-            .cache
-            .get_or_lower(kernel, &self.config.cost, self.config.retained.as_ref());
+        let pk = self.predecode(kernel);
         self.launch_pre(&pk, waves, args, mem)
     }
 
     /// Launches `waves` wavefronts of a batch of jobs — same kernel,
     /// same wave count, per-job scalar arguments and device memory —
     /// amortizing the dispatch front-end (one predecode-cache lookup
-    /// for the whole batch instead of one per launch). This is the
-    /// engine-backed serving path's amortized dispatch: B per-stream
-    /// inference events of the steady-state kernel become one batched
-    /// call.
+    /// for the whole batch) and, when [`Engine::batch_mode`] resolves
+    /// to [`LaunchMode::Parallel`], partitioning whole jobs over one
+    /// worker thread per CU. Each worker runs its jobs directly against
+    /// their memories — no write-log merge on the hot path; an undo log
+    /// per job handles the rare fault rollback.
     ///
     /// Every job's stats, memory image and coverage contribution are
     /// identical to issuing the launches one [`Engine::launch`] at a
-    /// time — only the host-side cache traffic differs.
+    /// time — only host-side cache traffic and threading differ (and
+    /// [`LaunchStats::mode`]; compare [`LaunchStats::work`]).
     ///
     /// # Errors
     ///
-    /// Returns the first failing job's [`ExecError`]; earlier jobs'
-    /// effects are applied, later jobs do not run (exactly like issuing
-    /// the launches in sequence).
+    /// Returns the first failing job's [`ExecError`] (lowest job
+    /// index); earlier jobs' effects are applied, later jobs are rolled
+    /// back or never run (exactly like issuing the launches in
+    /// sequence).
     pub fn launch_batch<'m, I>(
         &mut self,
         kernel: &Kernel,
@@ -337,18 +420,22 @@ impl Engine {
     where
         I: IntoIterator<Item = (&'m [u32], &'m mut GpuMemory)>,
     {
-        let pk = self
-            .cache
-            .get_or_lower(kernel, &self.config.cost, self.config.retained.as_ref());
-        let mut out = Vec::new();
-        for (args, mem) in jobs {
-            out.push(self.launch_pre(&pk, waves, args, mem)?);
+        let pk = self.predecode(kernel);
+        let mut jobs: Vec<(&[u32], &mut GpuMemory)> = jobs.into_iter().collect();
+        match self.batch_mode(&pk, waves, jobs.len()) {
+            LaunchMode::Serial => {
+                let mut out = Vec::with_capacity(jobs.len());
+                for (args, mem) in jobs {
+                    out.push(self.launch_pre(&pk, waves, args, mem)?);
+                }
+                Ok(out)
+            }
+            LaunchMode::Parallel => self.launch_batch_partitioned(&pk, waves, &mut jobs),
         }
-        Ok(out)
     }
 
     /// The common post-predecode launch path: records launch-level
-    /// coverage and dispatches to the resolved host mode.
+    /// coverage and runs the waves serially on the calling thread.
     fn launch_pre(
         &mut self,
         pk: &PredecodedKernel,
@@ -357,23 +444,9 @@ impl Engine {
         mem: &mut GpuMemory,
     ) -> Result<LaunchStats, ExecError> {
         if waves > 0 {
-            self.observed.record_mask(CORE_FEATURE_MASK);
+            self.observe(CORE_FEATURE_MASK);
         }
-        match self.choose_mode(pk.len(), waves) {
-            LaunchMode::Parallel => self.launch_parallel(pk, waves, args, mem),
-            LaunchMode::Serial => self.launch_serial(pk, waves, args, mem),
-        }
-    }
-
-    /// The serial reference path: waves run one after another, directly
-    /// against `mem`, in global wave order.
-    fn launch_serial(
-        &mut self,
-        pk: &PredecodedKernel,
-        waves: usize,
-        args: &[u32],
-        mem: &mut GpuMemory,
-    ) -> Result<LaunchStats, ExecError> {
+        let tier2 = self.uses_superblocks();
         let n_cus = self.cus.len();
         let mut cu_cycles = vec![0u64; n_cus];
         let mut stats = LaunchStats {
@@ -386,8 +459,13 @@ impl Engine {
         // the CU count.
         for wave in 0..waves {
             let cu_idx = wave % n_cus;
-            let out = self.cus[cu_idx].run_wave_pre(pk, args, wave, MAX_CYCLES_PER_WAVE, mem);
-            self.observed.record_mask(out.covmask);
+            let cu = &mut self.cus[cu_idx];
+            let out = if tier2 {
+                cu.run_wave_super(pk, args, wave, MAX_CYCLES_PER_WAVE, mem)
+            } else {
+                cu.run_wave_pre(pk, args, wave, MAX_CYCLES_PER_WAVE, mem)
+            };
+            self.observe(out.covmask);
             if let Some(e) = out.error {
                 return Err(e);
             }
@@ -401,91 +479,153 @@ impl Engine {
         Ok(stats)
     }
 
-    /// The parallel path: one scoped worker thread per CU runs that CU's
-    /// round-robin share of the waves against a [`ShadowMemory`]
-    /// snapshot, logging every store. After the join barrier the logs
-    /// are replayed into `mem` in global wave order, so the final memory
-    /// image — including "last lane/last wave wins" overlaps — matches
-    /// the serial path bit for bit. Coverage masks and per-wave stats
-    /// merge in the same global order; on a fault, only waves preceding
-    /// the lowest faulting wave (plus that wave's own partial stores and
-    /// coverage) are applied, exactly like the serial early return.
-    fn launch_parallel(
+    /// The partitioned parallel batch path: jobs are bucketed
+    /// round-robin over `min(cus, jobs)` worker threads, and each
+    /// worker runs its whole jobs — all waves, in order — directly
+    /// against each job's memory through an [`UndoMemory`] wrapper.
+    /// There is no cross-worker memory traffic at all (distinct jobs
+    /// own distinct memories by `&mut` exclusivity); the undo logs
+    /// exist only so that when job *f* faults, every job with a higher
+    /// index can be rolled back to its pre-launch image, reproducing
+    /// the serial batch's "later jobs do not run" semantics. Per-CU
+    /// cycle attribution inside each job is computed arithmetically
+    /// (`wave % cus`, as the serial path would), so [`LaunchStats`] are
+    /// bit-identical regardless of which worker physically ran the job.
+    fn launch_batch_partitioned(
         &mut self,
         pk: &PredecodedKernel,
         waves: usize,
-        args: &[u32],
-        mem: &mut GpuMemory,
-    ) -> Result<LaunchStats, ExecError> {
+        jobs: &mut Vec<(&[u32], &mut GpuMemory)>,
+    ) -> Result<Vec<LaunchStats>, ExecError> {
         let n_cus = self.cus.len();
-        // wave -> (cu, log start, log end, outcome)
-        let mut per_wave: Vec<Option<WaveRecord>> = (0..waves).map(|_| None).collect();
-        let mut logs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n_cus);
+        let n_jobs = jobs.len();
+        let workers = n_cus.min(n_jobs);
+        let tier2 = self.uses_superblocks();
+        let dispatch_overhead = self.config.dispatch_overhead;
 
-        let snapshot: &GpuMemory = mem;
-        let results: Vec<CuYield> = thread::scope(|s| {
+        let mut buckets: Vec<Vec<(usize, &[u32], &mut GpuMemory)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (idx, (args, mem)) in jobs.drain(..).enumerate() {
+            buckets[idx % workers].push((idx, args, mem));
+        }
+
+        let mut slots: Vec<Option<JobResult<'_>>> = (0..n_jobs).map(|_| None).collect();
+        let worker_yields: Vec<Vec<JobResult<'_>>> = thread::scope(|s| {
             let handles: Vec<_> = self
                 .cus
                 .iter_mut()
-                .enumerate()
-                .map(|(cu_idx, cu)| {
+                .take(workers)
+                .zip(buckets)
+                .map(|(cu, bucket)| {
                     s.spawn(move || {
-                        let mut shadow = ShadowMemory::new(snapshot.clone());
-                        let mut records = Vec::new();
-                        for wave in (cu_idx..waves).step_by(n_cus) {
-                            let start = shadow.log_len();
-                            let out =
-                                cu.run_wave_pre(pk, args, wave, MAX_CYCLES_PER_WAVE, &mut shadow);
-                            let end = shadow.log_len();
-                            let faulted = out.error.is_some();
-                            records.push((wave, start, end, out));
+                        let mut results = Vec::with_capacity(bucket.len());
+                        for (idx, args, mem) in bucket {
+                            let mut undo_mem = UndoMemory::new(&mut *mem);
+                            let mut cu_cycles = vec![0u64; n_cus];
+                            let mut stats = LaunchStats {
+                                mode: LaunchMode::Parallel,
+                                ..LaunchStats::default()
+                            };
+                            let mut covmask = 0u64;
+                            let mut error = None;
+                            for wave in 0..waves {
+                                let out = if tier2 {
+                                    cu.run_wave_super(
+                                        pk,
+                                        args,
+                                        wave,
+                                        MAX_CYCLES_PER_WAVE,
+                                        &mut undo_mem,
+                                    )
+                                } else {
+                                    cu.run_wave_pre(
+                                        pk,
+                                        args,
+                                        wave,
+                                        MAX_CYCLES_PER_WAVE,
+                                        &mut undo_mem,
+                                    )
+                                };
+                                covmask |= out.covmask;
+                                if let Some(e) = out.error {
+                                    error = Some(e);
+                                    break;
+                                }
+                                cu_cycles[wave % n_cus] += out.stats.cycles;
+                                stats.instructions += out.stats.instructions;
+                                stats.waves += 1;
+                            }
+                            stats.cycles =
+                                dispatch_overhead + cu_cycles.iter().copied().max().unwrap_or(0);
+                            stats.cu_cycles = cu_cycles;
+                            let undo = undo_mem.into_undo_log();
+                            let faulted = error.is_some();
+                            results.push(JobResult {
+                                idx,
+                                stats,
+                                covmask,
+                                undo,
+                                error,
+                                mem,
+                            });
                             if faulted {
-                                // Later waves on this CU would not
+                                // Later jobs in this bucket would not
                                 // have run serially either.
                                 break;
                             }
                         }
-                        (records, shadow.into_log())
+                        results
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("CU worker panicked"))
+                .map(|h| h.join().expect("batch worker panicked"))
                 .collect()
         });
 
-        for (cu_idx, (records, log)) in results.into_iter().enumerate() {
-            logs.push(log);
-            for (wave, start, end, out) in records {
-                per_wave[wave] = Some((cu_idx, start, end, out));
-            }
+        for r in worker_yields.into_iter().flatten() {
+            let idx = r.idx;
+            slots[idx] = Some(r);
         }
 
-        let mut cu_cycles = vec![0u64; n_cus];
-        let mut stats = LaunchStats {
-            mode: LaunchMode::Parallel,
-            ..LaunchStats::default()
-        };
-        for slot in &mut per_wave {
-            let (cu_idx, start, end, out) = slot
-                .take()
-                .expect("a missing wave implies an earlier fault on its CU");
-            for &(addr, value) in &logs[cu_idx][start..end] {
-                mem.write_u32(addr as usize, value);
-            }
-            self.observed.record_mask(out.covmask);
-            if let Some(e) = out.error {
-                return Err(e);
-            }
-            cu_cycles[cu_idx] += out.stats.cycles;
-            stats.instructions += out.stats.instructions;
-            stats.waves += 1;
-        }
+        let first_fault = slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|r| r.error.is_some()));
 
-        stats.cycles = self.config.dispatch_overhead + cu_cycles.iter().copied().max().unwrap_or(0);
-        stats.cu_cycles = cu_cycles;
-        Ok(stats)
+        match first_fault {
+            None => {
+                // All jobs ran and succeeded: merge coverage and return
+                // stats in job order.
+                self.observe(CORE_FEATURE_MASK);
+                let mut out = Vec::with_capacity(n_jobs);
+                for slot in slots {
+                    let r = slot.expect("every job ran in the no-fault case");
+                    self.observe(r.covmask);
+                    out.push(r.stats);
+                }
+                Ok(out)
+            }
+            Some(f) => {
+                // Serial semantics: jobs 0..f fully applied, job f's
+                // partial effects (including the faulting wave's lane
+                // stores) applied, jobs after f never happened.
+                let mut first_err = None;
+                for slot in slots {
+                    let Some(r) = slot else { continue };
+                    if r.idx <= f {
+                        self.observe(CORE_FEATURE_MASK);
+                        self.observe(r.covmask);
+                        if r.idx == f {
+                            first_err = r.error;
+                        }
+                    } else {
+                        UndoMemory::rollback(r.mem, &r.undo);
+                    }
+                }
+                Err(first_err.expect("job f faulted"))
+            }
+        }
     }
 }
 
@@ -550,6 +690,7 @@ mod tests {
 
         let mut ml = Engine::new(EngineConfig::ml_miaow(&plan));
         assert_eq!(ml.cu_count(), 5);
+        assert!(ml.uses_superblocks(), "serving engine takes tier 2");
         let mut mem2 = GpuMemory::new(1024);
         ml.launch(&store_kernel(), 1, &[0], &mut mem2).unwrap();
 
@@ -557,6 +698,31 @@ mod tests {
         let exp = assemble("v_exp_f32 v1, 1.0\ns_endpgm").unwrap();
         let err = ml.launch(&exp, 1, &[], &mut mem2).unwrap_err();
         assert!(matches!(err, ExecError::TrimmedFeature { .. }));
+    }
+
+    #[test]
+    fn superblock_launch_matches_interpreter_bit_for_bit() {
+        let kernel = store_kernel();
+        let waves = 9;
+
+        let mut t1_cfg = EngineConfig::miaow();
+        t1_cfg.cus = 3;
+        assert!(t1_cfg.observe_coverage, "profiler interprets");
+        let mut t2_cfg = t1_cfg.clone();
+        t2_cfg.observe_coverage = false;
+
+        let mut t1 = Engine::new(t1_cfg);
+        let mut t2 = Engine::new(t2_cfg);
+        assert!(!t1.uses_superblocks());
+        assert!(t2.uses_superblocks());
+        let mut m1 = GpuMemory::new(waves * 16 * 4);
+        let mut m2 = GpuMemory::new(waves * 16 * 4);
+        let s1 = t1.launch(&kernel, waves, &[0], &mut m1).unwrap();
+        let s2 = t2.launch(&kernel, waves, &[0], &mut m2).unwrap();
+
+        assert_eq!(m1, m2);
+        assert_eq!(s1, s2, "stats including cycle accounting");
+        assert_eq!(t1.observed_coverage(), t2.observed_coverage());
     }
 
     #[test]
@@ -611,103 +777,118 @@ mod tests {
         assert_eq!(e.predecoded_kernels(), 1, "launches reuse the lowering");
     }
 
-    #[test]
-    fn parallel_launch_matches_serial_bit_for_bit() {
-        let kernel = store_kernel();
-        let waves = 11; // deliberately not a multiple of the CU count
+    type BatchSide = (Result<Vec<LaunchStats>, ExecError>, Vec<GpuMemory>, Engine);
 
+    /// Runs the same batch on a serial-reference engine and a
+    /// forced-parallel engine; returns ((serial stats, serial mems),
+    /// (parallel stats, parallel mems), engines) for comparison.
+    fn run_batch_both_ways(
+        kernel: &Kernel,
+        waves: usize,
+        per_job_args: &[Vec<u32>],
+        mem_size: usize,
+    ) -> (BatchSide, BatchSide) {
         let mut serial_cfg = EngineConfig::miaow();
         serial_cfg.cus = 5;
+        serial_cfg.observe_coverage = false;
         let mut parallel_cfg = serial_cfg.clone();
         parallel_cfg.parallel = true;
-        parallel_cfg.parallel_min_work = 0; // force the parallel path
+        parallel_cfg.parallel_min_work = 0; // force the partitioned path
 
         let mut se = Engine::new(serial_cfg);
         let mut pe = Engine::new(parallel_cfg);
-        let mut smem = GpuMemory::new(waves * 16 * 4);
-        let mut pmem = GpuMemory::new(waves * 16 * 4);
-        let ss = se.launch(&kernel, waves, &[0], &mut smem).unwrap();
-        let ps = pe.launch(&kernel, waves, &[0], &mut pmem).unwrap();
+        let mut smems: Vec<GpuMemory> = per_job_args
+            .iter()
+            .map(|_| GpuMemory::new(mem_size))
+            .collect();
+        let mut pmems: Vec<GpuMemory> = per_job_args
+            .iter()
+            .map(|_| GpuMemory::new(mem_size))
+            .collect();
 
-        assert_eq!(smem, pmem);
-        assert_eq!(ss.mode, LaunchMode::Serial);
-        assert_eq!(ps.mode, LaunchMode::Parallel);
-        assert_eq!(
-            ss.work(),
-            ps.work(),
-            "cycles, instructions, waves and per-CU busy cycles"
-        );
+        let sjobs: Vec<(&[u32], &mut GpuMemory)> = per_job_args
+            .iter()
+            .zip(smems.iter_mut())
+            .map(|(a, m)| (a.as_slice(), m))
+            .collect();
+        let pjobs: Vec<(&[u32], &mut GpuMemory)> = per_job_args
+            .iter()
+            .zip(pmems.iter_mut())
+            .map(|(a, m)| (a.as_slice(), m))
+            .collect();
+
+        let ss = se.launch_batch(kernel, waves, sjobs);
+        let ps = pe.launch_batch(kernel, waves, pjobs);
+        ((ss, smems, se), (ps, pmems, pe))
+    }
+
+    #[test]
+    fn partitioned_batch_matches_serial_bit_for_bit() {
+        let kernel = store_kernel();
+        let waves = 3;
+        let args: Vec<Vec<u32>> = (0..7).map(|_| vec![0u32]).collect(); // 7 jobs, not a multiple of 5 CUs
+
+        let ((ss, smems, se), (ps, pmems, pe)) =
+            run_batch_both_ways(&kernel, waves, &args, waves * 16 * 4);
+        let ss = ss.unwrap();
+        let ps = ps.unwrap();
+
+        assert_eq!(smems, pmems);
+        assert!(ss.iter().all(|s| s.mode == LaunchMode::Serial));
+        assert!(ps.iter().all(|s| s.mode == LaunchMode::Parallel));
+        assert_eq!(ss.len(), ps.len());
+        for (a, b) in ss.iter().zip(&ps) {
+            assert_eq!(
+                a.work(),
+                b.work(),
+                "cycles, instructions, waves and per-CU busy cycles"
+            );
+        }
         assert_eq!(se.observed_coverage(), pe.observed_coverage());
     }
 
     #[test]
-    fn parallel_trap_matches_serial_error_memory_and_coverage() {
-        // Profile the store kernel, trim, then launch a kernel whose
-        // *third* instruction traps: waves 0 and 1 must have their
-        // stores and coverage applied, the error must name the same
-        // wave-0 fault as the serial path.
-        let mut profiler = Engine::new(EngineConfig::miaow());
-        let mut mem = GpuMemory::new(1024);
-        profiler.launch(&store_kernel(), 1, &[0], &mut mem).unwrap();
-        let plan = TrimPlan::from_coverage(profiler.observed_coverage());
+    fn partitioned_batch_fault_rolls_back_later_jobs() {
+        // Job 2 of 6 gets an out-of-range store base: the batch must
+        // fail with job 2's BadAddress, jobs 0-1 fully applied, job 2's
+        // pre-fault lane stores applied, jobs 3-5 restored to their
+        // pre-launch (zeroed) images — exactly like the serial batch.
+        let kernel = store_kernel();
+        let waves = 2;
+        let mem_size = waves * 16 * 4;
+        let args: Vec<Vec<u32>> = (0..6)
+            .map(|j| vec![if j == 2 { mem_size as u32 } else { 0u32 }])
+            .collect();
 
-        let trapping = assemble(
-            r#"
-            v_lshl_b32 v1, v0, 2
-            v_cvt_f32_i32 v2, v0
-            buffer_store_dword v2, v1, s0
-            v_exp_f32 v3, 1.0
-            s_endpgm
-        "#,
-        )
-        .unwrap();
-
-        let serial_cfg = EngineConfig::ml_miaow(&plan);
-        let mut parallel_cfg = serial_cfg.clone();
-        assert!(parallel_cfg.parallel, "ml_miaow defaults to parallel");
-        parallel_cfg.parallel_min_work = 0; // force the parallel path
-        let mut scfg = serial_cfg;
-        scfg.parallel = false;
-
-        let waves = 7;
-        let mut se = Engine::new(scfg);
-        let mut pe = Engine::new(parallel_cfg);
-        let mut smem = GpuMemory::new(waves * 16 * 4);
-        let mut pmem = GpuMemory::new(waves * 16 * 4);
-        let serr = se.launch(&trapping, waves, &[0], &mut smem).unwrap_err();
-        let perr = pe.launch(&trapping, waves, &[0], &mut pmem).unwrap_err();
+        let ((ss, smems, se), (ps, pmems, pe)) =
+            run_batch_both_ways(&kernel, waves, &args, mem_size);
+        let serr = ss.unwrap_err();
+        let perr = ps.unwrap_err();
 
         assert_eq!(serr, perr);
-        assert!(matches!(serr, ExecError::TrimmedFeature { pc: 3, .. }));
-        assert_eq!(smem, pmem, "partial stores of the faulting wave applied");
+        assert!(matches!(serr, ExecError::BadAddress { .. }));
+        assert_eq!(smems, pmems, "prefix applied, suffix rolled back");
+        // Later jobs really are untouched, not merely equal-but-dirty.
+        assert_eq!(pmems[4], GpuMemory::new(mem_size));
         assert_eq!(se.observed_coverage(), pe.observed_coverage());
     }
 
     #[test]
-    fn auto_mode_falls_back_to_serial_for_small_launches() {
-        // 11 waves × 4 instructions = 44 work units, far below the
-        // default threshold: a parallel-enabled engine must choose the
-        // serial path (the BENCH_pr2 regression case).
+    fn auto_mode_falls_back_to_serial_for_small_batches() {
+        // 2 jobs × 3 waves × 4 instructions = 24 work units, far below
+        // the default threshold: a parallel-enabled engine must choose
+        // the serial batch path (the BENCH_pr2/pr4 regression case).
         let kernel = store_kernel();
         let mut cfg = EngineConfig::miaow();
         cfg.cus = 5;
         cfg.parallel = true;
         assert_eq!(cfg.parallel_min_work, DEFAULT_PARALLEL_MIN_WORK);
         let mut e = Engine::new(cfg);
-        let mut mem = GpuMemory::new(11 * 16 * 4);
-        let stats = e.launch(&kernel, 11, &[0], &mut mem).unwrap();
-        assert_eq!(stats.mode, LaunchMode::Serial);
-
-        // Forcing (threshold 0) takes the parallel path on the same
-        // launch, with identical simulated work.
-        let mut forced_cfg = e.config().clone();
-        forced_cfg.parallel_min_work = 0;
-        let mut forced = Engine::new(forced_cfg);
-        let mut fmem = GpuMemory::new(11 * 16 * 4);
-        let fstats = forced.launch(&kernel, 11, &[0], &mut fmem).unwrap();
-        assert_eq!(fstats.mode, LaunchMode::Parallel);
-        assert_eq!(stats.work(), fstats.work());
-        assert_eq!(mem, fmem);
+        let mut mems: Vec<GpuMemory> = (0..2).map(|_| GpuMemory::new(3 * 16 * 4)).collect();
+        let args = [0u32];
+        let jobs: Vec<(&[u32], &mut GpuMemory)> = mems.iter_mut().map(|m| (&args[..], m)).collect();
+        let stats = e.launch_batch(&kernel, 3, jobs).unwrap();
+        assert!(stats.iter().all(|s| s.mode == LaunchMode::Serial));
     }
 
     #[test]
@@ -716,10 +897,12 @@ mod tests {
         let mut cfg = EngineConfig::miaow();
         cfg.cus = 5;
         cfg.parallel = true;
-        cfg.parallel_min_work = 8; // 11 waves × 4 instrs = 44 ≥ 8
+        cfg.parallel_min_work = 8; // 4 jobs × 3 waves × 4 instrs = 48 ≥ 8
         let mut e = Engine::new(cfg);
-        let mut mem = GpuMemory::new(11 * 16 * 4);
-        let stats = e.launch(&kernel, 11, &[0], &mut mem).unwrap();
+        let mut mems: Vec<GpuMemory> = (0..4).map(|_| GpuMemory::new(3 * 16 * 4)).collect();
+        let args = [0u32];
+        let jobs: Vec<(&[u32], &mut GpuMemory)> = mems.iter_mut().map(|m| (&args[..], m)).collect();
+        let stats = e.launch_batch(&kernel, 3, jobs).unwrap();
         // On a single-threaded host the threshold still resolves to
         // serial — the whole point of the auto fallback.
         let expect = if super::host_threads() > 1 {
@@ -727,7 +910,33 @@ mod tests {
         } else {
             LaunchMode::Serial
         };
-        assert_eq!(stats.mode, expect);
+        assert!(stats.iter().all(|s| s.mode == expect));
+    }
+
+    #[test]
+    fn lds_write_kernels_stay_on_the_serial_batch_path() {
+        // ds_write mutates per-CU LDS replicas; whole-job partitioning
+        // would leave replicas inconsistent, so the gate must force
+        // serial even when parallelism is forced by threshold 0.
+        let kernel = assemble(
+            r#"
+            v_lshl_b32 v1, v0, 2
+            v_cvt_f32_i32 v2, v0
+            ds_write_b32 v1, v2
+            s_endpgm
+        "#,
+        )
+        .unwrap();
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 5;
+        cfg.parallel = true;
+        cfg.parallel_min_work = 0;
+        let mut e = Engine::new(cfg);
+        let mut mems: Vec<GpuMemory> = (0..4).map(|_| GpuMemory::new(1024)).collect();
+        let args: [u32; 0] = [];
+        let jobs: Vec<(&[u32], &mut GpuMemory)> = mems.iter_mut().map(|m| (&args[..], m)).collect();
+        let stats = e.launch_batch(&kernel, 2, jobs).unwrap();
+        assert!(stats.iter().all(|s| s.mode == LaunchMode::Serial));
     }
 
     #[test]

@@ -22,7 +22,9 @@ use std::fmt;
 use crate::coverage::{CoverageSet, Feature};
 use crate::isa::{Instr, Kernel, SSrc, VSrc, LDS_BYTES, WAVEFRONT_LANES};
 use crate::memory::{DeviceMemory, GpuMemory};
-use crate::predecode::{PredecodedKernel, CORE_FEATURE_MASK};
+use crate::predecode::{
+    LaneKind, LaneOp, MacroOp, POp, PredecodedKernel, SuperTrace, Superblock, CORE_FEATURE_MASK, PS,
+};
 
 /// Per-instruction-class cycle costs (one CU, in ML-MIAOW/MIAOW's 50 MHz
 /// domain). MIAOW and ML-MIAOW share these — the paper: "ML-MIAOW and
@@ -222,11 +224,14 @@ impl fmt::Display for ExecError {
 
 impl Error for ExecError {}
 
-/// Architectural state of one wavefront.
+/// Architectural state of one wavefront. Fixed-size arrays (not heap
+/// vectors): a wave's register file lives on the worker's stack, so the
+/// per-wave setup of the per-event inference launches is a memset, not
+/// an allocation.
 #[derive(Debug, Clone)]
 struct WaveState {
     sgpr: [u32; crate::isa::SGPR_COUNT],
-    vgpr: Vec<[u32; WAVEFRONT_LANES]>,
+    vgpr: [[u32; WAVEFRONT_LANES]; crate::isa::VGPR_COUNT],
     scc: bool,
     vcc: u16,
     exec: u16,
@@ -239,7 +244,7 @@ impl WaveState {
         for (i, &v) in sgpr_init.iter().enumerate().take(sgpr.len()) {
             sgpr[i] = v;
         }
-        let mut vgpr = vec![[0u32; WAVEFRONT_LANES]; crate::isa::VGPR_COUNT];
+        let mut vgpr = [[0u32; WAVEFRONT_LANES]; crate::isa::VGPR_COUNT];
         // Hardware pre-initializes v0 with the global thread id.
         for (lane, slot) in vgpr[0].iter_mut().enumerate() {
             *slot = (wave_index * WAVEFRONT_LANES + lane) as u32;
@@ -251,6 +256,84 @@ impl WaveState {
             vcc: 0,
             exec: u16::MAX,
             pc: 0,
+        }
+    }
+}
+
+/// Materializes a pre-resolved vector operand as one register-file row
+/// (broadcasting scalars/immediates), so every lane loop below runs over
+/// plain `[u32; 16]` arrays with no per-lane operand dispatch.
+#[inline(always)]
+fn fetch(st: &WaveState, p: POp) -> [u32; WAVEFRONT_LANES] {
+    match p {
+        POp::V(r) => st.vgpr[usize::from(r)],
+        POp::S(r) => [st.sgpr[usize::from(r)]; WAVEFRONT_LANES],
+        POp::K(k) => [k; WAVEFRONT_LANES],
+    }
+}
+
+/// Executes one fused lane op as a 16-wide loop. `FULL` is the
+/// exec-mask fast path: with all lanes active the loop is unmasked and
+/// branch-free, which is what lets the compiler vectorize it. Inactive
+/// lanes never get written either way; computing a discarded lane value
+/// has no architectural effect, so results are bit-identical to the
+/// interpreter's per-lane `active()` gating.
+#[inline(always)]
+fn lane_op<const FULL: bool>(st: &mut WaveState, op: &LaneOp) {
+    let exec = st.exec;
+    let vcc = st.vcc;
+    let a = fetch(st, op.a);
+    let b = fetch(st, op.b);
+    let d = &mut st.vgpr[usize::from(op.dst)];
+    macro_rules! map {
+        (|$x:ident, $y:ident, $o:ident| $body:expr) => {
+            for i in 0..WAVEFRONT_LANES {
+                if FULL || exec & (1 << i) != 0 {
+                    let ($x, $y, $o) = (a[i], b[i], d[i]);
+                    d[i] = $body;
+                }
+            }
+        };
+    }
+    match op.kind {
+        LaneKind::Mov => map!(|x, _y, _o| x),
+        LaneKind::AddF => map!(|x, y, _o| (f32::from_bits(x) + f32::from_bits(y)).to_bits()),
+        LaneKind::SubF => map!(|x, y, _o| (f32::from_bits(x) - f32::from_bits(y)).to_bits()),
+        LaneKind::MulF => map!(|x, y, _o| (f32::from_bits(x) * f32::from_bits(y)).to_bits()),
+        LaneKind::MacF => map!(|x, y, o| {
+            (f32::from_bits(o) + f32::from_bits(x) * f32::from_bits(y)).to_bits()
+        }),
+        LaneKind::MaxF => map!(|x, y, _o| f32::from_bits(x).max(f32::from_bits(y)).to_bits()),
+        LaneKind::MinF => map!(|x, y, _o| f32::from_bits(x).min(f32::from_bits(y)).to_bits()),
+        LaneKind::ExpF => map!(|x, _y, _o| f32::from_bits(x).exp().to_bits()),
+        LaneKind::RcpF => map!(|x, _y, _o| (1.0 / f32::from_bits(x)).to_bits()),
+        LaneKind::LogF => map!(|x, _y, _o| f32::from_bits(x).ln().to_bits()),
+        LaneKind::AddI => map!(|x, y, _o| (x as i32).wrapping_add(y as i32) as u32),
+        LaneKind::MulI => map!(|x, y, _o| (x as i32).wrapping_mul(y as i32) as u32),
+        LaneKind::And => map!(|x, y, _o| x & y),
+        LaneKind::Lshl => map!(|x, y, _o| x << (y & 31)),
+        LaneKind::CvtF32I32 => map!(|x, _y, _o| ((x as i32) as f32).to_bits()),
+        LaneKind::CvtI32F32 => map!(|x, _y, _o| (f32::from_bits(x) as i32) as u32),
+        LaneKind::Cndmask => {
+            for i in 0..WAVEFRONT_LANES {
+                if FULL || exec & (1 << i) != 0 {
+                    d[i] = if vcc & (1 << i) != 0 { b[i] } else { a[i] };
+                }
+            }
+        }
+    }
+}
+
+/// Runs a fused lane group, hoisting the exec-mask check out of the
+/// per-op loops.
+fn run_lanes(st: &mut WaveState, ops: &[LaneOp]) {
+    if st.exec == u16::MAX {
+        for op in ops {
+            lane_op::<true>(st, op);
+        }
+    } else {
+        for op in ops {
+            lane_op::<false>(st, op);
         }
     }
 }
@@ -469,6 +552,298 @@ impl ComputeUnit {
                 }
             }
         }
+    }
+
+    /// The tier-2 hot loop: dispatches whole superblocks instead of
+    /// instructions. Bit-identical to [`ComputeUnit::run_wave_pre`] for
+    /// every kernel and fault kind (the property tests in
+    /// `tests/superblock_equivalence.rs` pin this):
+    ///
+    /// - A block only takes the fast path when
+    ///   `cycles + block.cost <= max_cycles`, which proves the tier-1
+    ///   watchdog (strict `>` after each instruction) cannot fire inside
+    ///   it; otherwise the wave single-steps with exact interpreter
+    ///   semantics.
+    /// - On a memory fault at block offset `rel`, the per-instruction
+    ///   coverage/cycle/instruction prefix **including the faulting
+    ///   instruction** is reconstructed from the tier-1 code, matching
+    ///   the interpreter's book-keep-before-execute ordering; partial
+    ///   lane stores of the faulting instruction are applied by the
+    ///   macro-op loop in the same lane order.
+    /// - Control flow and trimmed-feature trap sites are never inside a
+    ///   block, so branches, `s_endpgm` and traps always go through the
+    ///   single-step path.
+    pub(crate) fn run_wave_super<M: DeviceMemory>(
+        &mut self,
+        pk: &PredecodedKernel,
+        sgpr_init: &[u32],
+        wave_index: usize,
+        max_cycles: u64,
+        mem: &mut M,
+    ) -> WaveOutcome {
+        let Some(trace) = pk.trace.as_ref() else {
+            return self.run_wave_pre(pk, sgpr_init, wave_index, max_cycles, mem);
+        };
+        let mut st = WaveState::new(sgpr_init, wave_index);
+        let mut stats = RunStats {
+            waves: 1,
+            ..RunStats::default()
+        };
+        let mut covmask = 0u64;
+        let fail = |stats, covmask, error| WaveOutcome {
+            stats,
+            covmask,
+            error: Some(error),
+        };
+
+        loop {
+            let bi = trace.block_at[st.pc];
+            if bi != 0 {
+                let b = trace.blocks[bi as usize - 1];
+                if stats.cycles + b.cost <= max_cycles {
+                    match self.run_block(trace, &b, &mut st, mem) {
+                        Ok(()) => {
+                            covmask |= b.mask;
+                            stats.cycles += b.cost;
+                            stats.instructions += u64::from(b.len);
+                            st.pc = (b.start + b.len) as usize;
+                            continue;
+                        }
+                        Err((rel, e)) => {
+                            let s = b.start as usize;
+                            for pre in &pk.code[s..=s + rel] {
+                                covmask |= pre.mask;
+                                stats.cycles += pre.cost;
+                                stats.instructions += 1;
+                            }
+                            return fail(stats, covmask, e);
+                        }
+                    }
+                }
+            }
+
+            // Single-step fallback: control flow, trap sites and
+            // watchdog-risk tails, with the interpreter's exact
+            // per-instruction ordering.
+            let pre = &pk.code[st.pc];
+            if let Some(trap) = pre.trap {
+                return fail(
+                    stats,
+                    covmask | trap.prior_mask,
+                    ExecError::TrimmedFeature {
+                        feature: trap.feature,
+                        pc: st.pc,
+                        mnemonic: pre.instr.mnemonic(),
+                    },
+                );
+            }
+            covmask |= pre.mask;
+            stats.cycles += pre.cost;
+            stats.instructions += 1;
+            if stats.cycles > max_cycles {
+                return fail(
+                    stats,
+                    covmask,
+                    ExecError::Watchdog {
+                        cycles: stats.cycles,
+                    },
+                );
+            }
+
+            let next_pc = st.pc + 1;
+            match pre.instr {
+                Instr::SEndpgm => {
+                    return WaveOutcome {
+                        stats,
+                        covmask,
+                        error: None,
+                    }
+                }
+                Instr::SBranch { target } => st.pc = target,
+                Instr::SCbranchScc1 { target } => {
+                    st.pc = if st.scc { target } else { next_pc };
+                }
+                Instr::SCbranchScc0 { target } => {
+                    st.pc = if !st.scc { target } else { next_pc };
+                }
+                other => {
+                    if let Err(e) = self.exec_straightline(&other, &mut st, mem) {
+                        return fail(stats, covmask, e);
+                    }
+                    st.pc = next_pc;
+                }
+            }
+        }
+    }
+
+    /// Executes one superblock's macro-ops. On a memory fault, returns
+    /// the faulting instruction's offset within the block so the caller
+    /// can reconstruct the interpreter's bookkeeping prefix.
+    #[allow(clippy::too_many_lines)]
+    fn run_block<M: DeviceMemory>(
+        &mut self,
+        trace: &SuperTrace,
+        b: &Superblock,
+        st: &mut WaveState,
+        mem: &mut M,
+    ) -> Result<(), (usize, ExecError)> {
+        let base = b.start as usize;
+        let ops = &trace.ops[b.op_start as usize..(b.op_start + b.op_len) as usize];
+        let sv = |st: &WaveState, p: PS| -> u32 {
+            match p {
+                PS::S(r) => st.sgpr[usize::from(r)],
+                PS::K(k) => k,
+            }
+        };
+        for op in ops {
+            match *op {
+                MacroOp::Lanes { start, n } => {
+                    run_lanes(st, &trace.lane_ops[start as usize..(start + n) as usize]);
+                }
+                MacroOp::SMov { dst, src } => st.sgpr[usize::from(dst)] = sv(st, src),
+                MacroOp::SAddI { dst, a, b } => {
+                    st.sgpr[usize::from(dst)] =
+                        (sv(st, a) as i32).wrapping_add(sv(st, b) as i32) as u32;
+                }
+                MacroOp::SSubI { dst, a, b } => {
+                    st.sgpr[usize::from(dst)] =
+                        (sv(st, a) as i32).wrapping_sub(sv(st, b) as i32) as u32;
+                }
+                MacroOp::SMulI { dst, a, b } => {
+                    st.sgpr[usize::from(dst)] =
+                        (sv(st, a) as i32).wrapping_mul(sv(st, b) as i32) as u32;
+                }
+                MacroOp::SAndB { dst, a, b } => {
+                    st.sgpr[usize::from(dst)] = sv(st, a) & sv(st, b);
+                }
+                MacroOp::SLshl { dst, a, shift } => {
+                    st.sgpr[usize::from(dst)] = sv(st, a) << (sv(st, shift) & 31);
+                }
+                MacroOp::SCmpLt { a, b } => st.scc = (sv(st, a) as i32) < (sv(st, b) as i32),
+                MacroOp::SCmpEq { a, b } => st.scc = sv(st, a) == sv(st, b),
+                MacroOp::SNop => {}
+                MacroOp::SLoad {
+                    dst,
+                    base: sbase,
+                    offset,
+                    rel,
+                } => {
+                    let addr = u64::from(st.sgpr[usize::from(sbase)]) + u64::from(offset);
+                    if !mem.contains(addr as usize) {
+                        return Err((
+                            rel as usize,
+                            ExecError::BadAddress {
+                                addr,
+                                pc: base + rel as usize,
+                            },
+                        ));
+                    }
+                    st.sgpr[usize::from(dst)] = mem.read_u32(addr as usize);
+                }
+                MacroOp::AndExecVcc => st.exec &= st.vcc,
+                MacroOp::MovExecAll => st.exec = u16::MAX,
+                MacroOp::VCmpGt { a, b } => {
+                    let av = fetch(st, a);
+                    let bv = st.vgpr[usize::from(b)];
+                    let mut vcc = 0u16;
+                    for i in 0..WAVEFRONT_LANES {
+                        if st.exec & (1 << i) != 0 && f32::from_bits(av[i]) > f32::from_bits(bv[i])
+                        {
+                            vcc |= 1 << i;
+                        }
+                    }
+                    st.vcc = vcc;
+                }
+                MacroOp::VCmpLt { a, b } => {
+                    let av = fetch(st, a);
+                    let bv = st.vgpr[usize::from(b)];
+                    let mut vcc = 0u16;
+                    for i in 0..WAVEFRONT_LANES {
+                        if st.exec & (1 << i) != 0 && f32::from_bits(av[i]) < f32::from_bits(bv[i])
+                        {
+                            vcc |= 1 << i;
+                        }
+                    }
+                    st.vcc = vcc;
+                }
+                MacroOp::Readlane { dst, src, lane } => {
+                    st.sgpr[usize::from(dst)] =
+                        st.vgpr[usize::from(src)][usize::from(lane) % WAVEFRONT_LANES];
+                }
+                MacroOp::Writelane { dst, src, lane } => {
+                    let v = sv(st, src);
+                    st.vgpr[usize::from(dst)][usize::from(lane) % WAVEFRONT_LANES] = v;
+                }
+                MacroOp::BufLoad {
+                    dst,
+                    vaddr,
+                    sbase,
+                    rel,
+                } => {
+                    let base_addr = u64::from(st.sgpr[usize::from(sbase)]);
+                    for lane in 0..WAVEFRONT_LANES {
+                        if st.exec & (1 << lane) != 0 {
+                            let addr = base_addr + u64::from(st.vgpr[usize::from(vaddr)][lane]);
+                            if !mem.contains(addr as usize) {
+                                return Err((
+                                    rel as usize,
+                                    ExecError::BadAddress {
+                                        addr,
+                                        pc: base + rel as usize,
+                                    },
+                                ));
+                            }
+                            st.vgpr[usize::from(dst)][lane] = mem.read_u32(addr as usize);
+                        }
+                    }
+                }
+                MacroOp::BufStore {
+                    src,
+                    vaddr,
+                    sbase,
+                    rel,
+                } => {
+                    let base_addr = u64::from(st.sgpr[usize::from(sbase)]);
+                    for lane in 0..WAVEFRONT_LANES {
+                        if st.exec & (1 << lane) != 0 {
+                            let addr = base_addr + u64::from(st.vgpr[usize::from(vaddr)][lane]);
+                            if !mem.contains(addr as usize) {
+                                return Err((
+                                    rel as usize,
+                                    ExecError::BadAddress {
+                                        addr,
+                                        pc: base + rel as usize,
+                                    },
+                                ));
+                            }
+                            mem.write_u32(addr as usize, st.vgpr[usize::from(src)][lane]);
+                        }
+                    }
+                }
+                MacroOp::LdsRead { dst, addr, rel } => {
+                    for lane in 0..WAVEFRONT_LANES {
+                        if st.exec & (1 << lane) != 0 {
+                            let a = u64::from(st.vgpr[usize::from(addr)][lane]);
+                            let v = self
+                                .lds_read(a, base + rel as usize)
+                                .map_err(|e| (rel as usize, e))?;
+                            st.vgpr[usize::from(dst)][lane] = v;
+                        }
+                    }
+                }
+                MacroOp::LdsWrite { addr, src, rel } => {
+                    for lane in 0..WAVEFRONT_LANES {
+                        if st.exec & (1 << lane) != 0 {
+                            let a = u64::from(st.vgpr[usize::from(addr)][lane]);
+                            let v = st.vgpr[usize::from(src)][lane];
+                            self.lds_write(a, v, base + rel as usize)
+                                .map_err(|e| (rel as usize, e))?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn exec_straightline<M: DeviceMemory>(

@@ -369,7 +369,7 @@ impl fmt::Display for Instr {
 
 /// An assembled kernel: a straight-line instruction vector with resolved
 /// branch targets plus resource metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Kernel {
     /// Kernel name (for coverage reports).
     pub name: String,
@@ -379,6 +379,20 @@ pub struct Kernel {
     pub sgprs_used: usize,
     /// Highest VGPR index used + 1.
     pub vgprs_used: usize,
+    /// Memoized [`Kernel::fingerprint`]; computing it formats the whole
+    /// disassembly, far too expensive for the per-launch cache probe.
+    #[serde(skip)]
+    fp: std::sync::OnceLock<u64>,
+}
+
+impl PartialEq for Kernel {
+    fn eq(&self, other: &Self) -> bool {
+        // The memoized fingerprint is derived state, not identity.
+        self.name == other.name
+            && self.code == other.code
+            && self.sgprs_used == other.sgprs_used
+            && self.vgprs_used == other.vgprs_used
+    }
 }
 
 impl fmt::Display for Kernel {
@@ -536,25 +550,29 @@ impl Kernel {
             code,
             sgprs_used,
             vgprs_used,
+            fp: std::sync::OnceLock::new(),
         }
     }
 
     /// A stable content fingerprint (FNV-1a over the name and the
     /// disassembly text), usable as a cache key for per-kernel analysis
     /// verdicts. Two kernels with the same name and instructions hash
-    /// equal across runs and processes.
+    /// equal across runs and processes. Memoized: the disassembly is
+    /// only formatted on the first call.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-        };
-        eat(self.name.as_bytes());
-        eat(&[0]); // separator: name/code boundary must be unambiguous
-        eat(self.to_string().as_bytes());
-        h
+        *self.fp.get_or_init(|| {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            let mut eat = |bytes: &[u8]| {
+                for &b in bytes {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            };
+            eat(self.name.as_bytes());
+            eat(&[0]); // separator: name/code boundary must be unambiguous
+            eat(self.to_string().as_bytes());
+            h
+        })
     }
 
     /// Number of instructions.

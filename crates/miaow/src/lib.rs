@@ -88,6 +88,6 @@ pub use coverage::{CoverageSet, Feature};
 pub use engine::{Engine, EngineConfig, LaunchMode, LaunchStats, DEFAULT_PARALLEL_MIN_WORK};
 pub use exec::{ComputeUnit, Dispatch, ExecError, RunStats};
 pub use isa::{Instr, Kernel, WAVEFRONT_LANES};
-pub use memory::{DeviceMemory, GpuMemory, ShadowMemory};
+pub use memory::{DeviceMemory, GpuMemory};
 pub use predecode::{PredecodeStats, PredecodedKernel};
 pub use trim::{verify_trim, TrimPlan, TrimReport, TrimWorkload};

@@ -120,8 +120,9 @@ impl GpuMemory {
 
 /// Dword-level device-memory access, the interface the execution loop
 /// runs against. [`GpuMemory`] is the direct implementation; the
-/// parallel engine substitutes a write-logging shadow so per-wavefront
-/// stores can be replayed in global wave order after the worker barrier.
+/// partitioned batch launcher substitutes an undo-logging wrapper so a
+/// job that must be rolled back after a fault in an earlier job can be
+/// restored to its pre-launch image.
 pub trait DeviceMemory {
     /// Whether `addr` is a valid dword address.
     fn contains(&self, addr: usize) -> bool;
@@ -143,39 +144,44 @@ impl DeviceMemory for GpuMemory {
     }
 }
 
-/// A [`GpuMemory`] snapshot that records every store. Each parallel CU
-/// worker executes its wavefronts against its own shadow (reads see the
-/// launch-entry snapshot plus the worker's own stores, exactly like the
-/// serial path for launches whose wavefronts touch disjoint addresses);
-/// the logs are then replayed into the real memory in global wave order,
-/// which reproduces the serial path's store ordering bit for bit.
+/// A write-through wrapper over a job's [`GpuMemory`] that records the
+/// **old** value of every overwritten dword. The partitioned batch
+/// launcher runs each job directly against its own memory (no shadow
+/// snapshot, no cross-CU merge); if an *earlier* job faults after this
+/// job already ran, replaying this job's undo log in reverse restores
+/// its memory to the pre-launch image — exactly the "later jobs do not
+/// run" semantics of issuing the launches in sequence.
 #[derive(Debug)]
-pub struct ShadowMemory {
-    mem: GpuMemory,
-    log: Vec<(u32, u32)>,
+pub(crate) struct UndoMemory<'a> {
+    mem: &'a mut GpuMemory,
+    undo: Vec<(u32, u32)>,
 }
 
-impl ShadowMemory {
-    /// Wraps a snapshot of the launch-entry memory.
-    pub fn new(snapshot: GpuMemory) -> Self {
-        ShadowMemory {
-            mem: snapshot,
-            log: Vec::new(),
+impl<'a> UndoMemory<'a> {
+    /// Wraps a job's device memory.
+    pub(crate) fn new(mem: &'a mut GpuMemory) -> Self {
+        UndoMemory {
+            mem,
+            undo: Vec::new(),
         }
     }
 
-    /// Number of logged stores so far (wave-span bookkeeping).
-    pub fn log_len(&self) -> usize {
-        self.log.len()
+    /// The (addr, previous value) log, oldest first. Replay it in
+    /// **reverse** to restore the pre-launch image.
+    pub(crate) fn into_undo_log(self) -> Vec<(u32, u32)> {
+        self.undo
     }
 
-    /// The ordered store log.
-    pub fn into_log(self) -> Vec<(u32, u32)> {
-        self.log
+    /// Reverses a log produced by [`UndoMemory::into_undo_log`] against
+    /// the same memory.
+    pub(crate) fn rollback(mem: &mut GpuMemory, undo: &[(u32, u32)]) {
+        for &(addr, old) in undo.iter().rev() {
+            mem.write_u32(addr as usize, old);
+        }
     }
 }
 
-impl DeviceMemory for ShadowMemory {
+impl DeviceMemory for UndoMemory<'_> {
     fn contains(&self, addr: usize) -> bool {
         self.mem.contains(addr)
     }
@@ -183,8 +189,8 @@ impl DeviceMemory for ShadowMemory {
         self.mem.read_u32(addr)
     }
     fn write_u32(&mut self, addr: usize, value: u32) {
+        self.undo.push((addr as u32, self.mem.read_u32(addr)));
         self.mem.write_u32(addr, value);
-        self.log.push((addr as u32, value));
     }
 }
 
@@ -227,14 +233,22 @@ mod tests {
     }
 
     #[test]
-    fn shadow_memory_logs_stores_in_order() {
-        let mut s = ShadowMemory::new(GpuMemory::new(64));
-        assert_eq!(s.log_len(), 0);
-        DeviceMemory::write_u32(&mut s, 0, 7);
-        DeviceMemory::write_u32(&mut s, 8, 9);
-        DeviceMemory::write_u32(&mut s, 0, 11); // later store shadows
-        assert_eq!(DeviceMemory::read_u32(&s, 0), 11);
-        assert_eq!(s.into_log(), vec![(0, 7), (8, 9), (0, 11)]);
+    fn undo_memory_rollback_restores_prelaunch_image() {
+        let mut m = GpuMemory::new(64);
+        m.write_u32(0, 1);
+        m.write_u32(8, 2);
+        let before = m.clone();
+
+        let mut u = UndoMemory::new(&mut m);
+        DeviceMemory::write_u32(&mut u, 0, 7);
+        DeviceMemory::write_u32(&mut u, 8, 9);
+        DeviceMemory::write_u32(&mut u, 0, 11); // overwrite twice
+        assert_eq!(DeviceMemory::read_u32(&u, 0), 11);
+        let undo = u.into_undo_log();
+        assert_eq!(undo, vec![(0, 1), (8, 2), (0, 7)]);
+
+        UndoMemory::rollback(&mut m, &undo);
+        assert_eq!(m, before);
     }
 
     #[test]

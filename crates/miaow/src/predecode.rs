@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use crate::coverage::{CoverageSet, Feature};
 use crate::exec::CostModel;
-use crate::isa::{Instr, Kernel};
+use crate::isa::{Instr, Kernel, SSrc, VSrc};
 
 /// The five always-exercised core datapath features, as a mask. The
 /// engine records these once per *launch* (they are per-run facts, not
@@ -70,6 +70,401 @@ pub(crate) struct PreInstr {
     pub trap: Option<PreTrap>,
 }
 
+/// A pre-resolved vector operand of a tier-2 lane op: the lowering has
+/// already classified the `VSrc` so the lane loop never re-matches it
+/// per lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum POp {
+    /// Per-lane vector register.
+    V(u8),
+    /// Broadcast scalar register (read at execution time — scalar ops
+    /// earlier in the block may have written it).
+    S(u8),
+    /// Broadcast immediate bit pattern.
+    K(u32),
+}
+
+/// A pre-resolved scalar operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum PS {
+    /// Scalar register.
+    S(u8),
+    /// Immediate bit pattern.
+    K(u32),
+}
+
+/// The operation of one fused lane op — a lane-local VALU instruction
+/// that reads and writes only per-lane vector state (plus uniform
+/// scalar/immediate broadcasts and, for `Cndmask`, the `vcc` produced
+/// before the group). Runs of these execute as tight 16-wide loops over
+/// contiguous register-file rows with no per-instruction dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum LaneKind {
+    /// `v_mov_b32`.
+    Mov,
+    /// `v_add_f32`.
+    AddF,
+    /// `v_sub_f32`.
+    SubF,
+    /// `v_mul_f32`.
+    MulF,
+    /// `v_mac_f32` (`dst += a * b`).
+    MacF,
+    /// `v_max_f32`.
+    MaxF,
+    /// `v_min_f32`.
+    MinF,
+    /// `v_exp_f32`.
+    ExpF,
+    /// `v_rcp_f32`.
+    RcpF,
+    /// `v_log_f32`.
+    LogF,
+    /// `v_add_i32`.
+    AddI,
+    /// `v_mul_i32`.
+    MulI,
+    /// `v_and_b32`.
+    And,
+    /// `v_lshl_b32` (`b` is the shift amount).
+    Lshl,
+    /// `v_cvt_f32_i32`.
+    CvtF32I32,
+    /// `v_cvt_i32_f32`.
+    CvtI32F32,
+    /// `v_cndmask_b32` (reads `vcc`).
+    Cndmask,
+}
+
+/// One fused lane op: kind + pre-resolved operands. `b` is unused by
+/// unary kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LaneOp {
+    pub kind: LaneKind,
+    pub dst: u8,
+    pub a: POp,
+    pub b: POp,
+}
+
+/// One tier-2 macro-op. A superblock is a sequence of these; `rel`
+/// fields are the op's instruction offset within the block, so faulting
+/// macro-ops report the exact architectural `pc` (`block.start + rel`)
+/// and the executor can reconstruct the interpreter's per-instruction
+/// bookkeeping prefix on the error path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum MacroOp {
+    /// `n` fused lane-local vector ops starting at
+    /// [`SuperTrace::lane_ops`]`[start]`, executed as lane loops.
+    Lanes { start: u32, n: u32 },
+    /// `s_mov_b32`.
+    SMov { dst: u8, src: PS },
+    /// `s_add_i32`.
+    SAddI { dst: u8, a: PS, b: PS },
+    /// `s_sub_i32`.
+    SSubI { dst: u8, a: PS, b: PS },
+    /// `s_mul_i32`.
+    SMulI { dst: u8, a: PS, b: PS },
+    /// `s_and_b32`.
+    SAndB { dst: u8, a: PS, b: PS },
+    /// `s_lshl_b32`.
+    SLshl { dst: u8, a: PS, shift: PS },
+    /// `s_cmp_lt_i32`.
+    SCmpLt { a: PS, b: PS },
+    /// `s_cmp_eq_i32`.
+    SCmpEq { a: PS, b: PS },
+    /// `s_barrier` / `s_waitcnt`: cycle cost only, no architectural
+    /// effect in this single-wavefront-per-workgroup model.
+    SNop,
+    /// `s_load_dword` (can fault: `rel` locates the instruction).
+    SLoad {
+        dst: u8,
+        base: u8,
+        offset: u32,
+        rel: u32,
+    },
+    /// `s_and_exec_vcc`.
+    AndExecVcc,
+    /// `s_mov_exec_all`.
+    MovExecAll,
+    /// `v_cmp_gt_f32` (writes `vcc`, so never inside a `Lanes` group).
+    VCmpGt { a: POp, b: u8 },
+    /// `v_cmp_lt_f32`.
+    VCmpLt { a: POp, b: u8 },
+    /// `v_readlane_b32` (writes an SGPR).
+    Readlane { dst: u8, src: u8, lane: u8 },
+    /// `v_writelane_b32` (ignores `exec`).
+    Writelane { dst: u8, src: PS, lane: u8 },
+    /// `buffer_load_dword`.
+    BufLoad {
+        dst: u8,
+        vaddr: u8,
+        sbase: u8,
+        rel: u32,
+    },
+    /// `buffer_store_dword`.
+    BufStore {
+        src: u8,
+        vaddr: u8,
+        sbase: u8,
+        rel: u32,
+    },
+    /// `ds_read_b32`.
+    LdsRead { dst: u8, addr: u8, rel: u32 },
+    /// `ds_write_b32`.
+    LdsWrite { addr: u8, src: u8, rel: u32 },
+}
+
+/// One straight-line superblock: `len` consecutive instructions starting
+/// at `start`, none of which is control flow or a trimmed-feature trap
+/// site. Cost and coverage are pre-totalled so the executor books the
+/// whole block in O(1) on the success path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Superblock {
+    /// Instruction index of the block's first instruction.
+    pub start: u32,
+    /// Number of source instructions covered.
+    pub len: u32,
+    /// Total cycle cost of the block.
+    pub cost: u64,
+    /// OR of every covered instruction's feature mask.
+    pub mask: u64,
+    /// First macro-op in [`SuperTrace::ops`].
+    pub op_start: u32,
+    /// Macro-op count.
+    pub op_len: u32,
+}
+
+/// The tier-2 lowering of a kernel: superblocks over a flat macro-op /
+/// lane-op pool, plus a dense `pc -> block` lookup. Blocks are built at
+/// every leader (entry, branch target, post-control-flow fall-through)
+/// and extend maximally — through later leaders — until the next control
+/// flow or trap site, so overlapping tails are duplicated rather than
+/// split (a superblock, not a basic-block, formation).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct SuperTrace {
+    pub blocks: Vec<Superblock>,
+    pub ops: Vec<MacroOp>,
+    pub lane_ops: Vec<LaneOp>,
+    /// `pc -> block index + 1`; `0` = no block starts at `pc`.
+    pub block_at: Vec<u32>,
+    /// `Lanes` groups that fused ≥ 2 source instructions.
+    pub fused_groups: u32,
+    /// Lane ops inside those multi-op groups.
+    pub fused_lane_ops: u32,
+}
+
+fn pop(v: &VSrc) -> POp {
+    match v {
+        VSrc::Vreg(r) => POp::V(r.0),
+        VSrc::Sreg(r) => POp::S(r.0),
+        VSrc::ImmF(x) => POp::K(x.to_bits()),
+        VSrc::ImmB(b) => POp::K(*b),
+    }
+}
+
+fn ps(s: &SSrc) -> PS {
+    match s {
+        SSrc::Reg(r) => PS::S(r.0),
+        SSrc::Imm(i) => PS::K(*i as u32),
+    }
+}
+
+/// The lane-local fusion set: lowers `instr` to a [`LaneOp`] iff it
+/// reads and writes only per-lane vector state (never `sgpr`, `vcc`,
+/// `scc` or `exec`), which is what makes consecutive runs fusable into
+/// one group under a fixed `exec`.
+fn lane_lower(instr: &Instr) -> Option<LaneOp> {
+    let op = |kind, dst: &crate::isa::Vreg, a, b| LaneOp {
+        kind,
+        dst: dst.0,
+        a,
+        b,
+    };
+    Some(match instr {
+        Instr::VMovB32 { dst, src } => op(LaneKind::Mov, dst, pop(src), POp::K(0)),
+        Instr::VAddF32 { dst, a, b } => op(LaneKind::AddF, dst, pop(a), POp::V(b.0)),
+        Instr::VSubF32 { dst, a, b } => op(LaneKind::SubF, dst, pop(a), POp::V(b.0)),
+        Instr::VMulF32 { dst, a, b } => op(LaneKind::MulF, dst, pop(a), POp::V(b.0)),
+        Instr::VMacF32 { dst, a, b } => op(LaneKind::MacF, dst, pop(a), POp::V(b.0)),
+        Instr::VMaxF32 { dst, a, b } => op(LaneKind::MaxF, dst, pop(a), POp::V(b.0)),
+        Instr::VMinF32 { dst, a, b } => op(LaneKind::MinF, dst, pop(a), POp::V(b.0)),
+        Instr::VExpF32 { dst, src } => op(LaneKind::ExpF, dst, pop(src), POp::K(0)),
+        Instr::VRcpF32 { dst, src } => op(LaneKind::RcpF, dst, pop(src), POp::K(0)),
+        Instr::VLogF32 { dst, src } => op(LaneKind::LogF, dst, pop(src), POp::K(0)),
+        Instr::VAddI32 { dst, a, b } => op(LaneKind::AddI, dst, pop(a), POp::V(b.0)),
+        Instr::VMulI32 { dst, a, b } => op(LaneKind::MulI, dst, pop(a), POp::V(b.0)),
+        Instr::VAndB32 { dst, a, b } => op(LaneKind::And, dst, pop(a), POp::V(b.0)),
+        Instr::VLshlB32 { dst, a, shift } => op(LaneKind::Lshl, dst, pop(a), pop(shift)),
+        Instr::VCvtF32I32 { dst, src } => op(LaneKind::CvtF32I32, dst, pop(src), POp::K(0)),
+        Instr::VCvtI32F32 { dst, src } => op(LaneKind::CvtI32F32, dst, pop(src), POp::K(0)),
+        Instr::VCndmaskB32 { dst, a, b } => op(LaneKind::Cndmask, dst, pop(a), POp::V(b.0)),
+        _ => return None,
+    })
+}
+
+/// Lowers a non-fusable straight-line instruction to its macro-op.
+fn macro_lower(instr: &Instr, rel: u32) -> MacroOp {
+    match instr {
+        Instr::SMovB32 { dst, src } => MacroOp::SMov {
+            dst: dst.0,
+            src: ps(src),
+        },
+        Instr::SAddI32 { dst, a, b } => MacroOp::SAddI {
+            dst: dst.0,
+            a: ps(a),
+            b: ps(b),
+        },
+        Instr::SSubI32 { dst, a, b } => MacroOp::SSubI {
+            dst: dst.0,
+            a: ps(a),
+            b: ps(b),
+        },
+        Instr::SMulI32 { dst, a, b } => MacroOp::SMulI {
+            dst: dst.0,
+            a: ps(a),
+            b: ps(b),
+        },
+        Instr::SAndB32 { dst, a, b } => MacroOp::SAndB {
+            dst: dst.0,
+            a: ps(a),
+            b: ps(b),
+        },
+        Instr::SLshlB32 { dst, a, shift } => MacroOp::SLshl {
+            dst: dst.0,
+            a: ps(a),
+            shift: ps(shift),
+        },
+        Instr::SCmpLtI32 { a, b } => MacroOp::SCmpLt { a: ps(a), b: ps(b) },
+        Instr::SCmpEqI32 { a, b } => MacroOp::SCmpEq { a: ps(a), b: ps(b) },
+        Instr::SBarrier | Instr::SWaitcnt => MacroOp::SNop,
+        Instr::SLoadDword { dst, base, offset } => MacroOp::SLoad {
+            dst: dst.0,
+            base: base.0,
+            offset: *offset,
+            rel,
+        },
+        Instr::SAndExecVcc => MacroOp::AndExecVcc,
+        Instr::SMovExecAll => MacroOp::MovExecAll,
+        Instr::VCmpGtF32 { a, b } => MacroOp::VCmpGt { a: pop(a), b: b.0 },
+        Instr::VCmpLtF32 { a, b } => MacroOp::VCmpLt { a: pop(a), b: b.0 },
+        Instr::VReadlaneB32 { dst, src, lane } => MacroOp::Readlane {
+            dst: dst.0,
+            src: src.0,
+            lane: *lane,
+        },
+        Instr::VWritelaneB32 { dst, src, lane } => MacroOp::Writelane {
+            dst: dst.0,
+            src: ps(src),
+            lane: *lane,
+        },
+        Instr::BufferLoadDword { dst, vaddr, sbase } => MacroOp::BufLoad {
+            dst: dst.0,
+            vaddr: vaddr.0,
+            sbase: sbase.0,
+            rel,
+        },
+        Instr::BufferStoreDword { src, vaddr, sbase } => MacroOp::BufStore {
+            src: src.0,
+            vaddr: vaddr.0,
+            sbase: sbase.0,
+            rel,
+        },
+        Instr::DsReadB32 { dst, addr } => MacroOp::LdsRead {
+            dst: dst.0,
+            addr: addr.0,
+            rel,
+        },
+        Instr::DsWriteB32 { addr, src } => MacroOp::LdsWrite {
+            addr: addr.0,
+            src: src.0,
+            rel,
+        },
+        // Control flow and fusable ops never reach macro_lower.
+        _ => unreachable!("not a straight-line macro-op: {instr:?}"),
+    }
+}
+
+impl SuperTrace {
+    /// Builds the tier-2 trace over an already tier-1-lowered kernel.
+    fn build(code: &[PreInstr]) -> Self {
+        let n = code.len();
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, p) in code.iter().enumerate() {
+            match p.instr {
+                Instr::SBranch { target }
+                | Instr::SCbranchScc1 { target }
+                | Instr::SCbranchScc0 { target } => {
+                    leader[target] = true;
+                    if i + 1 < n {
+                        leader[i + 1] = true;
+                    }
+                }
+                Instr::SEndpgm if i + 1 < n => leader[i + 1] = true,
+                _ => {}
+            }
+        }
+
+        let mut trace = SuperTrace {
+            block_at: vec![0u32; n],
+            ..SuperTrace::default()
+        };
+        for (start, &is_leader) in leader.iter().enumerate() {
+            if !is_leader {
+                continue;
+            }
+            let op_start = trace.ops.len() as u32;
+            let (mut cost, mut mask) = (0u64, 0u64);
+            let mut group: Option<u32> = None;
+            let mut end = start;
+            while end < n && !code[end].instr.is_control_flow() && code[end].trap.is_none() {
+                let p = &code[end];
+                if let Some(lop) = lane_lower(&p.instr) {
+                    group = group.or(Some(trace.lane_ops.len() as u32));
+                    trace.lane_ops.push(lop);
+                } else {
+                    trace.close_group(&mut group);
+                    trace.ops.push(macro_lower(&p.instr, (end - start) as u32));
+                }
+                cost += p.cost;
+                mask |= p.mask;
+                end += 1;
+            }
+            trace.close_group(&mut group);
+            if end == start {
+                continue; // leader sits directly on control flow / a trap
+            }
+            trace.block_at[start] = trace.blocks.len() as u32 + 1;
+            trace.blocks.push(Superblock {
+                start: start as u32,
+                len: (end - start) as u32,
+                cost,
+                mask,
+                op_start,
+                op_len: trace.ops.len() as u32 - op_start,
+            });
+        }
+        trace
+    }
+
+    /// Terminates an open `Lanes` group, recording fusion telemetry.
+    fn close_group(&mut self, group: &mut Option<u32>) {
+        if let Some(gstart) = group.take() {
+            let count = self.lane_ops.len() as u32 - gstart;
+            if count >= 2 {
+                self.fused_groups += 1;
+                self.fused_lane_ops += count;
+            }
+            self.ops.push(MacroOp::Lanes {
+                start: gstart,
+                n: count,
+            });
+        }
+    }
+}
+
 /// A kernel lowered for one engine configuration (cost model + retained
 /// feature set).
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +473,9 @@ pub struct PredecodedKernel {
     fingerprint: u64,
     pub(crate) code: Vec<PreInstr>,
     static_mask: u64,
+    /// The tier-2 superblock trace, present iff the kernel was lowered
+    /// with [`PredecodedKernel::lower_traced`].
+    pub(crate) trace: Option<SuperTrace>,
 }
 
 impl PredecodedKernel {
@@ -120,7 +518,16 @@ impl PredecodedKernel {
             fingerprint: kernel.fingerprint(),
             code,
             static_mask,
+            trace: None,
         }
+    }
+
+    /// Lowers `kernel` through both tiers: tier-1 [`PreInstr`]s plus the
+    /// tier-2 [`SuperTrace`] the superblock executor dispatches on.
+    pub fn lower_traced(kernel: &Kernel, cost: &CostModel, retained: Option<&CoverageSet>) -> Self {
+        let mut pk = PredecodedKernel::lower(kernel, cost, retained);
+        pk.trace = Some(SuperTrace::build(&pk.code));
+        pk
     }
 
     /// The source kernel's name.
@@ -154,6 +561,28 @@ impl PredecodedKernel {
     pub fn traps(&self) -> bool {
         self.code.iter().any(|p| p.trap.is_some())
     }
+
+    /// Whether a tier-2 superblock trace was built.
+    pub fn has_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Number of tier-2 superblocks (0 without a trace).
+    pub fn superblocks(&self) -> usize {
+        self.trace.as_ref().map_or(0, |t| t.blocks.len())
+    }
+
+    /// Number of tier-2 macro-ops across all superblocks (0 without a
+    /// trace).
+    pub fn macro_ops(&self) -> usize {
+        self.trace.as_ref().map_or(0, |t| t.ops.len())
+    }
+
+    /// Number of lane-local vector ops fused into multi-op macro groups
+    /// (0 without a trace).
+    pub fn fused_lane_ops(&self) -> usize {
+        self.trace.as_ref().map_or(0, |t| t.fused_lane_ops as usize)
+    }
 }
 
 /// Hit/miss/size counters of a [`PredecodeCache`], surfaced through
@@ -167,6 +596,13 @@ pub struct PredecodeStats {
     pub misses: u64,
     /// Distinct kernels currently cached.
     pub kernels: usize,
+    /// Cached kernels carrying a tier-2 superblock trace.
+    pub traced_kernels: usize,
+    /// Total superblocks across traced kernels.
+    pub superblocks: u64,
+    /// Lane-local vector ops fused into multi-op macro groups across
+    /// traced kernels.
+    pub fused_lane_ops: u64,
 }
 
 impl PredecodeStats {
@@ -181,34 +617,42 @@ impl PredecodeStats {
     }
 }
 
-/// A fingerprint-keyed cache of lowered kernels. One per engine: the
-/// lowering bakes in the engine's cost model and retained set, which are
-/// fixed at engine construction, so the fingerprint alone is a sound
-/// key *within* an engine. `Arc` because the parallel launch path shares
-/// the lowered kernel across CU worker threads.
+/// A cache of lowered kernels keyed by `(fingerprint, trim mask)` — the
+/// trim mask being the retained-feature set the lowering baked its trap
+/// verdicts against (`None` = untrimmed). Within one engine the retained
+/// set is fixed, but the compound key makes the cache sound to share and
+/// lets the hit-rate telemetry cover both lowering tiers uniformly.
+/// `Arc` because the partitioned batch launcher shares the lowered
+/// kernel across CU worker threads.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PredecodeCache {
-    kernels: HashMap<u64, Arc<PredecodedKernel>>,
+    kernels: HashMap<(u64, Option<u64>), Arc<PredecodedKernel>>,
     hits: u64,
     misses: u64,
 }
 
 impl PredecodeCache {
     /// Returns the cached lowering of `kernel`, lowering on first use.
+    /// `tier2` additionally builds the superblock trace on a miss.
     pub fn get_or_lower(
         &mut self,
         kernel: &Kernel,
         cost: &CostModel,
         retained: Option<&CoverageSet>,
+        tier2: bool,
     ) -> Arc<PredecodedKernel> {
-        let fp = kernel.fingerprint();
-        if let Some(k) = self.kernels.get(&fp) {
+        let key = (kernel.fingerprint(), retained.map(CoverageSet::mask));
+        if let Some(k) = self.kernels.get(&key) {
             self.hits += 1;
             return Arc::clone(k);
         }
         self.misses += 1;
-        let k = Arc::new(PredecodedKernel::lower(kernel, cost, retained));
-        self.kernels.insert(fp, Arc::clone(&k));
+        let k = Arc::new(if tier2 {
+            PredecodedKernel::lower_traced(kernel, cost, retained)
+        } else {
+            PredecodedKernel::lower(kernel, cost, retained)
+        });
+        self.kernels.insert(key, Arc::clone(&k));
         k
     }
 
@@ -217,13 +661,22 @@ impl PredecodeCache {
         self.kernels.len()
     }
 
-    /// Hit/miss/size counters.
+    /// Hit/miss/size counters, including tier-2 trace totals.
     pub fn stats(&self) -> PredecodeStats {
-        PredecodeStats {
+        let mut s = PredecodeStats {
             hits: self.hits,
             misses: self.misses,
             kernels: self.kernels.len(),
+            ..PredecodeStats::default()
+        };
+        for k in self.kernels.values() {
+            if k.has_trace() {
+                s.traced_kernels += 1;
+                s.superblocks += k.superblocks() as u64;
+                s.fused_lane_ops += k.fused_lane_ops() as u64;
+            }
         }
+        s
     }
 }
 
@@ -296,13 +749,13 @@ mod tests {
     fn cache_lowers_once_per_fingerprint() {
         let k = kernel();
         let mut cache = PredecodeCache::default();
-        let a = cache.get_or_lower(&k, &CostModel::miaow(), None);
-        let b = cache.get_or_lower(&k, &CostModel::miaow(), None);
+        let a = cache.get_or_lower(&k, &CostModel::miaow(), None, false);
+        let b = cache.get_or_lower(&k, &CostModel::miaow(), None, false);
         assert_eq!(cache.len(), 1);
         assert!(Arc::ptr_eq(&a, &b), "second lookup reuses the lowering");
 
         let other = assemble("v_mov_b32 v1, 1.0\ns_endpgm").unwrap();
-        cache.get_or_lower(&other, &CostModel::miaow(), None);
+        cache.get_or_lower(&other, &CostModel::miaow(), None, false);
         assert_eq!(cache.len(), 2);
     }
 
@@ -311,16 +764,102 @@ mod tests {
         let k = kernel();
         let mut cache = PredecodeCache::default();
         assert_eq!(cache.stats(), PredecodeStats::default());
-        cache.get_or_lower(&k, &CostModel::miaow(), None);
-        cache.get_or_lower(&k, &CostModel::miaow(), None);
-        cache.get_or_lower(&k, &CostModel::miaow(), None);
+        cache.get_or_lower(&k, &CostModel::miaow(), None, false);
+        cache.get_or_lower(&k, &CostModel::miaow(), None, false);
+        cache.get_or_lower(&k, &CostModel::miaow(), None, false);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.kernels), (2, 1, 1));
         assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
 
         let other = assemble("v_mov_b32 v1, 1.0\ns_endpgm").unwrap();
-        cache.get_or_lower(&other, &CostModel::miaow(), None);
+        cache.get_or_lower(&other, &CostModel::miaow(), None, false);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.kernels), (2, 2, 2));
+    }
+
+    /// A loop kernel: the body (pcs 1-4) is re-entered from the
+    /// back-edge, so pc 1 is a leader besides pc 0.
+    fn loop_kernel() -> Kernel {
+        assemble(
+            r#"
+            s_mov_b32 s1, 0
+            loop:
+            v_mul_f32 v1, 2.0, v0
+            v_add_f32 v2, 1.0, v1
+            s_add_i32 s1, s1, 1
+            s_cmp_lt_i32 s1, 4
+            s_cbranch_scc1 loop
+            s_endpgm
+        "#,
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn traced_lowering_builds_superblocks_at_branch_boundaries() {
+        let k = loop_kernel();
+        let cost = CostModel::miaow();
+        let pk = PredecodedKernel::lower_traced(&k, &cost, None);
+        let trace = pk.trace.as_ref().expect("tier-2 lowering builds a trace");
+
+        // Leaders: pc 0 (entry, runs through the loop body) and pc 1
+        // (branch target). Control flow (pcs 5, 6) is never inside a
+        // block, and no block is formed at pc 6 (s_endpgm is a leader
+        // position but sits directly on control flow).
+        assert_eq!(pk.superblocks(), 2);
+        let b0 = &trace.blocks[trace.block_at[0] as usize - 1];
+        let b1 = &trace.blocks[trace.block_at[1] as usize - 1];
+        assert_eq!((b0.start, b0.len), (0, 5));
+        assert_eq!((b1.start, b1.len), (1, 4));
+        assert_eq!(trace.block_at[5], 0, "s_cmp tail is inside blocks only");
+        assert_eq!(trace.block_at[6], 0, "s_endpgm never starts a block");
+
+        // Block cost/mask equal the tier-1 per-instruction sums.
+        for b in [b0, b1] {
+            let span = &pk.code[b.start as usize..(b.start + b.len) as usize];
+            assert_eq!(b.cost, span.iter().map(|p| p.cost).sum::<u64>());
+            assert_eq!(b.mask, span.iter().fold(0, |m, p| m | p.mask));
+        }
+
+        // The two lane-local VALU ops (v_mul + v_add) fuse into one
+        // macro group in each block that contains them.
+        assert!(pk.fused_lane_ops() >= 2);
+        assert!(trace.fused_groups >= 1);
+    }
+
+    #[test]
+    fn trap_sites_split_blocks() {
+        // Trim away the transcendental: the v_exp trap site must not be
+        // inside any superblock, so the tier-2 path always reaches it
+        // through the single-step fallback that reports the trap.
+        let k = kernel();
+        let retained: CoverageSet = Feature::all()
+            .into_iter()
+            .filter(|f| *f != Feature::ValuExp)
+            .collect();
+        let pk = PredecodedKernel::lower_traced(&k, &CostModel::miaow(), Some(&retained));
+        let trace = pk.trace.as_ref().expect("trace");
+        assert!(pk.traps());
+        let bi = trace.block_at[0];
+        assert_ne!(bi, 0);
+        let b = &trace.blocks[bi as usize - 1];
+        assert_eq!(
+            (b.start, b.len),
+            (0, 1),
+            "block stops before the pc-1 trap site"
+        );
+        assert_eq!(trace.block_at[1], 0, "the trap site itself has no block");
+    }
+
+    #[test]
+    fn cache_stats_cover_tier2_traces() {
+        let mut cache = PredecodeCache::default();
+        cache.get_or_lower(&loop_kernel(), &CostModel::miaow(), None, true);
+        cache.get_or_lower(&kernel(), &CostModel::miaow(), None, false);
+        let s = cache.stats();
+        assert_eq!(s.kernels, 2);
+        assert_eq!(s.traced_kernels, 1);
+        assert_eq!(s.superblocks, 2);
+        assert!(s.fused_lane_ops >= 2);
     }
 }

@@ -1,18 +1,18 @@
-//! Determinism law for the parallel engine: for any kernel and wave
-//! count, parallel multi-CU execution is bit-identical to the serial
-//! reference — device memory, observed coverage, launch cycles,
-//! instruction counts and per-CU busy cycles — on both the success and
-//! the error path.
+//! Determinism law for the partitioned batch launcher: for any kernel,
+//! wave count and job set, the parallel batch path is bit-identical to
+//! the serial reference — every job's device memory, observed coverage,
+//! launch cycles, instruction counts and per-CU busy cycles — on both
+//! the success and the error path (where later jobs are rolled back to
+//! their pre-launch images, see DESIGN.md §13).
 
 use proptest::prelude::*;
 
 use rtad_miaow::asm::assemble;
-use rtad_miaow::{CoverageSet, Engine, EngineConfig, ExecError, GpuMemory, TrimPlan};
+use rtad_miaow::{CoverageSet, Engine, EngineConfig, ExecError, GpuMemory, LaunchStats, TrimPlan};
 
 /// Random straight-line kernels whose stores are per-lane disjoint
 /// (each wave writes `s1 + global_tid*4`), the access pattern every
-/// shipped ML kernel follows and the precondition of the parallel
-/// engine's store-log replay (see DESIGN.md §10).
+/// shipped ML kernel follows.
 fn arb_kernel() -> impl Strategy<Value = String> {
     let instr = prop_oneof![
         (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_add_f32 v{d}, v{s}, v{d}")),
@@ -44,23 +44,26 @@ fn arb_kernel() -> impl Strategy<Value = String> {
 }
 
 struct Outcome {
-    mem: GpuMemory,
-    result: Result<rtad_miaow::LaunchStats, ExecError>,
+    mems: Vec<GpuMemory>,
+    result: Result<Vec<LaunchStats>, ExecError>,
     observed: CoverageSet,
 }
 
-fn run(
+/// Runs the kernel as a batch of `job_args.len()` jobs. Each job's
+/// memory is pre-seeded with job-distinct input values.
+fn run_batch(
     src: &str,
     waves: usize,
     cus: usize,
     parallel: bool,
     retained: Option<&CoverageSet>,
+    job_args: &[Vec<u32>],
 ) -> Outcome {
     let kernel = assemble(src).expect("generated source assembles");
     let mut cfg = EngineConfig::miaow();
     cfg.cus = cus;
     cfg.parallel = parallel;
-    // Threshold 0 forces the parallel path even for the tiny launches
+    // Threshold 0 forces the partitioned path even for the tiny batches
     // the generator produces — the property is about the path itself,
     // not the auto fallback.
     cfg.parallel_min_work = 0;
@@ -69,50 +72,103 @@ fn run(
     let lds: Vec<f32> = (0..64).map(|i| i as f32 * 0.75 - 3.0).collect();
     engine.stage_lds(0, &lds);
     // Input region [0, 256), output region [512, 512 + waves*16*4).
-    let mut mem = GpuMemory::new(1024);
-    for i in 0..64 {
-        mem.write_f32(i * 4, (i as f32) * 0.25 - 4.0);
-    }
-    let result = engine.launch(&kernel, waves, &[0, 512], &mut mem);
+    let mut mems: Vec<GpuMemory> = (0..job_args.len())
+        .map(|j| {
+            let mut mem = GpuMemory::new(1024);
+            for i in 0..64 {
+                mem.write_f32(i * 4, (i as f32) * 0.25 - 4.0 + j as f32);
+            }
+            mem
+        })
+        .collect();
+    let jobs: Vec<(&[u32], &mut GpuMemory)> = job_args
+        .iter()
+        .zip(mems.iter_mut())
+        .map(|(a, m)| (a.as_slice(), m))
+        .collect();
+    let result = engine.launch_batch(&kernel, waves, jobs);
     Outcome {
-        mem,
+        mems,
         result,
         observed: engine.observed_coverage().clone(),
     }
 }
 
+/// The simulated-work view of a batch result (everything except the
+/// host-side `mode` field).
+fn works(stats: &[LaunchStats]) -> Vec<(u64, u64, usize, Vec<u64>)> {
+    stats
+        .iter()
+        .map(|s| {
+            let (c, i, w, cu) = s.work();
+            (c, i, w, cu.to_vec())
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
-    /// Success path: parallel == serial, bit for bit.
+    /// Success path: the partitioned batch == the serial batch, bit for
+    /// bit, for every job.
     #[test]
-    fn parallel_equals_serial(
+    fn partitioned_batch_equals_serial(
         src in arb_kernel(),
-        waves in 1usize..=8,
+        waves in 1usize..=6,
         cus in 1usize..=5,
+        jobs in 2usize..=7,
     ) {
-        let serial = run(&src, waves, cus, false, None);
-        let parallel = run(&src, waves, cus, true, None);
+        let args: Vec<Vec<u32>> = (0..jobs).map(|_| vec![0, 512]).collect();
+        let serial = run_batch(&src, waves, cus, false, None, &args);
+        let parallel = run_batch(&src, waves, cus, true, None, &args);
         let s = serial.result.expect("straight-line kernels run");
         let p = parallel.result.expect("straight-line kernels run");
-        prop_assert_eq!(serial.mem, parallel.mem);
-        prop_assert_eq!(s.work(), p.work(), "cycles/instructions/waves/cu_cycles");
-        prop_assert_eq!(s.cu_cycles.len(), cus);
+        prop_assert_eq!(serial.mems, parallel.mems);
+        prop_assert_eq!(works(&s), works(&p), "cycles/instructions/waves/cu_cycles");
+        prop_assert!(s.iter().all(|st| st.cu_cycles.len() == cus));
         prop_assert_eq!(serial.observed, parallel.observed);
     }
 
-    /// Error path: trimming away an exercised feature makes both paths
-    /// fault on the same wave with the same error, the same partial
-    /// memory image and the same partial coverage.
+    /// Fault path (bad address): one job's store base is out of range.
+    /// Both paths must fail with the same error; jobs before the fault
+    /// are applied, jobs after are untouched (rolled back on the
+    /// partitioned path), and partial stores of the faulting job match.
     #[test]
-    fn parallel_equals_serial_under_traps(
+    fn partitioned_batch_fault_equals_serial(
         src in arb_kernel(),
-        waves in 2usize..=8,
+        waves in 1usize..=4,
         cus in 2usize..=5,
+        jobs in 2usize..=7,
+        bad in any::<prop::sample::Index>(),
+    ) {
+        let bad = bad.index(jobs);
+        let args: Vec<Vec<u32>> = (0..jobs)
+            .map(|j| vec![0, if j == bad { 2000 } else { 512 }])
+            .collect();
+        let serial = run_batch(&src, waves, cus, false, None, &args);
+        let parallel = run_batch(&src, waves, cus, true, None, &args);
+        let serr = serial.result.expect_err("out-of-range store must fault");
+        let perr = parallel.result.expect_err("out-of-range store must fault");
+        prop_assert_eq!(&serr, &perr);
+        prop_assert!(matches!(serr, ExecError::BadAddress { .. }));
+        prop_assert_eq!(serial.mems, parallel.mems);
+        prop_assert_eq!(serial.observed, parallel.observed);
+    }
+
+    /// Trap path: trimming away an exercised feature makes both paths
+    /// fault on job 0 with the same error, the same memory images and
+    /// the same partial coverage. (The batch gate routes trapping
+    /// kernels to the serial path, so this also pins the gate.)
+    #[test]
+    fn partitioned_batch_equals_serial_under_traps(
+        src in arb_kernel(),
+        waves in 2usize..=6,
+        cus in 2usize..=5,
+        jobs in 2usize..=5,
         pick in any::<prop::sample::Index>(),
     ) {
         // Profile on a full single CU, then remove one non-core feature.
-        let profiled = run(&src, 1, 1, false, None);
+        let profiled = run_batch(&src, 1, 1, false, None, &[vec![0, 512]]);
         profiled.result.expect("profiling run succeeds");
         let non_core: Vec<_> = profiled.observed.iter().filter(|f| !f.is_core()).collect();
         prop_assume!(!non_core.is_empty());
@@ -121,12 +177,13 @@ proptest! {
             profiled.observed.iter().filter(|&f| f != removed).collect();
         let retained = TrimPlan::from_coverage(&reduced).retained().clone();
 
-        let serial = run(&src, waves, cus, false, Some(&retained));
-        let parallel = run(&src, waves, cus, true, Some(&retained));
+        let args: Vec<Vec<u32>> = (0..jobs).map(|_| vec![0, 512]).collect();
+        let serial = run_batch(&src, waves, cus, false, Some(&retained), &args);
+        let parallel = run_batch(&src, waves, cus, true, Some(&retained), &args);
         let serr = serial.result.expect_err("removed feature must trap");
         let perr = parallel.result.expect_err("removed feature must trap");
         prop_assert_eq!(serr, perr);
-        prop_assert_eq!(serial.mem, parallel.mem);
+        prop_assert_eq!(serial.mems, parallel.mems);
         prop_assert_eq!(serial.observed, parallel.observed);
     }
 }

@@ -1,0 +1,207 @@
+//! The tier-2 contract: superblock trace execution is bit-identical to
+//! tier-1 per-instruction interpretation for every kernel — trimmed and
+//! untrimmed, straight-line and branchy — including the error paths:
+//! trimmed-feature traps, bad addresses and the watchdog all land on
+//! the same instruction with the same `ExecError`, the same partial
+//! memory image, the same partial coverage and the same cycle counts.
+//!
+//! The two runs differ only in `EngineConfig::observe_coverage`, the
+//! knob that routes profiling engines to the tier-1 interpreter (see
+//! DESIGN.md §13); everything else — CU count, retained set, cost model
+//! — is held equal.
+
+use proptest::prelude::*;
+
+use rtad_miaow::asm::assemble;
+use rtad_miaow::{CoverageSet, Engine, EngineConfig, ExecError, GpuMemory, LaunchStats, TrimPlan};
+
+/// Random kernels with a bounded counted loop and an optional forward
+/// skip around part of the tail — the shapes that actually produce
+/// multiple superblocks with branch-target leaders.
+fn arb_instr() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_add_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_sub_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_mul_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_mac_f32 v{d}, 0.5, v{s}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_max_f32 v{d}, v{s}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_mov_b32 v{d}, 1.25")),
+        (1u8..8,).prop_map(|(d,)| format!("v_exp_f32 v{d}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_rcp_f32 v{d}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_cvt_f32_i32 v{d}, v0")),
+        (1u8..8,).prop_map(|(d,)| format!(
+            "v_cmp_gt_f32 v{d}, v1\ns_and_exec_vcc\n\
+                                           v_mov_b32 v{d}, 0.5\ns_mov_exec_all"
+        )),
+        (1u8..8, 0u32..60)
+            .prop_map(|(d, k)| { format!("v_mov_b32 v9, {}\nds_read_b32 v{d}, v9", k * 4) }),
+        (1u8..8, 0u32..60).prop_map(|(d, k)| {
+            format!("v_mov_b32 v9, {}\nbuffer_load_dword v{d}, v9, s0", k * 4)
+        }),
+    ]
+}
+
+fn arb_branchy_kernel() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(arb_instr(), 1..8),
+        proptest::collection::vec(arb_instr(), 0..6),
+        1u32..5,       // loop trip count
+        any::<bool>(), // forward skip in the tail?
+    )
+        .prop_map(|(body, tail, trips, skip)| {
+            let mut src = String::from("s_mov_b32 s2, 0\nloop:\n");
+            src.push_str(&body.join("\n"));
+            src.push_str(&format!(
+                "\ns_add_i32 s2, s2, 1\ns_cmp_lt_i32 s2, {trips}\ns_cbranch_scc1 loop\n"
+            ));
+            if skip {
+                src.push_str(&format!(
+                    "s_cmp_eq_i32 s2, {}\ns_cbranch_scc1 skip\n",
+                    trips + 1
+                ));
+            }
+            src.push_str(&tail.join("\n"));
+            if skip {
+                src.push_str("\nskip:");
+            }
+            src.push_str(
+                "\nv_lshl_b32 v10, v0, 2\n\
+                 buffer_store_dword v1, v10, s1\n\
+                 s_endpgm\n",
+            );
+            src
+        })
+}
+
+struct Outcome {
+    mem: GpuMemory,
+    result: Result<LaunchStats, ExecError>,
+    observed: CoverageSet,
+}
+
+/// Launches with tier selection: `superblocks: false` runs the tier-1
+/// interpreter, `true` the tier-2 trace path (coverage observation off
+/// so the tier-2 selector engages).
+fn run(
+    src: &str,
+    waves: usize,
+    tier2: bool,
+    retained: Option<&CoverageSet>,
+    args: &[u32],
+) -> Outcome {
+    let kernel = assemble(src).expect("generated source assembles");
+    let mut cfg = EngineConfig::miaow();
+    cfg.cus = 2;
+    cfg.observe_coverage = !tier2;
+    cfg.retained = retained.cloned();
+    let mut engine = Engine::new(cfg);
+    assert_eq!(engine.uses_superblocks(), tier2);
+    let lds: Vec<f32> = (0..64).map(|i| i as f32 * 0.75 - 3.0).collect();
+    engine.stage_lds(0, &lds);
+    let mut mem = GpuMemory::new(1024);
+    for i in 0..64 {
+        mem.write_f32(i * 4, (i as f32) * 0.25 - 4.0);
+    }
+    let result = engine.launch(&kernel, waves, args, &mut mem);
+    Outcome {
+        mem,
+        result,
+        observed: engine.observed_coverage().clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Success path: superblock execution == interpretation, bit for
+    /// bit — memory, stats (cycles, instructions, per-CU attribution)
+    /// and observed coverage.
+    #[test]
+    fn superblocks_equal_interpreter(
+        src in arb_branchy_kernel(),
+        waves in 1usize..=6,
+    ) {
+        let t1 = run(&src, waves, false, None, &[0, 512]);
+        let t2 = run(&src, waves, true, None, &[0, 512]);
+        let s1 = t1.result.expect("bounded kernels run");
+        let s2 = t2.result.expect("bounded kernels run");
+        prop_assert_eq!(t1.mem, t2.mem);
+        prop_assert_eq!(s1, s2, "stats including cycle accounting");
+        prop_assert_eq!(t1.observed, t2.observed);
+    }
+
+    /// Bad-address path: an out-of-range store base faults at the same
+    /// instruction with the same `ExecError::BadAddress`, the same
+    /// partial lane stores and the same partial coverage in both tiers.
+    #[test]
+    fn superblock_bad_address_equals_interpreter(
+        src in arb_branchy_kernel(),
+        waves in 1usize..=4,
+    ) {
+        let t1 = run(&src, waves, false, None, &[0, 2000]);
+        let t2 = run(&src, waves, true, None, &[0, 2000]);
+        let e1 = t1.result.expect_err("out-of-range store must fault");
+        let e2 = t2.result.expect_err("out-of-range store must fault");
+        prop_assert_eq!(&e1, &e2);
+        prop_assert!(matches!(e1, ExecError::BadAddress { .. }));
+        prop_assert_eq!(t1.mem, t2.mem);
+        prop_assert_eq!(t1.observed, t2.observed);
+    }
+
+    /// Trap path: a randomly trimmed-away feature traps at the same pc
+    /// with the same mnemonic, prior coverage and memory image in both
+    /// tiers (trap sites are never inside a superblock, so tier 2 must
+    /// reach them through its single-step fallback).
+    #[test]
+    fn superblock_trap_equals_interpreter(
+        src in arb_branchy_kernel(),
+        waves in 1usize..=4,
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let profiled = run(&src, 1, false, None, &[0, 512]);
+        profiled.result.expect("profiling run succeeds");
+        let non_core: Vec<_> = profiled.observed.iter().filter(|f| !f.is_core()).collect();
+        prop_assume!(!non_core.is_empty());
+        let removed = non_core[pick.index(non_core.len())];
+        let reduced: CoverageSet =
+            profiled.observed.iter().filter(|&f| f != removed).collect();
+        let retained = TrimPlan::from_coverage(&reduced).retained().clone();
+
+        let t1 = run(&src, waves, false, Some(&retained), &[0, 512]);
+        let t2 = run(&src, waves, true, Some(&retained), &[0, 512]);
+        let e1 = t1.result.expect_err("removed feature must trap");
+        let e2 = t2.result.expect_err("removed feature must trap");
+        prop_assert_eq!(&e1, &e2);
+        prop_assert!(matches!(e1, ExecError::TrimmedFeature { .. }));
+        prop_assert_eq!(t1.mem, t2.mem);
+        prop_assert_eq!(t1.observed, t2.observed);
+    }
+}
+
+/// Watchdog path (deterministic — one long-running kernel is enough):
+/// the block fast path is gated on `cycles + block.cost <= budget`, so
+/// the watchdog must fire in the single-step fallback at exactly the
+/// same instruction and cycle count as the interpreter.
+#[test]
+fn superblock_watchdog_equals_interpreter() {
+    let body: String = (0..16)
+        .map(|i| format!("v_add_f32 v{}, 1.0, v{}\n", 1 + i % 7, 1 + i % 7))
+        .collect();
+    let src = format!(
+        "s_mov_b32 s2, 0\n\
+         loop:\n\
+         {body}\
+         s_add_i32 s2, s2, 1\n\
+         s_cmp_lt_i32 s2, 1000000000\n\
+         s_cbranch_scc1 loop\n\
+         s_endpgm\n"
+    );
+    let t1 = run(&src, 1, false, None, &[0, 512]);
+    let t2 = run(&src, 1, true, None, &[0, 512]);
+    let e1 = t1.result.expect_err("unbounded loop must hit the watchdog");
+    let e2 = t2.result.expect_err("unbounded loop must hit the watchdog");
+    assert_eq!(e1, e2);
+    assert!(matches!(e1, ExecError::Watchdog { .. }));
+    assert_eq!(t1.mem, t2.mem);
+    assert_eq!(t1.observed, t2.observed);
+}

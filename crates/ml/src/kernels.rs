@@ -420,6 +420,68 @@ impl ElmDevice {
             launches: 3,
         })
     }
+
+    /// Runs one inference event per stream as three batched kernel
+    /// launches over all streams in lockstep — the engine-backed
+    /// serving path's amortized dispatch. Each stream's score, flag and
+    /// cycle count is bit-identical to calling [`ElmDevice::infer`] per
+    /// stream; batching (and the engine's partitioned parallel batch
+    /// path) only changes host-side throughput.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine [`ExecError`]. A batched pass is not
+    /// failure-atomic across streams: on an error, streams may be left
+    /// mid-event (earlier kernels of the pass applied, later ones not),
+    /// so callers should discard the batch's memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems` and `xs` disagree in length or any input is not
+    /// 16 wide.
+    pub fn infer_batch(
+        &self,
+        engine: &mut Engine,
+        mems: &mut [GpuMemory],
+        xs: &[Vec<f32>],
+    ) -> Result<Vec<DeviceInference>, ExecError> {
+        assert_eq!(mems.len(), xs.len(), "one input per stream memory");
+        for (mem, x) in mems.iter_mut().zip(xs) {
+            assert_eq!(x.len(), ELM_DEVICE_INPUT, "device input width");
+            mem.write_f32_slice(self.x_base, x);
+        }
+        let waves = self.hidden / WAVEFRONT_LANES;
+        let args = [
+            self.x_base as u32,
+            self.hid_base as u32,
+            self.part_base as u32,
+            self.score_base as u32,
+            self.threshold.to_bits(),
+        ];
+        let mut cycles = vec![0u64; mems.len()];
+        for (kernel, n_waves) in [
+            (&self.k_hidden, waves),
+            (&self.k_output, waves),
+            (&self.k_score, 1),
+        ] {
+            let jobs: Vec<(&[u32], &mut GpuMemory)> =
+                mems.iter_mut().map(|m| (&args[..], m)).collect();
+            let stats = engine.launch_batch(kernel, n_waves, jobs)?;
+            for (c, s) in cycles.iter_mut().zip(&stats) {
+                *c += s.cycles;
+            }
+        }
+        Ok(mems
+            .iter()
+            .zip(cycles)
+            .map(|(mem, cycles)| DeviceInference {
+                score: f64::from(mem.read_f32(self.score_base)),
+                flagged: mem.read_f32(self.score_base + 4) > 0.5,
+                cycles,
+                launches: 3,
+            })
+            .collect())
+    }
 }
 
 impl DeviceModel for ElmDevice {
@@ -798,8 +860,78 @@ impl LstmDevice {
         })
     }
 
-    fn args(&self, token: u32) -> Vec<u32> {
-        let args = vec![
+    /// Advances one step per stream as four batched kernel launches
+    /// over all streams in lockstep (each stream may observe a
+    /// different token — per-job launch arguments carry the per-stream
+    /// embedding and logit offsets). Each stream's score and cycle
+    /// count is bit-identical to calling [`LstmDevice::step`] per
+    /// stream; batching only changes host-side throughput.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first engine [`ExecError`]. Not failure-atomic
+    /// across streams (see [`ElmDevice::infer_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mems` and `tokens` disagree in length or any token is
+    /// outside the vocabulary.
+    pub fn step_batch(
+        &self,
+        engine: &mut Engine,
+        mems: &mut [GpuMemory],
+        tokens: &[u32],
+    ) -> Result<Vec<DeviceInference>, ExecError> {
+        assert_eq!(mems.len(), tokens.len(), "one token per stream memory");
+        for &t in tokens {
+            assert!((t as usize) < self.vocab, "token outside vocabulary");
+        }
+        let lwaves = self.vocab / WAVEFRONT_LANES;
+        let argvs: Vec<[u32; LSTM_LAUNCH_ARGS]> = tokens.iter().map(|&t| self.args(t)).collect();
+        let mut cycles = vec![0u64; mems.len()];
+
+        let pass = |engine: &mut Engine,
+                    mems: &mut [GpuMemory],
+                    kernel: &Kernel,
+                    waves: usize,
+                    cycles: &mut [u64]|
+         -> Result<(), ExecError> {
+            let jobs: Vec<(&[u32], &mut GpuMemory)> = argvs
+                .iter()
+                .zip(mems.iter_mut())
+                .map(|(a, m)| (a.as_slice(), m))
+                .collect();
+            let stats = engine.launch_batch(kernel, waves, jobs)?;
+            for (c, s) in cycles.iter_mut().zip(&stats) {
+                *c += s.cycles;
+            }
+            Ok(())
+        };
+
+        pass(engine, mems, &self.k_logits, lwaves, &mut cycles)?;
+        pass(engine, mems, &self.k_score, 1, &mut cycles)?;
+        let nlls: Vec<f64> = mems
+            .iter()
+            .map(|m| f64::from(m.read_f32(self.score_base)))
+            .collect();
+        pass(engine, mems, &self.k_gates, 4, &mut cycles)?;
+        pass(engine, mems, &self.k_combine, 1, &mut cycles)?;
+
+        Ok(mems
+            .iter()
+            .zip(nlls)
+            .zip(cycles)
+            .map(|((mem, nll), cycles)| DeviceInference {
+                score: nll,
+                flagged: mem.read_f32(self.score_base + 4) > 0.5,
+                cycles,
+                launches: 4,
+            })
+            .collect())
+    }
+
+    fn args(&self, token: u32) -> [u32; LSTM_LAUNCH_ARGS] {
+        [
             (self.off_emb + token as usize * self.embed * 4) as u32, // s0
             self.h_base as u32,                                      // s1
             self.gate_base as u32,                                   // s2
@@ -810,9 +942,7 @@ impl LstmDevice {
             token * 4,                                               // s7
             self.score_base as u32,                                  // s8
             self.threshold.to_bits(),                                // s9
-        ];
-        debug_assert_eq!(args.len(), LSTM_LAUNCH_ARGS);
-        args
+        ]
     }
 }
 
@@ -1005,6 +1135,69 @@ mod tests {
         }
         assert_eq!(smem, pmem);
         assert_eq!(se.observed_coverage(), pe.observed_coverage());
+    }
+
+    /// The batched passes are the serving hot path: per stream they
+    /// must equal the one-event-at-a-time reference bit for bit —
+    /// scores, flags, cycles and the full memory images — on both a
+    /// serial and a batch-parallel engine.
+    #[test]
+    fn batched_passes_are_bit_identical_to_per_stream_loops() {
+        let elm = trained_elm();
+        let elm_dev = ElmDevice::compile(&elm);
+        let mut lstm = trained_lstm();
+        lstm.reset();
+        let lstm_dev = LstmDevice::compile(&lstm);
+        let streams = 7;
+
+        for parallel in [false, true] {
+            let mut cfg = EngineConfig::miaow();
+            cfg.cus = 5;
+            cfg.observe_coverage = false;
+            cfg.parallel = parallel;
+            cfg.parallel_min_work = if parallel { 0 } else { cfg.parallel_min_work };
+            let mut re = Engine::new(cfg.clone());
+            let mut be = Engine::new(cfg);
+
+            // ELM: distinct inputs per stream.
+            let xs: Vec<Vec<f32>> = (0..streams)
+                .map(|i| {
+                    let mut x = vec![0.0f32; 16];
+                    x[i % 4] = 0.6;
+                    x[(i + 2) % 16] = 0.4;
+                    x
+                })
+                .collect();
+            let proto = elm_dev.load(&mut re);
+            let mut ref_mems: Vec<GpuMemory> = (0..streams).map(|_| proto.clone()).collect();
+            let _ = elm_dev.load(&mut be); // same predecode warm-up
+            let mut bat_mems: Vec<GpuMemory> = (0..streams).map(|_| proto.clone()).collect();
+            let mut ref_out = Vec::new();
+            for (mem, x) in ref_mems.iter_mut().zip(&xs) {
+                ref_out.push(elm_dev.infer(&mut re, mem, x).unwrap());
+            }
+            let bat_out = elm_dev.infer_batch(&mut be, &mut bat_mems, &xs).unwrap();
+            assert_eq!(bat_out, ref_out, "ELM (parallel={parallel})");
+            assert_eq!(bat_mems, ref_mems);
+
+            // LSTM: distinct token streams, several lockstep steps.
+            let proto = lstm_dev.load(&mut re);
+            let mut ref_mems: Vec<GpuMemory> = (0..streams).map(|_| proto.clone()).collect();
+            let _ = lstm_dev.load(&mut be);
+            let mut bat_mems: Vec<GpuMemory> = (0..streams).map(|_| proto.clone()).collect();
+            for step in 0..3u32 {
+                let tokens: Vec<u32> = (0..streams as u32).map(|s| (s + step) % 16).collect();
+                let mut ref_out = Vec::new();
+                for (mem, &t) in ref_mems.iter_mut().zip(&tokens) {
+                    ref_out.push(lstm_dev.step(&mut re, mem, t).unwrap());
+                }
+                let bat_out = lstm_dev
+                    .step_batch(&mut be, &mut bat_mems, &tokens)
+                    .unwrap();
+                assert_eq!(bat_out, ref_out, "LSTM step {step} (parallel={parallel})");
+            }
+            assert_eq!(bat_mems, ref_mems);
+        }
     }
 
     #[test]

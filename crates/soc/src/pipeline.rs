@@ -138,14 +138,17 @@ pub struct PipelineConfig {
     /// Bytes ingested from one stream per round-robin turn.
     pub chunk_bytes: usize,
     /// Decode-shard worker count, mirroring the paper's parallel TA
-    /// units. `0` picks automatically: the threaded pipeline with
-    /// `min(4, streams, cores)` shards when both streams and cores are
-    /// plural, otherwise the inline single-threaded data plane (one
-    /// stream or one core gains nothing from stage threads — this is
-    /// what makes `streams == 1` at least as fast as host-serial). Any
+    /// units. `0` picks automatically — which, since the PR-5
+    /// recalibration, always means the inline single-threaded data
+    /// plane: BENCH_pr4's `decode_shard_scaling` sweep measured every
+    /// sharded configuration (1, 2 and 4 workers) *slower* end-to-end
+    /// than inline on the bench host (57.4 ms inline vs 63.7–66.6 ms
+    /// sharded; stage threads pay channel hops and context switches
+    /// that streaming decode never recovers — see DESIGN.md §12). Any
     /// explicit value ≥ 1 forces the threaded pipeline with that many
-    /// shards (clamped to the stream count), so shard scaling can be
-    /// measured even where auto would choose inline.
+    /// shards (clamped to the stream count), so shard scaling keeps
+    /// being measurable — the `decode_shard_scaling` section of every
+    /// serve report re-validates the auto choice.
     pub decode_shards: usize,
 }
 
@@ -300,14 +303,12 @@ pub fn run_pipeline(spec: &ServeSpec, config: &PipelineConfig, streams: &[Vec<u8
 /// [`PipelineConfig::decode_shards`].
 fn effective_shards(config: &PipelineConfig, n: usize) -> Option<usize> {
     match config.decode_shards {
-        0 => {
-            let cores = thread::available_parallelism().map_or(1, std::num::NonZero::get);
-            if n <= 1 || cores <= 1 {
-                None
-            } else {
-                Some(4.min(n).min(cores))
-            }
-        }
+        // Auto: always the inline data plane. Measured (BENCH_pr4
+        // `decode_shard_scaling`): every sharded configuration lost to
+        // inline end-to-end, at any stream count, so the old
+        // `min(4, streams, cores)` heuristic only ever made the
+        // pipeline slower. See [`PipelineConfig::decode_shards`].
+        0 => None,
         k => Some(k.min(n)),
     }
 }
@@ -661,8 +662,9 @@ fn take_batch(
 
 /// The inline single-threaded data plane: decode, batched inference and
 /// verdicts interleaved on the calling thread, no stage threads or
-/// channels at all. Chosen automatically for one stream or one core,
-/// where stage threads cost context switches without buying overlap;
+/// channels at all. The auto policy always chooses it — measured shard
+/// scaling shows stage threads cost channel hops and context switches
+/// that streaming decode never recovers (DESIGN.md §12) — and it
 /// produces bit-identical outcomes to the threaded pipeline (both match
 /// [`serial_reference`]). Scored dense windows recycle straight back
 /// into their stream's decode session.
