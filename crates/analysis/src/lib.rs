@@ -19,21 +19,37 @@
 //!    [`rtad_miaow::Feature`] any reachable instruction can exercise,
 //!    plus the always-on core. A provable superset of the
 //!    [`rtad_miaow::CoverageSet`] any execution records.
-//! 4. [`verify`] — the passes combined into a [`KernelReport`], the
+//! 4. [`bounds`] — the static cycle-bound analysis: loop-bound
+//!    inference over the CFG (SGPR must-constant propagation plus
+//!    induction-variable matching on back edges) proving a worst-case
+//!    per-wave cycle count, or an `Unbounded` finding. Proven bounds
+//!    become the engine's watchdog budget and let the tier-2 fast path
+//!    skip per-instruction watchdog checks, bit-identically.
+//! 5. [`lanes`] — the lane-interference analysis: affine lane-indexed
+//!    address analysis over memory ops proving each lane writes only
+//!    lane-private (or broadcast) regions. The resulting
+//!    [`LaneDisjointness`] certificate is the soundness gate for
+//!    lane-chunked execution.
+//! 6. [`verify`] — the passes combined into a [`KernelReport`], the
 //!    trim-compatibility proof ([`trim_findings`]), and the
 //!    [`VerifiedKernel`] / [`VerifiedEngine`] wrappers that gate the ML
 //!    device plans and engine launches on a clean verdict, with verdicts
-//!    cached by kernel fingerprint.
+//!    cached by (kernel fingerprint, argument count, trim plan), and
+//!    attest proven resource certificates into the engine.
 
+pub mod bounds;
 pub mod cfg;
 pub mod dataflow;
 pub mod features;
+pub mod lanes;
 pub mod report;
 pub mod verify;
 
+pub use bounds::{cycle_bound, CycleBound};
 pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{undefined_uses, RegSet, UndefUse};
 pub use features::static_features;
+pub use lanes::{lane_disjointness, LaneDisjointness};
 pub use report::{Finding, FindingKind, KernelReport, Reg, Severity, SuperblockInfo};
 pub use verify::{
     analyze, analyze_against_plan, trim_findings, LaunchError, VerifiedEngine, VerifiedKernel,

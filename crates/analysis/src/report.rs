@@ -64,6 +64,14 @@ pub enum FindingKind {
     /// A reachable instruction needs a feature the trim plan deleted —
     /// it would trap with `ExecError::TrimmedFeature` at runtime.
     TrimIncompatible,
+    /// A back edge whose trip count the cycle-bound analysis cannot
+    /// prove — the kernel runs under the engine's default watchdog
+    /// budget instead of a derived one.
+    Unbounded,
+    /// A store the lane-interference analysis cannot prove
+    /// lane-private or broadcast — the kernel is excluded from
+    /// lane-chunked execution.
+    MayInterfere,
 }
 
 impl fmt::Display for FindingKind {
@@ -73,6 +81,8 @@ impl fmt::Display for FindingKind {
             FindingKind::UnreachableCode => f.write_str("unreachable-code"),
             FindingKind::NoPathToEndpgm => f.write_str("no-path-to-endpgm"),
             FindingKind::TrimIncompatible => f.write_str("trim-incompatible"),
+            FindingKind::Unbounded => f.write_str("unbounded"),
+            FindingKind::MayInterfere => f.write_str("may-interfere"),
         }
     }
 }
@@ -139,6 +149,12 @@ pub struct KernelReport {
     /// the kernel with superblock traces (`None` for pure static
     /// analysis, tier-1 engines, or rejected kernels).
     pub superblocks: Option<SuperblockInfo>,
+    /// The static per-wave cycle bound (launch-independent; under the
+    /// analyzing engine's cost model). `None` only for reports built
+    /// by paths that skip resource analysis (e.g. pure trim checks).
+    pub cycle_bound: Option<crate::bounds::CycleBound>,
+    /// The lane-interference certificate. `None` as for `cycle_bound`.
+    pub lane_disjointness: Option<crate::lanes::LaneDisjointness>,
 }
 
 impl KernelReport {
@@ -178,6 +194,12 @@ impl fmt::Display for KernelReport {
                 "  tier-2: {} superblocks, {} macro-ops, {} fused lane ops",
                 sb.superblocks, sb.macro_ops, sb.fused_lane_ops
             )?;
+        }
+        if let Some(bound) = &self.cycle_bound {
+            writeln!(f, "  resources: {bound}")?;
+        }
+        if let Some(lanes) = &self.lane_disjointness {
+            writeln!(f, "  lanes: {lanes}")?;
         }
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
@@ -224,6 +246,8 @@ mod tests {
                 mk(Severity::Error, FindingKind::UseBeforeDef),
             ],
             superblocks: None,
+            cycle_bound: None,
+            lane_disjointness: None,
         };
         assert_eq!(report.errors().count(), 1);
         assert_eq!(report.warnings().count(), 1);

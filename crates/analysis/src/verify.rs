@@ -15,12 +15,15 @@ use std::error::Error;
 use std::fmt;
 
 use rtad_miaow::coverage::{CoverageSet, Feature};
+use rtad_miaow::exec::CostModel;
 use rtad_miaow::isa::Kernel;
-use rtad_miaow::{Engine, ExecError, GpuMemory, LaunchStats, TrimPlan};
+use rtad_miaow::{Engine, ExecError, GpuMemory, KernelAttestation, LaunchStats, TrimPlan};
 
+use crate::bounds::{cycle_bound, CycleBound};
 use crate::cfg::Cfg;
 use crate::dataflow::{undefined_uses, RegSet};
 use crate::features::static_features;
+use crate::lanes::{lane_disjointness, LaneDisjointness};
 use crate::report::{Finding, FindingKind, KernelReport, Severity};
 
 /// Statically analyzes one kernel launched with `n_args` user-data
@@ -80,6 +83,42 @@ pub fn analyze(kernel: &Kernel, n_args: usize) -> KernelReport {
         }
     }
 
+    // Resource analysis: a launch-independent cycle bound under the
+    // default cost model (a verifying engine re-derives it under its
+    // own model) and the lane-interference certificate. Both degrade to
+    // warnings — an unbounded kernel still runs under the default
+    // watchdog, an interfering one is just excluded from lane chunking.
+    let bound = cycle_bound(kernel, &CostModel::default(), None);
+    if let CycleBound::Unbounded { pc } = bound {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            kind: FindingKind::Unbounded,
+            pc: Some(pc),
+            register: None,
+            feature: None,
+            message: format!(
+                "`{}` closes a back edge with no provable trip count; \
+                 the default watchdog budget applies",
+                code[pc].mnemonic()
+            ),
+        });
+    }
+    let lanes = lane_disjointness(kernel);
+    if let LaneDisjointness::MayInterfere { pc } = lanes {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            kind: FindingKind::MayInterfere,
+            pc: Some(pc),
+            register: None,
+            feature: None,
+            message: format!(
+                "`{}` may write overlapping bytes from different lanes; \
+                 lane-chunked execution stays disabled",
+                code[pc].mnemonic()
+            ),
+        });
+    }
+
     findings.sort_by_key(|f| (f.pc, std::cmp::Reverse(f.severity)));
     KernelReport {
         kernel: kernel.name.clone(),
@@ -88,6 +127,8 @@ pub fn analyze(kernel: &Kernel, n_args: usize) -> KernelReport {
         static_features: static_features(&cfg, code),
         findings,
         superblocks: None,
+        cycle_bound: Some(bound),
+        lane_disjointness: Some(lanes),
     }
 }
 
@@ -235,11 +276,15 @@ impl From<ExecError> for LaunchError {
 }
 
 /// An [`Engine`] that statically verifies every kernel before launching
-/// it, caching per-kernel verdicts by fingerprint and argument count.
+/// it, caching per-kernel verdicts by fingerprint, argument count and
+/// the engine's current trim plan (so re-trimming the engine can never
+/// reuse a stale compatibility verdict). Clean verdicts with a finite
+/// cycle bound are attested into the engine, which then derives its
+/// watchdog budget from the proven bound instead of the fixed default.
 #[derive(Debug, Clone)]
 pub struct VerifiedEngine {
     engine: Engine,
-    verdicts: HashMap<(u64, usize), KernelReport>,
+    verdicts: HashMap<(u64, usize, Option<u64>), KernelReport>,
 }
 
 impl VerifiedEngine {
@@ -270,11 +315,20 @@ impl VerifiedEngine {
     /// with `n_args` user-data SGPRs, including trim-compatibility
     /// findings against this engine's retained set.
     pub fn verify(&mut self, kernel: &Kernel, n_args: usize) -> &KernelReport {
-        let key = (kernel.fingerprint(), n_args);
+        let key = (
+            kernel.fingerprint(),
+            n_args,
+            self.engine.retained().map(CoverageSet::mask),
+        );
         if !self.verdicts.contains_key(&key) {
             let mut report = analyze(kernel, n_args);
             if let Some(retained) = self.engine.retained() {
                 report.findings.extend(trim_findings(kernel, retained));
+            }
+            // The bound in `analyze` uses the default cost model; this
+            // engine may cost instructions differently.
+            if self.engine.config().cost != CostModel::default() {
+                report.cycle_bound = Some(cycle_bound(kernel, &self.engine.config().cost, None));
             }
             if report.is_clean() {
                 // A clean verdict means this kernel is about to run;
@@ -290,6 +344,20 @@ impl VerifiedEngine {
                         macro_ops: pk.macro_ops(),
                         fused_lane_ops: pk.fused_lane_ops(),
                     });
+                }
+                // Hand the proven resource certificate to the engine:
+                // it derives the watchdog budget from the bound and
+                // gates lane-chunked execution on disjointness.
+                if let (Some(CycleBound::Bounded(cycles)), Some(lanes)) =
+                    (report.cycle_bound, report.lane_disjointness)
+                {
+                    self.engine.attest(
+                        kernel.fingerprint(),
+                        KernelAttestation {
+                            max_wave_cycles: cycles,
+                            lane_disjoint: lanes.is_disjoint(),
+                        },
+                    );
                 }
             }
             self.verdicts.insert(key, report);
@@ -470,6 +538,75 @@ mod tests {
         // Verification pre-warmed the engine's predecode cache under the
         // same fingerprint, once (arg count is not part of *that* key).
         assert_eq!(engine.engine().predecoded_kernels(), 1);
+    }
+
+    #[test]
+    fn retrimming_the_engine_invalidates_cached_verdicts() {
+        // Verify an exp-using kernel clean on a fully-covered engine,
+        // then retrim to a plan lacking the transcendental path: the
+        // fresh verdict must surface the incompatibility instead of
+        // reusing the stale clean report.
+        let exp = assemble("v_mov_b32 v1, 1.0\nv_exp_f32 v2, v1\ns_endpgm").unwrap();
+        let all: CoverageSet = Feature::all().into_iter().collect();
+        let lacking: CoverageSet = Feature::all()
+            .into_iter()
+            .filter(|f| *f != Feature::ValuExp && *f != Feature::DecValuTrans)
+            .collect();
+        let plan_lacking = TrimPlan::from_coverage(&lacking);
+
+        let mut engine = VerifiedEngine::new(Engine::new(EngineConfig::ml_miaow(
+            &TrimPlan::from_coverage(&all),
+        )));
+        assert!(engine.verify(&exp, 0).is_clean());
+
+        engine.engine_mut().retrim(Some(&plan_lacking));
+        let report = engine.verify(&exp, 0);
+        assert!(
+            report
+                .errors()
+                .any(|f| f.kind == FindingKind::TrimIncompatible),
+            "stale clean verdict survived the retrim"
+        );
+        assert_eq!(engine.cached_verdicts(), 2, "trim plan is part of the key");
+    }
+
+    #[test]
+    fn clean_bounded_kernels_are_attested_into_the_engine() {
+        let k = assemble(
+            "v_lshl_b32 v1, v0, 2\nv_cvt_f32_i32 v2, v0\nbuffer_store_dword v2, v1, s0\ns_endpgm",
+        )
+        .unwrap();
+        let mut engine = VerifiedEngine::new(Engine::new(EngineConfig::miaow()));
+        let report = engine.verify(&k, 1);
+        assert!(report.is_clean());
+        let bound = report
+            .cycle_bound
+            .expect("analyzed")
+            .as_bounded()
+            .expect("straight-line kernel is bounded");
+        assert_eq!(report.lane_disjointness, Some(LaneDisjointness::Disjoint));
+
+        let att = engine
+            .engine()
+            .attestation(k.fingerprint())
+            .expect("clean bounded kernel attested");
+        assert_eq!(att.max_wave_cycles, bound);
+        assert!(att.lane_disjoint);
+        assert!(engine.engine().lane_chunkable(&k));
+    }
+
+    #[test]
+    fn unbounded_kernels_get_a_warning_and_no_attestation() {
+        let spin = assemble("spin:\ns_branch spin\ns_endpgm").unwrap();
+        let mut engine = VerifiedEngine::new(Engine::new(EngineConfig::miaow()));
+        let report = engine.verify(&spin, 0);
+        assert!(report.is_clean(), "unbounded is a warning, not an error");
+        assert!(report.warnings().any(|f| f.kind == FindingKind::Unbounded));
+        assert!(matches!(
+            report.cycle_bound,
+            Some(CycleBound::Unbounded { .. })
+        ));
+        assert!(engine.engine().attestation(spin.fingerprint()).is_none());
     }
 
     #[test]

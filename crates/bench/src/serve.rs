@@ -48,7 +48,10 @@ use rtad::ml::{
     BatchArena, DeviceModel, Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice, LstmLane,
     SequenceModel, VectorModel,
 };
-use rtad::soc::backend::{measure_elm_cycles, measure_lstm_cycles, profile_trim_plan};
+use rtad::soc::backend::{
+    measure_elm_cycles, measure_lstm_cycles, profile_trim_plan, resource_verdicts,
+    KernelResourceVerdict,
+};
 use rtad::soc::pipeline::{
     run_pipeline, serial_reference, PipelineConfig, PipelineStats, ServeModel, ServeSpec,
     StreamOutcome, VerdictPolicy, VerdictState,
@@ -183,6 +186,10 @@ pub struct ServeReport {
     pub alloc: Option<AllocTelemetry>,
     /// Predecode-cache counters after a steady-state inference pass.
     pub predecode: PredecodeStats,
+    /// Static resource verdicts for every kernel the report serves:
+    /// the proven per-wave cycle bound (under the serving engine's cost
+    /// model) and the lane-disjointness certificate.
+    pub verifier: Vec<KernelResourceVerdict>,
     /// Serial-vs-auto engine comparison.
     pub engine: EngineComparison,
 }
@@ -903,6 +910,12 @@ impl ServeReport {
             engine.auto_wall_ms
         );
 
+        let mut verifier = resource_verdicts(&setup.elm_dev, &setup.engine_config.cost);
+        verifier.extend(resource_verdicts(
+            &setup.lstm_dev,
+            &setup.engine_config.cost,
+        ));
+
         ServeReport {
             seed,
             branches_per_stream,
@@ -913,6 +926,7 @@ impl ServeReport {
             engine_scaling: engine_scaling(&setup, engine_reps.max(2)),
             alloc: alloc_telemetry(&setup, &bytes),
             predecode: predecode_telemetry(seed, 8),
+            verifier,
             engine,
         }
     }
@@ -990,6 +1004,22 @@ impl ServeReport {
             self.predecode.superblocks,
             self.predecode.fused_lane_ops
         );
+        for v in &self.verifier {
+            let _ = writeln!(
+                s,
+                "verifier {:<14} cycle bound {}  lanes {}",
+                v.kernel,
+                match v.bounded_cycles {
+                    Some(b) => format!("{b:>7}"),
+                    None => "unproven".to_string(),
+                },
+                if v.lane_disjoint {
+                    "disjoint"
+                } else {
+                    "may-interfere"
+                }
+            );
+        }
         let _ = writeln!(
             s,
             "engine batched-auto vs per-window serial (N={}): {:.2}x (cycles match: {})",
@@ -1155,6 +1185,25 @@ impl ServeReport {
             self.predecode.superblocks,
             self.predecode.fused_lane_ops
         );
+        s.push_str("  \"verifier\": [");
+        for (i, v) in self.verifier.iter().enumerate() {
+            let sep = if i + 1 < self.verifier.len() { "," } else { "" };
+            let bound = match v.bounded_cycles {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                s,
+                "\n    {{ \"kernel\": \"{}\", \"bounded_cycles\": {}, \
+                 \"lane_disjoint\": {} }}{sep}",
+                v.kernel, bound, v.lane_disjoint
+            );
+        }
+        s.push_str(if self.verifier.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
         let e = &self.engine;
         s.push_str("  \"engine_speedup\": {\n");
         let _ = writeln!(s, "    \"mode\": \"batched_auto_vs_per_window_serial\",");
@@ -1240,6 +1289,14 @@ mod tests {
         // allocator, so allocation telemetry must say "not measured".
         assert!(report.alloc.is_none());
 
+        // Every served kernel (3 ELM + 4 LSTM) carries both resource
+        // certificates.
+        assert_eq!(report.verifier.len(), 7);
+        for v in &report.verifier {
+            assert!(v.bounded_cycles.is_some(), "`{}` unbounded", v.kernel);
+            assert!(v.lane_disjoint, "`{}` not lane-disjoint", v.kernel);
+        }
+
         let json = report.to_json();
         for key in [
             "\"schema\": \"rtad-bench-pr5/v1\"",
@@ -1259,6 +1316,9 @@ mod tests {
             "\"mode\": \"batched_auto_vs_per_window_serial\"",
             "\"scores_bit_identical\": true",
             "\"engine_scores_close\": true",
+            "\"verifier\": [",
+            "\"bounded_cycles\"",
+            "\"lane_disjoint\": true",
         ] {
             assert!(json.contains(key), "missing {key} in\n{json}");
         }

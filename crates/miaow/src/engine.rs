@@ -19,6 +19,7 @@
 //! bit-identical to the serial tier-1 reference in every simulated
 //! quantity.
 
+use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use std::thread;
 
@@ -32,8 +33,32 @@ use crate::memory::{GpuMemory, UndoMemory};
 use crate::predecode::{PredecodeCache, PredecodedKernel, CORE_FEATURE_MASK};
 use crate::trim::TrimPlan;
 
-/// Watchdog budget for a single wavefront (simulated cycles).
+/// Default watchdog budget for a single wavefront (simulated cycles),
+/// used whenever no proven per-kernel bound has been attested.
 const MAX_CYCLES_PER_WAVE: u64 = 10_000_000;
+
+/// A statically proven per-kernel resource certificate, attested into
+/// the engine by a verifier (rtad-analysis' `VerifiedEngine`, or the
+/// soc load paths).
+///
+/// The attester asserts that `max_wave_cycles` is an upper bound on the
+/// simulated cycles of *any* wavefront of the kernel under this
+/// engine's cost model, and that `lane_disjoint` certifies no store
+/// instruction can make two lanes of a wave write conflicting bytes.
+/// The engine trusts these claims: the bound becomes the watchdog
+/// budget (and, when it fits under the default budget, lets the tier-2
+/// fast path skip per-instruction watchdog checks — bit-identically,
+/// since a true bound means the watchdog can never fire), and
+/// disjointness gates lane-chunked execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelAttestation {
+    /// Proven worst-case simulated cycles for one wavefront (excluding
+    /// dispatch overhead).
+    pub max_wave_cycles: u64,
+    /// Lanes proven to write only lane-private (or identical-broadcast)
+    /// regions within every store instruction.
+    pub lane_disjoint: bool,
+}
 
 /// Default minimum estimated batch work (jobs × waves × static
 /// instruction count) before the partitioned parallel batch path
@@ -228,6 +253,8 @@ pub struct Engine {
     /// wave instead of a `BTreeSet` walk.
     observed_mask: u64,
     cache: PredecodeCache,
+    /// Proven resource certificates, keyed by kernel fingerprint.
+    attested: HashMap<u64, KernelAttestation>,
 }
 
 impl Engine {
@@ -249,6 +276,7 @@ impl Engine {
             observed: CoverageSet::new(),
             observed_mask: 0,
             cache: PredecodeCache::default(),
+            attested: HashMap::new(),
         }
     }
 
@@ -273,6 +301,75 @@ impl Engine {
     /// this before launch.
     pub fn retained(&self) -> Option<&CoverageSet> {
         self.config.retained.as_ref()
+    }
+
+    /// Installs a proven resource certificate for the kernel with
+    /// `fingerprint`. See [`KernelAttestation`] for the contract the
+    /// attester must uphold; attestations depend only on the kernel
+    /// content and cost model, so they survive [`Engine::retrim`].
+    pub fn attest(&mut self, fingerprint: u64, attestation: KernelAttestation) {
+        self.attested.insert(fingerprint, attestation);
+    }
+
+    /// The attested resource certificate for `fingerprint`, if any.
+    pub fn attestation(&self, fingerprint: u64) -> Option<KernelAttestation> {
+        self.attested.get(&fingerprint).copied()
+    }
+
+    /// Whether `kernel` is certified safe for lane-chunked execution
+    /// (the soundness gate the vectorized-lane roadmap item needs):
+    /// true only when an attested certificate proves its lanes
+    /// non-interfering.
+    pub fn lane_chunkable(&self, kernel: &Kernel) -> bool {
+        self.attestation(kernel.fingerprint())
+            .is_some_and(|a| a.lane_disjoint)
+    }
+
+    /// The watchdog budget for one wave of the kernel with
+    /// `fingerprint`, and whether it is a *proven* bound. A proven
+    /// bound within the default budget replaces it and lets execution
+    /// skip watchdog comparisons entirely (they can never fire below a
+    /// true bound); an attested bound *above* the default keeps the
+    /// default so behavior stays identical to an unattested engine.
+    fn wave_budget(&self, fingerprint: u64) -> (u64, bool) {
+        match self.attested.get(&fingerprint) {
+            Some(a) if a.max_wave_cycles <= MAX_CYCLES_PER_WAVE => (a.max_wave_cycles, true),
+            _ => (MAX_CYCLES_PER_WAVE, false),
+        }
+    }
+
+    /// Re-trims the engine in place to a new plan (`None` = untrimmed),
+    /// preserving staged LDS contents. Predecoded lowerings are keyed
+    /// by trim mask, so stale trap verdicts cannot be reused — but any
+    /// verdict cache layered above (e.g. `VerifiedEngine`) must key by
+    /// trim plan too.
+    pub fn retrim(&mut self, plan: Option<&TrimPlan>) {
+        let retained = plan.map(|p| p.retained().clone());
+        for cu in &mut self.cus {
+            cu.set_retained(retained.clone());
+        }
+        self.config.retained = retained;
+    }
+
+    /// Enables or disables per-CU write-race logging (debug builds
+    /// only): every store instruction's active-lane writes are checked
+    /// for cross-lane overlap, cross-validating static
+    /// lane-disjointness certificates during test runs.
+    #[cfg(debug_assertions)]
+    pub fn set_race_logging(&mut self, on: bool) {
+        for cu in &mut self.cus {
+            cu.set_race_logging(on);
+        }
+    }
+
+    /// Drains the write races every CU observed since the last call
+    /// (debug builds only).
+    #[cfg(debug_assertions)]
+    pub fn take_races(&mut self) -> Vec<crate::exec::LaneRace> {
+        self.cus
+            .iter_mut()
+            .flat_map(ComputeUnit::take_races)
+            .collect()
     }
 
     /// Total engine area (per-CU area × CU count).
@@ -447,6 +544,7 @@ impl Engine {
             self.observe(CORE_FEATURE_MASK);
         }
         let tier2 = self.uses_superblocks();
+        let (max_cycles, proven) = self.wave_budget(pk.fingerprint());
         let n_cus = self.cus.len();
         let mut cu_cycles = vec![0u64; n_cus];
         let mut stats = LaunchStats {
@@ -461,9 +559,13 @@ impl Engine {
             let cu_idx = wave % n_cus;
             let cu = &mut self.cus[cu_idx];
             let out = if tier2 {
-                cu.run_wave_super(pk, args, wave, MAX_CYCLES_PER_WAVE, mem)
+                if proven {
+                    cu.run_wave_super_proven(pk, args, wave, max_cycles, mem)
+                } else {
+                    cu.run_wave_super(pk, args, wave, max_cycles, mem)
+                }
             } else {
-                cu.run_wave_pre(pk, args, wave, MAX_CYCLES_PER_WAVE, mem)
+                cu.run_wave_pre(pk, args, wave, max_cycles, mem)
             };
             self.observe(out.covmask);
             if let Some(e) = out.error {
@@ -502,11 +604,31 @@ impl Engine {
         let workers = n_cus.min(n_jobs);
         let tier2 = self.uses_superblocks();
         let dispatch_overhead = self.config.dispatch_overhead;
+        let (max_cycles, proven) = self.wave_budget(pk.fingerprint());
 
+        // Balanced partitioning: each job (in index order) goes to the
+        // least-loaded worker, ties to the lowest index, weighted by the
+        // proven per-wave cycle bound when one is attested (static
+        // instruction count otherwise). A batch is one kernel at one
+        // wave count, so every job currently weighs the same and the
+        // assignment degenerates to the former round-robin — keeping
+        // bucket composition (and hence fault semantics) bit-identical —
+        // while heterogeneous future batches balance by proven cost.
+        let per_wave_weight = self
+            .attested
+            .get(&pk.fingerprint())
+            .map_or(pk.len() as u64, |a| a.max_wave_cycles)
+            .max(1);
+        let job_weight = u128::from(per_wave_weight) * waves as u128;
+        let mut load = vec![0u128; workers];
         let mut buckets: Vec<Vec<(usize, &[u32], &mut GpuMemory)>> =
             (0..workers).map(|_| Vec::new()).collect();
         for (idx, (args, mem)) in jobs.drain(..).enumerate() {
-            buckets[idx % workers].push((idx, args, mem));
+            let w = (0..workers)
+                .min_by_key(|&w| load[w])
+                .expect("at least one worker");
+            load[w] += job_weight;
+            buckets[w].push((idx, args, mem));
         }
 
         let mut slots: Vec<Option<JobResult<'_>>> = (0..n_jobs).map(|_| None).collect();
@@ -530,21 +652,19 @@ impl Engine {
                             let mut error = None;
                             for wave in 0..waves {
                                 let out = if tier2 {
-                                    cu.run_wave_super(
-                                        pk,
-                                        args,
-                                        wave,
-                                        MAX_CYCLES_PER_WAVE,
-                                        &mut undo_mem,
-                                    )
+                                    if proven {
+                                        cu.run_wave_super_proven(
+                                            pk,
+                                            args,
+                                            wave,
+                                            max_cycles,
+                                            &mut undo_mem,
+                                        )
+                                    } else {
+                                        cu.run_wave_super(pk, args, wave, max_cycles, &mut undo_mem)
+                                    }
                                 } else {
-                                    cu.run_wave_pre(
-                                        pk,
-                                        args,
-                                        wave,
-                                        MAX_CYCLES_PER_WAVE,
-                                        &mut undo_mem,
-                                    )
+                                    cu.run_wave_pre(pk, args, wave, max_cycles, &mut undo_mem)
                                 };
                                 covmask |= out.covmask;
                                 if let Some(e) = out.error {
@@ -969,6 +1089,116 @@ mod tests {
         let bs = be.predecode_stats();
         assert_eq!((rs.hits, rs.misses), (jobs as u64 - 1, 1));
         assert_eq!((bs.hits, bs.misses), (0, 1));
+    }
+
+    #[test]
+    fn attested_budget_launches_are_bit_identical() {
+        // A tier-2 engine running on a proven (derived) watchdog budget
+        // must match an unattested engine in memory, stats and
+        // coverage — the proven fast path only skips comparisons that
+        // could never fire.
+        let kernel = store_kernel();
+        let waves = 9;
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 3;
+        cfg.observe_coverage = false; // tier-2 fast path
+        let mut plain = Engine::new(cfg.clone());
+        let mut attested = Engine::new(cfg);
+        attested.attest(
+            kernel.fingerprint(),
+            KernelAttestation {
+                max_wave_cycles: 1_000, // a true bound for this kernel
+                lane_disjoint: true,
+            },
+        );
+        assert!(attested.lane_chunkable(&kernel));
+        assert!(!plain.lane_chunkable(&kernel));
+
+        let mut m1 = GpuMemory::new(waves * 16 * 4);
+        let mut m2 = GpuMemory::new(waves * 16 * 4);
+        let s1 = plain.launch(&kernel, waves, &[0], &mut m1).unwrap();
+        let s2 = attested.launch(&kernel, waves, &[0], &mut m2).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(s1, s2);
+        assert_eq!(plain.observed_coverage(), attested.observed_coverage());
+    }
+
+    #[test]
+    fn attested_batch_launches_are_bit_identical() {
+        let kernel = store_kernel();
+        let waves = 3;
+        let args: Vec<Vec<u32>> = (0..7).map(|_| vec![0u32]).collect();
+        let ((ss, smems, _), _) = run_batch_both_ways(&kernel, waves, &args, waves * 16 * 4);
+        let ss = ss.unwrap();
+
+        // Same forced-parallel batch, with an attested budget.
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 5;
+        cfg.observe_coverage = false;
+        cfg.parallel = true;
+        cfg.parallel_min_work = 0;
+        let mut e = Engine::new(cfg);
+        e.attest(
+            kernel.fingerprint(),
+            KernelAttestation {
+                max_wave_cycles: 1_000,
+                lane_disjoint: true,
+            },
+        );
+        let mut mems: Vec<GpuMemory> = args
+            .iter()
+            .map(|_| GpuMemory::new(waves * 16 * 4))
+            .collect();
+        let jobs: Vec<(&[u32], &mut GpuMemory)> = args
+            .iter()
+            .zip(mems.iter_mut())
+            .map(|(a, m)| (a.as_slice(), m))
+            .collect();
+        let ps = e.launch_batch(&kernel, waves, jobs).unwrap();
+
+        assert_eq!(smems, mems);
+        assert_eq!(ss.len(), ps.len());
+        for (a, b) in ss.iter().zip(&ps) {
+            assert_eq!(a.work(), b.work());
+        }
+    }
+
+    #[test]
+    fn retrim_preserves_staged_lds() {
+        let kernel = assemble(
+            r#"
+            v_lshl_b32 v1, v0, 2
+            ds_read_b32 v2, v1
+            buffer_store_dword v2, v1, s0
+            s_endpgm
+        "#,
+        )
+        .unwrap();
+        let mut cfg = EngineConfig::miaow();
+        cfg.cus = 2;
+        let mut e = Engine::new(cfg);
+        let data: Vec<f32> = (0..32).map(|i| i as f32 * 1.5).collect();
+        e.stage_lds(0, &data);
+        let mut mem = GpuMemory::new(2 * 16 * 4);
+        e.launch(&kernel, 2, &[0], &mut mem).unwrap();
+        let plan = TrimPlan::from_coverage(e.observed_coverage());
+
+        // Re-trim the same engine in place: staged weights must survive
+        // and the retained set must now gate features.
+        e.retrim(Some(&plan));
+        assert!(e.retained().is_some());
+        let mut mem2 = GpuMemory::new(2 * 16 * 4);
+        e.launch(&kernel, 2, &[0], &mut mem2).unwrap();
+        assert_eq!(mem2.read_f32(20 * 4), 30.0, "LDS contents survived");
+
+        let exp = assemble("v_exp_f32 v1, 1.0\ns_endpgm").unwrap();
+        let err = e.launch(&exp, 1, &[], &mut mem2).unwrap_err();
+        assert!(matches!(err, ExecError::TrimmedFeature { .. }));
+
+        // And back to untrimmed: the exp kernel runs again.
+        e.retrim(None);
+        assert!(e.retained().is_none());
+        e.launch(&exp, 1, &[], &mut mem2).unwrap();
     }
 
     #[test]

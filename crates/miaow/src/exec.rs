@@ -224,6 +224,26 @@ impl fmt::Display for ExecError {
 
 impl Error for ExecError {}
 
+/// Debug-build record of one observed cross-lane write conflict: two
+/// active lanes of the same wide store wrote overlapping 4-byte regions
+/// with different contents. The static lane-interference analysis
+/// (`rtad-analysis`) proves such conflicts impossible for kernels it
+/// certifies `Disjoint`; this dynamic log is the test-time
+/// cross-validation of that certificate. Identical-value overlaps are
+/// not conflicts — a uniform broadcast store commutes across lanes.
+#[cfg(debug_assertions)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneRace {
+    /// Instruction index of the store.
+    pub pc: usize,
+    /// The lower of the two conflicting byte addresses.
+    pub addr: u64,
+    /// The conflicting lane pair, ascending.
+    pub lanes: (usize, usize),
+    /// Whether the store targeted the LDS (else device memory).
+    pub lds: bool,
+}
+
 /// Architectural state of one wavefront. Fixed-size arrays (not heap
 /// vectors): a wave's register file lives on the worker's stack, so the
 /// per-wave setup of the per-event inference launches is a memset, not
@@ -347,6 +367,11 @@ pub struct ComputeUnit {
     /// Retained features; `None` = untrimmed (full MIAOW).
     retained: Option<CoverageSet>,
     lds: Vec<u8>,
+    /// Debug-build write-log race checker: when `Some`, every wide
+    /// store appends observed cross-lane conflicts ([`LaneRace`]).
+    /// `None` (the default) keeps the hot path free of logging.
+    #[cfg(debug_assertions)]
+    race_log: Option<Vec<LaneRace>>,
 }
 
 impl ComputeUnit {
@@ -356,6 +381,8 @@ impl ComputeUnit {
             cost: CostModel::miaow(),
             retained: None,
             lds: vec![0; LDS_BYTES],
+            #[cfg(debug_assertions)]
+            race_log: None,
         }
     }
 
@@ -366,6 +393,8 @@ impl ComputeUnit {
             cost: CostModel::miaow(),
             retained: Some(retained),
             lds: vec![0; LDS_BYTES],
+            #[cfg(debug_assertions)]
+            race_log: None,
         }
     }
 
@@ -373,6 +402,59 @@ impl ComputeUnit {
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
+    }
+
+    /// Replaces the retained-feature set in place (the engine's retrim
+    /// path). Unlike rebuilding the CU, this preserves staged LDS
+    /// contents.
+    pub(crate) fn set_retained(&mut self, retained: Option<CoverageSet>) {
+        self.retained = retained;
+    }
+
+    /// Enables (or disables) the debug-build write-log race checker.
+    /// While enabled, every wide store records observed cross-lane
+    /// write conflicts; drain them with [`ComputeUnit::take_races`].
+    #[cfg(debug_assertions)]
+    pub fn set_race_logging(&mut self, on: bool) {
+        self.race_log = on.then(Vec::new);
+    }
+
+    /// Drains the recorded lane races, leaving logging enabled.
+    #[cfg(debug_assertions)]
+    pub fn take_races(&mut self) -> Vec<LaneRace> {
+        self.race_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Scans one wide store's per-lane (address, value) writes for
+    /// overlapping 4-byte accesses with differing contents. O(lanes²)
+    /// per store, debug builds only, and only when logging is enabled.
+    #[cfg(debug_assertions)]
+    fn log_wide_store(
+        &mut self,
+        pc: usize,
+        writes: &[Option<(u64, u32)>; WAVEFRONT_LANES],
+        lds: bool,
+    ) {
+        let Some(log) = self.race_log.as_mut() else {
+            return;
+        };
+        for (i, wi) in writes.iter().enumerate() {
+            let Some((ai, vi)) = *wi else { continue };
+            for (j, wj) in writes.iter().enumerate().skip(i + 1) {
+                let Some((aj, vj)) = *wj else { continue };
+                if ai.abs_diff(aj) < 4 && !(ai == aj && vi == vj) {
+                    log.push(LaneRace {
+                        pc,
+                        addr: ai.min(aj),
+                        lanes: (i, j),
+                        lds,
+                    });
+                }
+            }
+        }
     }
 
     /// Direct LDS staging: the MCM driver preloads model weights into
@@ -581,6 +663,36 @@ impl ComputeUnit {
         max_cycles: u64,
         mem: &mut M,
     ) -> WaveOutcome {
+        self.run_wave_super_impl::<false, M>(pk, sgpr_init, wave_index, max_cycles, mem)
+    }
+
+    /// Tier-2 launch path for kernels whose `max_cycles` is a *proven*
+    /// static cycle bound (an attested `rtad-analysis` certificate):
+    /// since no execution can exceed the bound, the per-block budget
+    /// gate and the single-step watchdog comparison are statically
+    /// always-pass / never-fire, and the monomorphized `PROVEN` variant
+    /// deletes both. Bit-identical to [`ComputeUnit::run_wave_super`]
+    /// under the same budget — the gates it removes could not have
+    /// changed control flow.
+    pub(crate) fn run_wave_super_proven<M: DeviceMemory>(
+        &mut self,
+        pk: &PredecodedKernel,
+        sgpr_init: &[u32],
+        wave_index: usize,
+        max_cycles: u64,
+        mem: &mut M,
+    ) -> WaveOutcome {
+        self.run_wave_super_impl::<true, M>(pk, sgpr_init, wave_index, max_cycles, mem)
+    }
+
+    fn run_wave_super_impl<const PROVEN: bool, M: DeviceMemory>(
+        &mut self,
+        pk: &PredecodedKernel,
+        sgpr_init: &[u32],
+        wave_index: usize,
+        max_cycles: u64,
+        mem: &mut M,
+    ) -> WaveOutcome {
         let Some(trace) = pk.trace.as_ref() else {
             return self.run_wave_pre(pk, sgpr_init, wave_index, max_cycles, mem);
         };
@@ -600,7 +712,7 @@ impl ComputeUnit {
             let bi = trace.block_at[st.pc];
             if bi != 0 {
                 let b = trace.blocks[bi as usize - 1];
-                if stats.cycles + b.cost <= max_cycles {
+                if PROVEN || stats.cycles + b.cost <= max_cycles {
                     match self.run_block(trace, &b, &mut st, mem) {
                         Ok(()) => {
                             covmask |= b.mask;
@@ -640,7 +752,7 @@ impl ComputeUnit {
             covmask |= pre.mask;
             stats.cycles += pre.cost;
             stats.instructions += 1;
-            if stats.cycles > max_cycles {
+            if !PROVEN && stats.cycles > max_cycles {
                 return fail(
                     stats,
                     covmask,
@@ -804,6 +916,9 @@ impl ComputeUnit {
                     rel,
                 } => {
                     let base_addr = u64::from(st.sgpr[usize::from(sbase)]);
+                    #[cfg(debug_assertions)]
+                    let mut writes = [None; WAVEFRONT_LANES];
+                    #[allow(clippy::needless_range_loop)] // `writes` is debug-only race-log state
                     for lane in 0..WAVEFRONT_LANES {
                         if st.exec & (1 << lane) != 0 {
                             let addr = base_addr + u64::from(st.vgpr[usize::from(vaddr)][lane]);
@@ -816,9 +931,16 @@ impl ComputeUnit {
                                     },
                                 ));
                             }
-                            mem.write_u32(addr as usize, st.vgpr[usize::from(src)][lane]);
+                            let v = st.vgpr[usize::from(src)][lane];
+                            mem.write_u32(addr as usize, v);
+                            #[cfg(debug_assertions)]
+                            {
+                                writes[lane] = Some((addr, v));
+                            }
                         }
                     }
+                    #[cfg(debug_assertions)]
+                    self.log_wide_store(base + rel as usize, &writes, false);
                 }
                 MacroOp::LdsRead { dst, addr, rel } => {
                     for lane in 0..WAVEFRONT_LANES {
@@ -832,14 +954,23 @@ impl ComputeUnit {
                     }
                 }
                 MacroOp::LdsWrite { addr, src, rel } => {
+                    #[cfg(debug_assertions)]
+                    let mut writes = [None; WAVEFRONT_LANES];
+                    #[allow(clippy::needless_range_loop)] // `writes` is debug-only race-log state
                     for lane in 0..WAVEFRONT_LANES {
                         if st.exec & (1 << lane) != 0 {
                             let a = u64::from(st.vgpr[usize::from(addr)][lane]);
                             let v = st.vgpr[usize::from(src)][lane];
                             self.lds_write(a, v, base + rel as usize)
                                 .map_err(|e| (rel as usize, e))?;
+                            #[cfg(debug_assertions)]
+                            {
+                                writes[lane] = Some((a, v));
+                            }
                         }
                     }
+                    #[cfg(debug_assertions)]
+                    self.log_wide_store(base + rel as usize, &writes, true);
                 }
             }
         }
@@ -1064,15 +1195,25 @@ impl ComputeUnit {
             }
             Instr::BufferStoreDword { src, vaddr, sbase } => {
                 let base = u64::from(st.sgpr[sbase.0 as usize]);
+                #[cfg(debug_assertions)]
+                let mut writes = [None; WAVEFRONT_LANES];
+                #[allow(clippy::needless_range_loop)] // `writes` is debug-only race-log state
                 for lane in 0..WAVEFRONT_LANES {
                     if active(st, lane) {
                         let addr = base + u64::from(st.vgpr[vaddr.0 as usize][lane]);
                         if !mem.contains(addr as usize) {
                             return Err(ExecError::BadAddress { addr, pc });
                         }
-                        mem.write_u32(addr as usize, st.vgpr[src.0 as usize][lane]);
+                        let v = st.vgpr[src.0 as usize][lane];
+                        mem.write_u32(addr as usize, v);
+                        #[cfg(debug_assertions)]
+                        {
+                            writes[lane] = Some((addr, v));
+                        }
                     }
                 }
+                #[cfg(debug_assertions)]
+                self.log_wide_store(pc, &writes, false);
             }
             Instr::DsReadB32 { dst, addr } => {
                 for lane in 0..WAVEFRONT_LANES {
@@ -1084,13 +1225,22 @@ impl ComputeUnit {
                 }
             }
             Instr::DsWriteB32 { addr, src } => {
+                #[cfg(debug_assertions)]
+                let mut writes = [None; WAVEFRONT_LANES];
+                #[allow(clippy::needless_range_loop)] // `writes` is debug-only race-log state
                 for lane in 0..WAVEFRONT_LANES {
                     if active(st, lane) {
                         let a = u64::from(st.vgpr[addr.0 as usize][lane]);
                         let v = st.vgpr[src.0 as usize][lane];
                         self.lds_write(a, v, pc)?;
+                        #[cfg(debug_assertions)]
+                        {
+                            writes[lane] = Some((a, v));
+                        }
                     }
                 }
+                #[cfg(debug_assertions)]
+                self.log_wide_store(pc, &writes, true);
             }
             // Control flow handled by the caller.
             Instr::SEndpgm

@@ -85,7 +85,11 @@ pub mod trim;
 pub use area::{variant_area, EngineVariant};
 pub use asm::{assemble, AssembleError};
 pub use coverage::{CoverageSet, Feature};
-pub use engine::{Engine, EngineConfig, LaunchMode, LaunchStats, DEFAULT_PARALLEL_MIN_WORK};
+pub use engine::{
+    Engine, EngineConfig, KernelAttestation, LaunchMode, LaunchStats, DEFAULT_PARALLEL_MIN_WORK,
+};
+#[cfg(debug_assertions)]
+pub use exec::LaneRace;
 pub use exec::{ComputeUnit, Dispatch, ExecError, RunStats};
 pub use isa::{Instr, Kernel, WAVEFRONT_LANES};
 pub use memory::{DeviceMemory, GpuMemory};

@@ -13,10 +13,11 @@
 //!   are data-independent: every event executes the same instruction
 //!   count, so one measurement is exact for all.
 
-use rtad_analysis::{trim_findings, Finding};
+use rtad_analysis::{cycle_bound, lane_disjointness, trim_findings, CycleBound, Finding};
 use rtad_igm::VectorPayload;
 use rtad_mcm::{InferenceEngine, InferenceResult};
-use rtad_miaow::{CoverageSet, Engine, EngineConfig, GpuMemory, TrimPlan};
+use rtad_miaow::exec::CostModel;
+use rtad_miaow::{CoverageSet, Engine, EngineConfig, GpuMemory, KernelAttestation, TrimPlan};
 use rtad_ml::{DeviceModel, ElmDevice, LstmDevice, SequenceModel, VectorModel};
 use rtad_sim::{ClockDomain, Picos};
 
@@ -272,6 +273,73 @@ pub enum DeviceBackend {
     },
 }
 
+/// One kernel's static resource certificates, as the load path proved
+/// them: the per-wave cycle bound (engine cost model, launch-independent
+/// arguments) and the lane-disjointness verdict. Every shipped ELM/LSTM
+/// kernel earns both; a `None` bound or `lane_disjoint: false` means the
+/// kernel runs under the engine's default watchdog and stays out of
+/// lane-chunked execution — degraded, never unsound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelResourceVerdict {
+    /// The kernel's name.
+    pub kernel: String,
+    /// The proven per-wave cycle bound, if the analysis found one.
+    pub bounded_cycles: Option<u64>,
+    /// Whether every store is provably lane-private or broadcast.
+    pub lane_disjoint: bool,
+}
+
+/// Runs the static resource analyses over a device model's kernels
+/// under a cost model, without touching any engine.
+pub fn resource_verdicts(
+    device: &impl DeviceModel,
+    cost: &CostModel,
+) -> Vec<KernelResourceVerdict> {
+    device
+        .kernels()
+        .into_iter()
+        .map(|k| KernelResourceVerdict {
+            kernel: k.name.clone(),
+            bounded_cycles: cycle_bound(k, cost, None).as_bounded(),
+            lane_disjoint: lane_disjointness(k).is_disjoint(),
+        })
+        .collect()
+}
+
+/// Analyzes a device model's kernels under the engine's cost model and
+/// attests every proven certificate into the engine, so its watchdog
+/// budget derives from the proven bound (and proven-bounded superblock
+/// launches skip per-instruction watchdog checks). Returns the verdicts
+/// for reporting.
+fn attest_model_kernels(
+    device: &impl DeviceModel,
+    engine: &mut Engine,
+) -> Vec<KernelResourceVerdict> {
+    let cost = engine.config().cost;
+    device
+        .kernels()
+        .into_iter()
+        .map(|k| {
+            let bound = cycle_bound(k, &cost, None);
+            let disjoint = lane_disjointness(k).is_disjoint();
+            if let CycleBound::Bounded(max_wave_cycles) = bound {
+                engine.attest(
+                    k.fingerprint(),
+                    KernelAttestation {
+                        max_wave_cycles,
+                        lane_disjoint: disjoint,
+                    },
+                );
+            }
+            KernelResourceVerdict {
+                kernel: k.name.clone(),
+                bounded_cycles: bound.as_bounded(),
+                lane_disjoint: disjoint,
+            }
+        })
+        .collect()
+}
+
 /// The findings a device model's kernels raise against a retained
 /// feature set (empty when the engine is untrimmed).
 fn device_findings(device: &impl DeviceModel, retained: Option<&CoverageSet>) -> Vec<Finding> {
@@ -301,6 +369,7 @@ impl DeviceBackend {
             return Err(findings);
         }
         let mut engine = Engine::new(config);
+        attest_model_kernels(&device, &mut engine);
         let memory = device.load(&mut engine);
         Ok(DeviceBackend::Lstm {
             device,
@@ -321,6 +390,7 @@ impl DeviceBackend {
             return Err(findings);
         }
         let mut engine = Engine::new(config);
+        attest_model_kernels(&device, &mut engine);
         let memory = device.load(&mut engine);
         Ok(DeviceBackend::Elm {
             device,
@@ -513,6 +583,39 @@ mod tests {
         let mut be = DeviceBackend::elm(elm, EngineKind::MlMiaow.engine_config(&plan));
         let r = be.infer_event(&VectorPayload::Dense(vec![0.1; 16]), Picos::ZERO);
         assert!(r.engine_cycles > 0);
+    }
+
+    #[test]
+    fn device_backend_attests_resource_certificates_into_the_engine() {
+        let (elm, lstm) = trained_pair();
+        let plan = profile_trim_plan(&elm, &lstm);
+
+        // The pure analysis proves every shipped kernel bounded and
+        // lane-disjoint...
+        for verdicts in [
+            resource_verdicts(&elm, &CostModel::default()),
+            resource_verdicts(&lstm, &CostModel::default()),
+        ] {
+            assert!(!verdicts.is_empty());
+            for v in verdicts {
+                assert!(v.bounded_cycles.is_some(), "`{}` unbounded", v.kernel);
+                assert!(v.lane_disjoint, "`{}` not lane-disjoint", v.kernel);
+            }
+        }
+
+        // ...and the load path attests those proofs into the engine, so
+        // launches run under the derived watchdog budget.
+        let be = DeviceBackend::lstm(lstm, EngineKind::MlMiaow.engine_config(&plan));
+        let DeviceBackend::Lstm { device, engine, .. } = &be else {
+            unreachable!()
+        };
+        for k in device.kernels() {
+            let a = engine
+                .attestation(k.fingerprint())
+                .unwrap_or_else(|| panic!("`{}` not attested", k.name));
+            assert!(a.lane_disjoint);
+            assert!(a.max_wave_cycles > 0);
+        }
     }
 
     #[test]
