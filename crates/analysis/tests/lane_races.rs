@@ -12,9 +12,10 @@
 //!   vacuous.
 #![cfg(debug_assertions)]
 
-use rtad_analysis::{lane_disjointness, LaneDisjointness};
+use rtad_analysis::{cycle_bound, lane_disjointness, CycleBound, LaneDisjointness};
 use rtad_miaow::asm::assemble;
-use rtad_miaow::{Engine, EngineConfig, GpuMemory, TrimPlan};
+use rtad_miaow::exec::CostModel;
+use rtad_miaow::{Engine, EngineConfig, GpuMemory, KernelAttestation, TrimPlan};
 use rtad_ml::{DeviceModel, Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice};
 
 #[test]
@@ -150,4 +151,68 @@ fn shipped_inference_workload_runs_race_free_on_both_tiers() {
             .expect("LSTM steps");
     }
     assert_eq!(serving.take_races(), vec![], "tier-2 workload raced");
+}
+
+/// The certificate-gated fast paths under the race checker: every
+/// shipped kernel is attested with its *own* statically proven cycle
+/// bound and disjointness certificate, which arms chunked SIMD lane
+/// loops, uniform-load broadcasts and the tier-3 closed-form schedules
+/// (including the fused LSTM MAC loops). The full ELM + LSTM workload
+/// must log zero races on that path — the dynamic check the static
+/// certificates promise to make redundant.
+#[test]
+fn attested_chunked_workload_runs_race_free() {
+    let normal: Vec<Vec<f32>> = (0..100)
+        .map(|i| {
+            let mut v = vec![0.0; 16];
+            v[i % 4] = 0.6;
+            v[(i + 1) % 4] = 0.4;
+            v
+        })
+        .collect();
+    let elm = ElmDevice::compile(&Elm::train(&ElmConfig::rtad(), &normal, 11));
+    let corpus: Vec<u32> = (0..800).map(|i| (i % 16) as u32).collect();
+    let mut cfg = LstmConfig::rtad();
+    cfg.epochs = 1;
+    let lstm = LstmDevice::compile(&Lstm::train(&cfg, &corpus, 5));
+
+    // Coverage observation routes to the tier-1 interpreter, so turn
+    // it off: this engine is the serving configuration, where the
+    // attested fast paths actually arm.
+    let mut cfg = EngineConfig::miaow();
+    cfg.observe_coverage = false;
+    let mut engine = Engine::new(cfg);
+    engine.set_race_logging(true);
+    let cost = CostModel::default();
+    for kernel in elm.kernels().into_iter().chain(lstm.kernels()) {
+        let CycleBound::Bounded(cycles) = cycle_bound(kernel, &cost, None) else {
+            panic!("`{}` lost its static cycle bound", kernel.name);
+        };
+        assert!(
+            lane_disjointness(kernel).is_disjoint(),
+            "`{}` lost its disjointness certificate",
+            kernel.name
+        );
+        engine.attest(
+            kernel.fingerprint(),
+            KernelAttestation {
+                max_wave_cycles: cycles,
+                lane_disjoint: true,
+            },
+        );
+    }
+
+    let mut mem = elm.load(&mut engine);
+    elm.infer(&mut engine, &mut mem, &[0.05; 16])
+        .expect("ELM infers attested");
+    let mut mem = lstm.load(&mut engine);
+    lstm.reset(&mut mem);
+    for token in [0u32, 5, 9, 12] {
+        lstm.step(&mut engine, &mut mem, token).expect("LSTM steps");
+    }
+    assert_eq!(engine.take_races(), vec![], "attested workload raced");
+    assert!(
+        engine.tier_census().tier3 > 0,
+        "attested workload never reached a tier-3 schedule"
+    );
 }

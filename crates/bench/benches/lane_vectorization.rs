@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks of the PR-8 certificate-gated fast paths:
+//! the same trimmed ML-MIAOW inference event dispatched at each rung of
+//! the execution ladder — scalar tier-2 superblocks (certificates
+//! withheld), chunked lane loops only (lane-disjointness attested, the
+//! cycle bound withheld so tier-3 stays off), and the fully attested
+//! path (chunked lanes + tier-3 closed-form wave schedules). Scores,
+//! memory and simulated cycles are bit-identical across all rungs
+//! (pinned by `rtad-miaow`'s `tier3_equivalence` property tests); only
+//! host wall-clock differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rtad_miaow::{Engine, EngineConfig, KernelAttestation};
+use rtad_ml::{DeviceModel, Elm, ElmConfig, ElmDevice, Lstm, LstmConfig, LstmDevice};
+use rtad_soc::backend::{attest_model_kernels, profile_trim_plan};
+
+fn trained_devices() -> (ElmDevice, LstmDevice) {
+    let normal: Vec<Vec<f32>> = (0..60)
+        .map(|i| {
+            let mut v = vec![0.0; 16];
+            v[i % 4] = 0.6;
+            v[(i + 1) % 4] = 0.4;
+            v
+        })
+        .collect();
+    let elm = Elm::train(&ElmConfig::rtad(), &normal, 1);
+    let corpus: Vec<u32> = (0..400).map(|i| (i % 16) as u32).collect();
+    let mut cfg = LstmConfig::rtad();
+    cfg.epochs = 1;
+    let lstm = Lstm::train(&cfg, &corpus, 1);
+    (ElmDevice::compile(&elm), LstmDevice::compile(&lstm))
+}
+
+/// The three attestation rungs: which certificates the engine is given
+/// before serving. `scalar` withholds everything (scalar tier-2 lane
+/// loops), `chunked` attests lane-disjointness with an unproven cycle
+/// bound (chunked lane loops, no tier-3), `attested` arms both
+/// certificates as a deployment does (chunked lanes + tier-3).
+fn arm(engine: &mut Engine, dev: &impl DeviceModel, rung: &str) {
+    match rung {
+        "scalar" => {}
+        "chunked" => {
+            for k in dev.kernels() {
+                engine.attest(
+                    k.fingerprint(),
+                    KernelAttestation {
+                        max_wave_cycles: u64::MAX, // unproven: tier-3 off
+                        lane_disjoint: true,
+                    },
+                );
+            }
+        }
+        "attested" => {
+            attest_model_kernels(dev, engine);
+        }
+        other => unreachable!("unknown rung {other}"),
+    }
+}
+
+fn bench_lane_vectorization(c: &mut Criterion) {
+    let (elm_dev, lstm_dev) = trained_devices();
+    let plan = profile_trim_plan(&elm_dev, &lstm_dev);
+
+    let mut group = c.benchmark_group("lane_vectorization");
+    for rung in ["scalar", "chunked", "attested"] {
+        group.bench_with_input(BenchmarkId::new("elm_infer", rung), &rung, |b, rung| {
+            let mut engine = Engine::new(EngineConfig::ml_miaow(&plan));
+            arm(&mut engine, &elm_dev, rung);
+            let mut mem = elm_dev.load(&mut engine);
+            b.iter(|| {
+                elm_dev
+                    .infer(&mut engine, &mut mem, &[0.05; 16])
+                    .expect("runs")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lstm_step", rung), &rung, |b, rung| {
+            let mut engine = Engine::new(EngineConfig::ml_miaow(&plan));
+            arm(&mut engine, &lstm_dev, rung);
+            let mut mem = lstm_dev.load(&mut engine);
+            lstm_dev.reset(&mut mem);
+            let mut t = 0u32;
+            b.iter(|| {
+                t = (t + 1) % 16;
+                lstm_dev.step(&mut engine, &mut mem, t).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lane_vectorization);
+criterion_main!(benches);

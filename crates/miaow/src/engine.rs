@@ -30,7 +30,7 @@ use crate::coverage::{CoverageSet, Feature};
 use crate::exec::{ComputeUnit, CostModel, ExecError};
 use crate::isa::Kernel;
 use crate::memory::{GpuMemory, UndoMemory};
-use crate::predecode::{PredecodeCache, PredecodedKernel, CORE_FEATURE_MASK};
+use crate::predecode::{PredecodeCache, PredecodedKernel, PredecodedStream, CORE_FEATURE_MASK};
 use crate::trim::TrimPlan;
 
 /// Default watchdog budget for a single wavefront (simulated cycles),
@@ -212,6 +212,32 @@ impl LaunchStats {
     }
 }
 
+/// Per-execution-tier wave counts, accumulated across every launch of
+/// an [`Engine`] (host telemetry: which tier actually ran each wave).
+/// A wave is counted at dispatch, so faulted waves are included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierCensus {
+    /// Waves run on the tier-1 per-instruction interpreter.
+    pub tier1: u64,
+    /// Waves run on the tier-2 superblock trace executor.
+    pub tier2: u64,
+    /// Waves run on a tier-3 closed-form schedule.
+    pub tier3: u64,
+}
+
+impl TierCensus {
+    /// Total waves dispatched.
+    pub fn total(&self) -> u64 {
+        self.tier1 + self.tier2 + self.tier3
+    }
+
+    fn merge(&mut self, other: TierCensus) {
+        self.tier1 += other.tier1;
+        self.tier2 += other.tier2;
+        self.tier3 += other.tier3;
+    }
+}
+
 /// One partitioned-batch job's outcome, carried back across the worker
 /// join: its stats/coverage on success, its undo log for rollback if an
 /// earlier job faulted, and the job's memory handle (moved through the
@@ -220,6 +246,7 @@ struct JobResult<'m> {
     idx: usize,
     stats: LaunchStats,
     covmask: u64,
+    census: TierCensus,
     undo: Vec<(u32, u32)>,
     error: Option<ExecError>,
     mem: &'m mut GpuMemory,
@@ -255,6 +282,8 @@ pub struct Engine {
     cache: PredecodeCache,
     /// Proven resource certificates, keyed by kernel fingerprint.
     attested: HashMap<u64, KernelAttestation>,
+    /// Per-tier wave counts across every launch so far.
+    census: TierCensus,
 }
 
 impl Engine {
@@ -277,6 +306,7 @@ impl Engine {
             observed_mask: 0,
             cache: PredecodeCache::default(),
             attested: HashMap::new(),
+            census: TierCensus::default(),
         }
     }
 
@@ -314,6 +344,25 @@ impl Engine {
     /// The attested resource certificate for `fingerprint`, if any.
     pub fn attestation(&self, fingerprint: u64) -> Option<KernelAttestation> {
         self.attested.get(&fingerprint).copied()
+    }
+
+    /// Revokes the attested certificate for `fingerprint`, returning it
+    /// if one was installed. Subsequent launches of that kernel fall
+    /// back down the tier ladder: the default watchdog budget returns,
+    /// tier-3 schedules and chunked lane execution stop being taken.
+    pub fn deattest(&mut self, fingerprint: u64) -> Option<KernelAttestation> {
+        self.attested.remove(&fingerprint)
+    }
+
+    /// Per-tier wave counts across every launch so far (which execution
+    /// tier actually ran each dispatched wave).
+    pub fn tier_census(&self) -> TierCensus {
+        self.census
+    }
+
+    /// Resets the per-tier wave counts (bench passes measure deltas).
+    pub fn reset_tier_census(&mut self) {
+        self.census = TierCensus::default();
     }
 
     /// Whether `kernel` is certified safe for lane-chunked execution
@@ -531,6 +580,119 @@ impl Engine {
         }
     }
 
+    /// Resolves a fixed multi-kernel launch sequence into a cached
+    /// [`PredecodedStream`] (see
+    /// [`PredecodeCache`](crate::predecode::PredecodeStats) telemetry:
+    /// a stream hit is accounted as one cache hit per stage).
+    pub fn predecode_stream(&mut self, stages: &[(&Kernel, usize)]) -> Arc<PredecodedStream> {
+        self.cache.get_or_stream(
+            stages,
+            &self.config.cost,
+            self.config.retained.as_ref(),
+            self.uses_superblocks(),
+        )
+    }
+
+    /// Launches a fused stream of kernels back to back against the same
+    /// memory and arguments — the macro-op streams the recurrent model
+    /// drivers issue every event (e.g. the LSTM gate/combine pair). One
+    /// stream-cache lookup covers the whole sequence; per-stage stats
+    /// are returned in launch order and are bit-identical to issuing
+    /// the stages through separate [`Engine::launch`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing stage's [`ExecError`]; earlier stages'
+    /// effects are applied (exactly like separate launches).
+    pub fn launch_stream(
+        &mut self,
+        stages: &[(&Kernel, usize)],
+        args: &[u32],
+        mem: &mut GpuMemory,
+    ) -> Result<Vec<LaunchStats>, ExecError> {
+        let stream = self.predecode_stream(stages);
+        let mut out = Vec::with_capacity(stream.len());
+        for (pk, waves) in &stream.stages {
+            out.push(self.launch_pre(pk, *waves, args, mem)?);
+        }
+        Ok(out)
+    }
+
+    /// Launches a fused kernel stream for a whole batch of jobs — same
+    /// stages, per-job scalar arguments and device memory. One
+    /// stream-cache lookup covers the entire batch. Per job, the
+    /// returned stats are one [`LaunchStats`] per stage, bit-identical
+    /// to issuing per-job [`Engine::launch_stream`] (or per-stage
+    /// [`Engine::launch`]) calls.
+    ///
+    /// Dispatch picks the cheaper of two equivalent schedules: when any
+    /// stage clears [`Engine::batch_mode`]'s parallel policy, stages
+    /// run in lockstep (each stage batched over all jobs, partitioned
+    /// over worker threads where eligible); otherwise each job runs its
+    /// whole stream back to back on the calling thread — zero per-event
+    /// cache traffic and the best memory locality.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing job's [`ExecError`] (lowest job index,
+    /// earliest stage). Like [`Engine::launch_batch`], a failed batch
+    /// is not failure-atomic: earlier jobs may have completed more
+    /// stages than later ones, so callers should discard the batch's
+    /// memories on error.
+    pub fn launch_stream_batch<'m, I>(
+        &mut self,
+        stages: &[(&Kernel, usize)],
+        jobs: I,
+    ) -> Result<Vec<Vec<LaunchStats>>, ExecError>
+    where
+        I: IntoIterator<Item = (&'m [u32], &'m mut GpuMemory)>,
+    {
+        let stream = self.predecode_stream(stages);
+        let mut jobs: Vec<(&[u32], &mut GpuMemory)> = jobs.into_iter().collect();
+        let lockstep = stream.stages.iter().any(|(pk, waves)| {
+            matches!(
+                self.batch_mode(pk, *waves, jobs.len()),
+                LaunchMode::Parallel
+            )
+        });
+        if !lockstep {
+            return jobs
+                .into_iter()
+                .map(|(args, mem)| {
+                    stream
+                        .stages
+                        .iter()
+                        .map(|(pk, waves)| self.launch_pre(pk, *waves, args, mem))
+                        .collect()
+                })
+                .collect();
+        }
+        let mut per_job: Vec<Vec<LaunchStats>> = jobs
+            .iter()
+            .map(|_| Vec::with_capacity(stream.len()))
+            .collect();
+        for (pk, waves) in &stream.stages {
+            let mut stage_jobs: Vec<(&[u32], &mut GpuMemory)> =
+                jobs.iter_mut().map(|(a, m)| (*a, &mut **m)).collect();
+            let stats = match self.batch_mode(pk, *waves, stage_jobs.len()) {
+                LaunchMode::Serial => {
+                    let mut out = Vec::with_capacity(stage_jobs.len());
+                    for (args, mem) in stage_jobs {
+                        out.push(self.launch_pre(pk, *waves, args, mem)?);
+                    }
+                    out
+                }
+                LaunchMode::Parallel => {
+                    self.launch_batch_partitioned(pk, *waves, &mut stage_jobs)?
+                }
+            };
+            for (pj, s) in per_job.iter_mut().zip(stats) {
+                pj.push(s);
+            }
+        }
+        Ok(per_job)
+    }
+
     /// The common post-predecode launch path: records launch-level
     /// coverage and runs the waves serially on the calling thread.
     fn launch_pre(
@@ -545,6 +707,10 @@ impl Engine {
         }
         let tier2 = self.uses_superblocks();
         let (max_cycles, proven) = self.wave_budget(pk.fingerprint());
+        let chunked = self
+            .attested
+            .get(&pk.fingerprint())
+            .is_some_and(|a| a.lane_disjoint);
         let n_cus = self.cus.len();
         let mut cu_cycles = vec![0u64; n_cus];
         let mut stats = LaunchStats {
@@ -554,18 +720,35 @@ impl Engine {
 
         // Each wave keeps its global index (v0 = wave*16 + lane) no
         // matter which CU runs it, so output placement is unchanged by
-        // the CU count.
+        // the CU count. Tier ladder per wave: tier-3 closed form (tier-2
+        // engine + proven cycle bound + a schedule for this wave index),
+        // else tier-2 superblocks, else the tier-1 interpreter — any
+        // precondition miss just falls one rung down.
         for wave in 0..waves {
             let cu_idx = wave % n_cus;
-            let cu = &mut self.cus[cu_idx];
-            let out = if tier2 {
-                if proven {
-                    cu.run_wave_super_proven(pk, args, wave, max_cycles, mem)
-                } else {
-                    cu.run_wave_super(pk, args, wave, max_cycles, mem)
-                }
+            let sched = if tier2 && proven {
+                pk.tier3_schedule(wave)
             } else {
-                cu.run_wave_pre(pk, args, wave, max_cycles, mem)
+                None
+            };
+            if !tier2 {
+                self.census.tier1 += 1;
+            } else if sched.is_some() {
+                self.census.tier3 += 1;
+            } else {
+                self.census.tier2 += 1;
+            }
+            let cu = &mut self.cus[cu_idx];
+            let out = match sched {
+                Some(sc) => cu.run_wave_tier3(pk, sc, args, wave, chunked, mem),
+                None if tier2 => {
+                    if proven {
+                        cu.run_wave_super_proven(pk, args, wave, max_cycles, chunked, mem)
+                    } else {
+                        cu.run_wave_super(pk, args, wave, max_cycles, chunked, mem)
+                    }
+                }
+                None => cu.run_wave_pre(pk, args, wave, max_cycles, mem),
             };
             self.observe(out.covmask);
             if let Some(e) = out.error {
@@ -605,6 +788,10 @@ impl Engine {
         let tier2 = self.uses_superblocks();
         let dispatch_overhead = self.config.dispatch_overhead;
         let (max_cycles, proven) = self.wave_budget(pk.fingerprint());
+        let chunked = self
+            .attested
+            .get(&pk.fingerprint())
+            .is_some_and(|a| a.lane_disjoint);
 
         // Balanced partitioning: each job (in index order) goes to the
         // least-loaded worker, ties to the lowest index, weighted by the
@@ -649,22 +836,54 @@ impl Engine {
                                 ..LaunchStats::default()
                             };
                             let mut covmask = 0u64;
+                            let mut census = TierCensus::default();
                             let mut error = None;
                             for wave in 0..waves {
-                                let out = if tier2 {
-                                    if proven {
-                                        cu.run_wave_super_proven(
-                                            pk,
-                                            args,
-                                            wave,
-                                            max_cycles,
-                                            &mut undo_mem,
-                                        )
-                                    } else {
-                                        cu.run_wave_super(pk, args, wave, max_cycles, &mut undo_mem)
-                                    }
+                                let sched = if tier2 && proven {
+                                    pk.tier3_schedule(wave)
                                 } else {
-                                    cu.run_wave_pre(pk, args, wave, max_cycles, &mut undo_mem)
+                                    None
+                                };
+                                if !tier2 {
+                                    census.tier1 += 1;
+                                } else if sched.is_some() {
+                                    census.tier3 += 1;
+                                } else {
+                                    census.tier2 += 1;
+                                }
+                                let out = match sched {
+                                    Some(sc) => cu.run_wave_tier3(
+                                        pk,
+                                        sc,
+                                        args,
+                                        wave,
+                                        chunked,
+                                        &mut undo_mem,
+                                    ),
+                                    None if tier2 => {
+                                        if proven {
+                                            cu.run_wave_super_proven(
+                                                pk,
+                                                args,
+                                                wave,
+                                                max_cycles,
+                                                chunked,
+                                                &mut undo_mem,
+                                            )
+                                        } else {
+                                            cu.run_wave_super(
+                                                pk,
+                                                args,
+                                                wave,
+                                                max_cycles,
+                                                chunked,
+                                                &mut undo_mem,
+                                            )
+                                        }
+                                    }
+                                    None => {
+                                        cu.run_wave_pre(pk, args, wave, max_cycles, &mut undo_mem)
+                                    }
                                 };
                                 covmask |= out.covmask;
                                 if let Some(e) = out.error {
@@ -684,6 +903,7 @@ impl Engine {
                                 idx,
                                 stats,
                                 covmask,
+                                census,
                                 undo,
                                 error,
                                 mem,
@@ -722,6 +942,7 @@ impl Engine {
                 for slot in slots {
                     let r = slot.expect("every job ran in the no-fault case");
                     self.observe(r.covmask);
+                    self.census.merge(r.census);
                     out.push(r.stats);
                 }
                 Ok(out)
@@ -736,6 +957,7 @@ impl Engine {
                     if r.idx <= f {
                         self.observe(CORE_FEATURE_MASK);
                         self.observe(r.covmask);
+                        self.census.merge(r.census);
                         if r.idx == f {
                             first_err = r.error;
                         }
@@ -1199,6 +1421,100 @@ mod tests {
         e.retrim(None);
         assert!(e.retained().is_none());
         e.launch(&exp, 1, &[], &mut mem2).unwrap();
+    }
+
+    #[test]
+    fn launch_stream_matches_separate_launches() {
+        let k1 = store_kernel();
+        let k2 = assemble("v_mov_b32 v1, 1.0\ns_endpgm").unwrap();
+        let waves = 3;
+
+        let mut re = Engine::new(EngineConfig::miaow());
+        let mut ref_mem = GpuMemory::new(waves * 16 * 4);
+        let s1 = re.launch(&k1, waves, &[0], &mut ref_mem).unwrap();
+        let s2 = re.launch(&k2, 1, &[0], &mut ref_mem).unwrap();
+
+        let mut se = Engine::new(EngineConfig::miaow());
+        let mut mem = GpuMemory::new(waves * 16 * 4);
+        let ss = se
+            .launch_stream(&[(&k1, waves), (&k2, 1)], &[0], &mut mem)
+            .unwrap();
+        assert_eq!(ss, vec![s1, s2], "per-stage stats match separate launches");
+        assert_eq!(mem, ref_mem);
+        assert_eq!(re.observed_coverage(), se.observed_coverage());
+
+        // Steady state: relaunching the stream costs one cache hit per
+        // stage (comparable with per-launch accounting).
+        se.launch_stream(&[(&k1, waves), (&k2, 1)], &[0], &mut mem)
+            .unwrap();
+        let st = se.predecode_stats();
+        assert_eq!((st.hits, st.misses, st.streams), (2, 2, 1));
+    }
+
+    #[test]
+    fn tier_census_tracks_dispatch_and_deattest_falls_back() {
+        let kernel = store_kernel();
+        let mut mem = GpuMemory::new(2 * 16 * 4);
+
+        // Coverage-observing profiler: every wave on tier 1.
+        let mut prof = Engine::new(EngineConfig::miaow());
+        prof.launch(&kernel, 2, &[0], &mut mem).unwrap();
+        assert_eq!(
+            prof.tier_census(),
+            TierCensus {
+                tier1: 2,
+                tier2: 0,
+                tier3: 0
+            }
+        );
+
+        // Tier-2 serving engine without a certificate.
+        let mut cfg = EngineConfig::miaow();
+        cfg.observe_coverage = false;
+        let mut t2 = Engine::new(cfg.clone());
+        t2.launch(&kernel, 2, &[0], &mut mem).unwrap();
+        assert_eq!(
+            t2.tier_census(),
+            TierCensus {
+                tier1: 0,
+                tier2: 2,
+                tier3: 0
+            }
+        );
+
+        // Attested proven bound: straight-line kernel goes tier-3.
+        let mut t3 = Engine::new(cfg);
+        t3.attest(
+            kernel.fingerprint(),
+            KernelAttestation {
+                max_wave_cycles: 1_000,
+                lane_disjoint: true,
+            },
+        );
+        t3.launch(&kernel, 2, &[0], &mut mem).unwrap();
+        assert_eq!(
+            t3.tier_census(),
+            TierCensus {
+                tier1: 0,
+                tier2: 0,
+                tier3: 2
+            }
+        );
+
+        // Revoking the certificate drops subsequent launches back to
+        // tier 2 — the fallback ladder, observable through the census.
+        assert!(t3.deattest(kernel.fingerprint()).is_some());
+        t3.launch(&kernel, 2, &[0], &mut mem).unwrap();
+        assert_eq!(
+            t3.tier_census(),
+            TierCensus {
+                tier1: 0,
+                tier2: 2,
+                tier3: 2
+            }
+        );
+        t3.reset_tier_census();
+        assert_eq!(t3.tier_census().total(), 0);
     }
 
     #[test]

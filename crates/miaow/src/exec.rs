@@ -23,7 +23,8 @@ use crate::coverage::{CoverageSet, Feature};
 use crate::isa::{Instr, Kernel, SSrc, VSrc, LDS_BYTES, WAVEFRONT_LANES};
 use crate::memory::{DeviceMemory, GpuMemory};
 use crate::predecode::{
-    LaneKind, LaneOp, MacroOp, POp, PredecodedKernel, SuperTrace, Superblock, CORE_FEATURE_MASK, PS,
+    DotLoop, DotUniformSrc, LaneKind, LaneOp, MacroOp, POp, PredecodedKernel, SuperTrace,
+    Superblock, WaveSchedule, CORE_FEATURE_MASK, PS,
 };
 
 /// Per-instruction-class cycle costs (one CU, in ML-MIAOW/MIAOW's 50 MHz
@@ -292,14 +293,29 @@ fn fetch(st: &WaveState, p: POp) -> [u32; WAVEFRONT_LANES] {
     }
 }
 
+/// Lanes per iteration of the chunked lane loop: half a wavefront, so
+/// one op runs as two fixed-width chunk bodies the autovectorizer can
+/// lift to 8-wide SIMD (the `chunks_exact` idiom). Must divide
+/// [`WAVEFRONT_LANES`] so `chunks_exact` leaves no remainder.
+pub(crate) const LANE_CHUNK: usize = 8;
+
 /// Executes one fused lane op as a 16-wide loop. `FULL` is the
 /// exec-mask fast path: with all lanes active the loop is unmasked and
 /// branch-free, which is what lets the compiler vectorize it. Inactive
 /// lanes never get written either way; computing a discarded lane value
 /// has no architectural effect, so results are bit-identical to the
 /// interpreter's per-lane `active()` gating.
+///
+/// `CHUNKED` (only meaningful with `FULL`) additionally runs the body
+/// over [`LANE_CHUNK`]-wide `chunks_exact` sub-arrays whose bounds are
+/// compile-time constants — the shape LLVM reliably lifts to packed
+/// SIMD. It is certificate-gated: the engine only enables it for
+/// kernels `rtad-analysis` proved lane-disjoint, so the reordering
+/// freedom the chunks assume is attested, not hoped for. Lane math is
+/// unchanged (same ops, same per-lane operands, no reassociation), so
+/// results stay bit-identical.
 #[inline(always)]
-fn lane_op<const FULL: bool>(st: &mut WaveState, op: &LaneOp) {
+fn lane_op<const FULL: bool, const CHUNKED: bool>(st: &mut WaveState, op: &LaneOp) {
     let exec = st.exec;
     let vcc = st.vcc;
     let a = fetch(st, op.a);
@@ -307,10 +323,23 @@ fn lane_op<const FULL: bool>(st: &mut WaveState, op: &LaneOp) {
     let d = &mut st.vgpr[usize::from(op.dst)];
     macro_rules! map {
         (|$x:ident, $y:ident, $o:ident| $body:expr) => {
-            for i in 0..WAVEFRONT_LANES {
-                if FULL || exec & (1 << i) != 0 {
-                    let ($x, $y, $o) = (a[i], b[i], d[i]);
-                    d[i] = $body;
+            if CHUNKED && FULL {
+                for ((ca, cb), cd) in a
+                    .chunks_exact(LANE_CHUNK)
+                    .zip(b.chunks_exact(LANE_CHUNK))
+                    .zip(d.chunks_exact_mut(LANE_CHUNK))
+                {
+                    for i in 0..LANE_CHUNK {
+                        let ($x, $y, $o) = (ca[i], cb[i], cd[i]);
+                        cd[i] = $body;
+                    }
+                }
+            } else {
+                for i in 0..WAVEFRONT_LANES {
+                    if FULL || exec & (1 << i) != 0 {
+                        let ($x, $y, $o) = (a[i], b[i], d[i]);
+                        d[i] = $body;
+                    }
                 }
             }
         };
@@ -344,16 +373,23 @@ fn lane_op<const FULL: bool>(st: &mut WaveState, op: &LaneOp) {
     }
 }
 
-/// Runs a fused lane group, hoisting the exec-mask check out of the
-/// per-op loops.
-fn run_lanes(st: &mut WaveState, ops: &[LaneOp]) {
+/// Runs a fused lane group, hoisting the exec-mask and chunking checks
+/// out of the per-op loops. Partially-active waves always take the
+/// masked scalar path — the chunked bodies are unmasked by design.
+fn run_lanes(st: &mut WaveState, ops: &[LaneOp], chunked: bool) {
     if st.exec == u16::MAX {
-        for op in ops {
-            lane_op::<true>(st, op);
+        if chunked {
+            for op in ops {
+                lane_op::<true, true>(st, op);
+            }
+        } else {
+            for op in ops {
+                lane_op::<true, false>(st, op);
+            }
         }
     } else {
         for op in ops {
-            lane_op::<false>(st, op);
+            lane_op::<false, false>(st, op);
         }
     }
 }
@@ -661,9 +697,10 @@ impl ComputeUnit {
         sgpr_init: &[u32],
         wave_index: usize,
         max_cycles: u64,
+        chunked: bool,
         mem: &mut M,
     ) -> WaveOutcome {
-        self.run_wave_super_impl::<false, M>(pk, sgpr_init, wave_index, max_cycles, mem)
+        self.run_wave_super_impl::<false, M>(pk, sgpr_init, wave_index, max_cycles, chunked, mem)
     }
 
     /// Tier-2 launch path for kernels whose `max_cycles` is a *proven*
@@ -680,9 +717,209 @@ impl ComputeUnit {
         sgpr_init: &[u32],
         wave_index: usize,
         max_cycles: u64,
+        chunked: bool,
         mem: &mut M,
     ) -> WaveOutcome {
-        self.run_wave_super_impl::<true, M>(pk, sgpr_init, wave_index, max_cycles, mem)
+        self.run_wave_super_impl::<true, M>(pk, sgpr_init, wave_index, max_cycles, chunked, mem)
+    }
+
+    /// The tier-3 closed-form path: executes a statically-resolved
+    /// superblock schedule with no per-iteration block lookup, branch
+    /// dispatch or incremental bookkeeping — the fault-free totals were
+    /// computed at lowering time and are charged in O(1). Only reached
+    /// for proven-bound kernels (tier-3 schedules never watchdog) whose
+    /// wave index has a schedule; bit-identical to the proven tier-2
+    /// path because the schedule *is* that path's block sequence and the
+    /// skipped single-stepped branches have no architectural effect
+    /// beyond `pc`. On a memory fault inside a block, the interpreter's
+    /// per-instruction prefix is reconstructed from the schedule's
+    /// pre-totals plus the tier-1 code, exactly as tier 2 does.
+    pub(crate) fn run_wave_tier3<M: DeviceMemory>(
+        &mut self,
+        pk: &PredecodedKernel,
+        sched: &WaveSchedule,
+        sgpr_init: &[u32],
+        wave_index: usize,
+        chunked: bool,
+        mem: &mut M,
+    ) -> WaveOutcome {
+        let trace = pk.trace.as_ref().expect("tier-3 schedules require a trace");
+        let mut st = WaveState::new(sgpr_init, wave_index);
+        let steps = &sched.steps;
+        // Fault inside a block at step `step`, `rel` instructions in:
+        // reconstruct the interpreter's exact per-instruction prefix
+        // from the schedule's pre-totals plus the tier-1 code.
+        let fault = |step_pre: (u64, u64, u64), b: &Superblock, rel: usize, e: ExecError| {
+            let (pre_cycles, pre_instructions, pre_mask) = step_pre;
+            let mut stats = RunStats {
+                cycles: pre_cycles,
+                instructions: pre_instructions,
+                waves: 1,
+            };
+            let mut covmask = pre_mask;
+            let s = b.start as usize;
+            for pre in &pk.code[s..=s + rel] {
+                covmask |= pre.mask;
+                stats.cycles += pre.cost;
+                stats.instructions += 1;
+            }
+            WaveOutcome {
+                stats,
+                covmask,
+                error: Some(e),
+            }
+        };
+        let mut i = 0usize;
+        while i < steps.len() {
+            let step = &steps[i];
+            let b = trace.blocks[step.block as usize];
+            // A run of identical blocks on a chunked launch with a full
+            // exec mask executes as one fused MAC loop when the block
+            // matched the dot-loop shape at lowering time. Bit-identical
+            // to running the block per step — the skipped single-stepped
+            // branches between repeats have no architectural effect.
+            if chunked && st.exec == u16::MAX {
+                if let Some(dl) = trace
+                    .dot_loops
+                    .get(step.block as usize)
+                    .and_then(Option::as_ref)
+                {
+                    let mut n = 1usize;
+                    while i + n < steps.len() && steps[i + n].block == step.block {
+                        n += 1;
+                    }
+                    match self.run_dot_loop(dl, b.start as usize, &mut st, n, mem) {
+                        Ok(()) => {
+                            i += n;
+                            continue;
+                        }
+                        Err((j, rel, e)) => {
+                            let sj = &steps[i + j];
+                            return fault(
+                                (sj.pre_cycles, sj.pre_instructions, sj.pre_mask),
+                                &b,
+                                rel,
+                                e,
+                            );
+                        }
+                    }
+                }
+            }
+            if let Err((rel, e)) = self.run_block(trace, &b, &mut st, chunked, mem) {
+                return fault(
+                    (step.pre_cycles, step.pre_instructions, step.pre_mask),
+                    &b,
+                    rel,
+                    e,
+                );
+            }
+            i += 1;
+        }
+        WaveOutcome {
+            stats: RunStats {
+                cycles: sched.cycles,
+                instructions: sched.instructions,
+                waves: 1,
+            },
+            covmask: sched.mask,
+            error: None,
+        }
+    }
+
+    /// Executes `reps` back-to-back runs of one fused counted MAC-loop
+    /// block ([`DotLoop`]) — the tier-3 execution of a schedule run of
+    /// identical blocks — as a single monomorphic loop with no per-op
+    /// dispatch. Only called with a full exec mask on a chunked
+    /// (lane-disjointness-attested) launch; the body writes no exec,
+    /// `vcc` or memory, so the mask stays full across iterations. Every
+    /// register update, wrapping-i32 add, lane order, fault address/pc
+    /// and partial-write prefix mirrors [`ComputeUnit::run_block`]
+    /// exactly. On a load fault, returns the faulting iteration, the
+    /// op's instruction offset in the block and the error.
+    fn run_dot_loop<M: DeviceMemory>(
+        &self,
+        dl: &DotLoop,
+        block_base: usize,
+        st: &mut WaveState,
+        reps: usize,
+        mem: &M,
+    ) -> Result<(), (usize, usize, ExecError)> {
+        let (mov_dst, mov_src) = dl.mov;
+        let (ul_dst, _, ul_src, ul_rel) = dl.uload;
+        let (oa_dst, oa_a, oa_b) = dl.oadd;
+        let (sr_dst, sr_rel) = dl.sread;
+        let (acc, mac_a, mac_b) = dl.mac;
+        let sval = |st: &WaveState, p: PS| -> u32 {
+            match p {
+                PS::S(r) => st.sgpr[usize::from(r)],
+                PS::K(k) => k,
+            }
+        };
+        for j in 0..reps {
+            if let Some((dst, a, b)) = dl.pre {
+                st.sgpr[usize::from(dst)] =
+                    (sval(st, a) as i32).wrapping_add(sval(st, b) as i32) as u32;
+            }
+            // `v_mov_b32`: broadcast the uniform address.
+            let ua = st.sgpr[usize::from(mov_src)];
+            st.vgpr[usize::from(mov_dst)] = [ua; WAVEFRONT_LANES];
+            // Uniform load, on the same certificate-gated broadcast
+            // fast path `run_block` takes (the address row is a
+            // just-written broadcast, so uniformity holds statically).
+            let uval = match ul_src {
+                DotUniformSrc::Lds => self
+                    .lds_read(u64::from(ua), block_base + ul_rel as usize)
+                    .map_err(|e| (j, ul_rel as usize, e))?,
+                DotUniformSrc::Buf { sbase } => {
+                    let addr = u64::from(st.sgpr[usize::from(sbase)]) + u64::from(ua);
+                    if !mem.contains(addr as usize) {
+                        return Err((
+                            j,
+                            ul_rel as usize,
+                            ExecError::BadAddress {
+                                addr,
+                                pc: block_base + ul_rel as usize,
+                            },
+                        ));
+                    }
+                    mem.read_u32(addr as usize)
+                }
+            };
+            st.vgpr[usize::from(ul_dst)] = [uval; WAVEFRONT_LANES];
+            // `v_add_i32`: the per-lane gather addresses.
+            let a = fetch(st, oa_a);
+            let b = fetch(st, oa_b);
+            let mut arow = [0u32; WAVEFRONT_LANES];
+            for i in 0..WAVEFRONT_LANES {
+                arow[i] = (a[i] as i32).wrapping_add(b[i] as i32) as u32;
+            }
+            st.vgpr[usize::from(oa_dst)] = arow;
+            // Strided `ds_read_b32`, lane-ordered like the interpreter
+            // (partial writes before a faulting lane land exactly as
+            // the per-lane loop's would).
+            for (i, &lane_addr) in arow.iter().enumerate() {
+                let v = self
+                    .lds_read(u64::from(lane_addr), block_base + sr_rel as usize)
+                    .map_err(|e| (j, sr_rel as usize, e))?;
+                st.vgpr[usize::from(sr_dst)][i] = v;
+            }
+            // `v_mac_f32` over the full wavefront.
+            let a = st.vgpr[usize::from(mac_a)];
+            let b = st.vgpr[usize::from(mac_b)];
+            let d = &mut st.vgpr[usize::from(acc)];
+            for i in 0..WAVEFRONT_LANES {
+                d[i] =
+                    (f32::from_bits(d[i]) + f32::from_bits(a[i]) * f32::from_bits(b[i])).to_bits();
+            }
+            // Offset/counter bumps and the loop condition.
+            for &(dst, pa, pb) in &dl.post {
+                st.sgpr[usize::from(dst)] =
+                    (sval(st, pa) as i32).wrapping_add(sval(st, pb) as i32) as u32;
+            }
+            let (ca, cb) = dl.cmp;
+            st.scc = (sval(st, ca) as i32) < (sval(st, cb) as i32);
+        }
+        Ok(())
     }
 
     fn run_wave_super_impl<const PROVEN: bool, M: DeviceMemory>(
@@ -691,6 +928,7 @@ impl ComputeUnit {
         sgpr_init: &[u32],
         wave_index: usize,
         max_cycles: u64,
+        chunked: bool,
         mem: &mut M,
     ) -> WaveOutcome {
         let Some(trace) = pk.trace.as_ref() else {
@@ -713,7 +951,7 @@ impl ComputeUnit {
             if bi != 0 {
                 let b = trace.blocks[bi as usize - 1];
                 if PROVEN || stats.cycles + b.cost <= max_cycles {
-                    match self.run_block(trace, &b, &mut st, mem) {
+                    match self.run_block(trace, &b, &mut st, chunked, mem) {
                         Ok(()) => {
                             covmask |= b.mask;
                             stats.cycles += b.cost;
@@ -797,6 +1035,7 @@ impl ComputeUnit {
         trace: &SuperTrace,
         b: &Superblock,
         st: &mut WaveState,
+        chunked: bool,
         mem: &mut M,
     ) -> Result<(), (usize, ExecError)> {
         let base = b.start as usize;
@@ -810,7 +1049,11 @@ impl ComputeUnit {
         for op in ops {
             match *op {
                 MacroOp::Lanes { start, n } => {
-                    run_lanes(st, &trace.lane_ops[start as usize..(start + n) as usize]);
+                    run_lanes(
+                        st,
+                        &trace.lane_ops[start as usize..(start + n) as usize],
+                        chunked,
+                    );
                 }
                 MacroOp::SMov { dst, src } => st.sgpr[usize::from(dst)] = sv(st, src),
                 MacroOp::SAddI { dst, a, b } => {
@@ -893,19 +1136,41 @@ impl ComputeUnit {
                     rel,
                 } => {
                     let base_addr = u64::from(st.sgpr[usize::from(sbase)]);
-                    for lane in 0..WAVEFRONT_LANES {
-                        if st.exec & (1 << lane) != 0 {
-                            let addr = base_addr + u64::from(st.vgpr[usize::from(vaddr)][lane]);
-                            if !mem.contains(addr as usize) {
-                                return Err((
-                                    rel as usize,
-                                    ExecError::BadAddress {
-                                        addr,
-                                        pc: base + rel as usize,
-                                    },
-                                ));
+                    // Uniform-address broadcast (certificate-gated like
+                    // the chunked lane loops): when every active lane
+                    // reads the same address — the model kernels' inner
+                    // loops broadcast a scalar counter into `vaddr` —
+                    // one bounds check + read replaces 16. Bit-identical
+                    // incl. faults: lane 0 would fault first with the
+                    // same address/pc, and every lane loads one value.
+                    let row = st.vgpr[usize::from(vaddr)];
+                    if chunked && st.exec == u16::MAX && row.iter().all(|&v| v == row[0]) {
+                        let addr = base_addr + u64::from(row[0]);
+                        if !mem.contains(addr as usize) {
+                            return Err((
+                                rel as usize,
+                                ExecError::BadAddress {
+                                    addr,
+                                    pc: base + rel as usize,
+                                },
+                            ));
+                        }
+                        st.vgpr[usize::from(dst)] = [mem.read_u32(addr as usize); WAVEFRONT_LANES];
+                    } else {
+                        for (lane, &lane_off) in row.iter().enumerate() {
+                            if st.exec & (1 << lane) != 0 {
+                                let addr = base_addr + u64::from(lane_off);
+                                if !mem.contains(addr as usize) {
+                                    return Err((
+                                        rel as usize,
+                                        ExecError::BadAddress {
+                                            addr,
+                                            pc: base + rel as usize,
+                                        },
+                                    ));
+                                }
+                                st.vgpr[usize::from(dst)][lane] = mem.read_u32(addr as usize);
                             }
-                            st.vgpr[usize::from(dst)][lane] = mem.read_u32(addr as usize);
                         }
                     }
                 }
@@ -943,13 +1208,21 @@ impl ComputeUnit {
                     self.log_wide_store(base + rel as usize, &writes, false);
                 }
                 MacroOp::LdsRead { dst, addr, rel } => {
-                    for lane in 0..WAVEFRONT_LANES {
-                        if st.exec & (1 << lane) != 0 {
-                            let a = u64::from(st.vgpr[usize::from(addr)][lane]);
-                            let v = self
-                                .lds_read(a, base + rel as usize)
-                                .map_err(|e| (rel as usize, e))?;
-                            st.vgpr[usize::from(dst)][lane] = v;
+                    // Uniform-address broadcast: see `BufLoad` above.
+                    let row = st.vgpr[usize::from(addr)];
+                    if chunked && st.exec == u16::MAX && row.iter().all(|&v| v == row[0]) {
+                        let v = self
+                            .lds_read(u64::from(row[0]), base + rel as usize)
+                            .map_err(|e| (rel as usize, e))?;
+                        st.vgpr[usize::from(dst)] = [v; WAVEFRONT_LANES];
+                    } else {
+                        for (lane, &lane_addr) in row.iter().enumerate() {
+                            if st.exec & (1 << lane) != 0 {
+                                let v = self
+                                    .lds_read(u64::from(lane_addr), base + rel as usize)
+                                    .map_err(|e| (rel as usize, e))?;
+                                st.vgpr[usize::from(dst)][lane] = v;
+                            }
                         }
                     }
                 }

@@ -86,12 +86,13 @@ pub use area::{variant_area, EngineVariant};
 pub use asm::{assemble, AssembleError};
 pub use coverage::{CoverageSet, Feature};
 pub use engine::{
-    Engine, EngineConfig, KernelAttestation, LaunchMode, LaunchStats, DEFAULT_PARALLEL_MIN_WORK,
+    Engine, EngineConfig, KernelAttestation, LaunchMode, LaunchStats, TierCensus,
+    DEFAULT_PARALLEL_MIN_WORK,
 };
 #[cfg(debug_assertions)]
 pub use exec::LaneRace;
 pub use exec::{ComputeUnit, Dispatch, ExecError, RunStats};
 pub use isa::{Instr, Kernel, WAVEFRONT_LANES};
 pub use memory::{DeviceMemory, GpuMemory};
-pub use predecode::{PredecodeStats, PredecodedKernel};
+pub use predecode::{KernelCacheStats, PredecodeStats, PredecodedKernel, PredecodedStream};
 pub use trim::{verify_trim, TrimPlan, TrimReport, TrimWorkload};

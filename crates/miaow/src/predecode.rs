@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use crate::coverage::{CoverageSet, Feature};
 use crate::exec::CostModel;
-use crate::isa::{Instr, Kernel, SSrc, VSrc};
+use crate::isa::{Instr, Kernel, SSrc, VSrc, SGPR_COUNT, WAVEFRONT_LANES};
 
 /// The five always-exercised core datapath features, as a mask. The
 /// engine records these once per *launch* (they are per-run facts, not
@@ -247,10 +247,155 @@ pub(crate) struct SuperTrace {
     pub lane_ops: Vec<LaneOp>,
     /// `pc -> block index + 1`; `0` = no block starts at `pc`.
     pub block_at: Vec<u32>,
+    /// Per-block fused dot-step lowering (parallel to `blocks`):
+    /// `Some` iff the block matches the counted MAC-loop body shape,
+    /// letting tier 3 execute runs of the block as one tight loop.
+    pub dot_loops: Vec<Option<DotLoop>>,
     /// `Lanes` groups that fused ≥ 2 source instructions.
     pub fused_groups: u32,
     /// Lane ops inside those multi-op groups.
     pub fused_lane_ops: u32,
+}
+
+/// The memory source of a [`DotLoop`]'s uniform (broadcast) load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum DotUniformSrc {
+    /// `ds_read_b32` from LDS.
+    Lds,
+    /// `buffer_load_dword` relative to `sgpr[sbase]`.
+    Buf { sbase: u8 },
+}
+
+/// The fused lowering of one counted MAC-loop body — the dominant
+/// block shape in the model kernels' dot-product inner loops:
+///
+/// ```text
+/// [s_add_i32  s_pre, a, b]                    (optional)
+/// v_mov_b32   v_addr, s_u                     (broadcast scalar addr)
+/// ds_read/buffer_load v_w, v_addr[, sbase]    (uniform weight load)
+/// v_add_i32   v_gather, s_off, v_base         (per-lane addresses)
+/// ds_read_b32 v_x, v_gather                   (strided activation load)
+/// v_mac_f32   v_acc, v_w, v_x                 (16-lane FMA)
+/// s_add_i32   … ; s_add_i32 …                 (offset/counter bumps)
+/// s_cmp_lt_i32 …                              (loop condition)
+/// ```
+///
+/// Tier 3 executes a *run* of consecutive schedule steps on such a
+/// block as one monomorphic loop with no per-op dispatch, no `Result`
+/// plumbing on the hot path and no per-op uniformity scans. Every
+/// architectural update (register writes, wrapping-i32 arithmetic,
+/// `scc`, lane order of reads, fault addresses/pcs and partial-write
+/// prefixes) mirrors `run_block` exactly, so the fusion is
+/// bit-identical — it removes interpreter overhead, not work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct DotLoop {
+    /// Leading `s_add_i32 dst, a, b`, if the body has one.
+    pub pre: Option<(u8, PS, PS)>,
+    /// `v_mov_b32 dst, s_u`: broadcast of the uniform address.
+    pub mov: (u8, u8),
+    /// Uniform load: destination vreg, address vreg (== `mov.0`),
+    /// source, instruction offset in the block (fault pc).
+    pub uload: (u8, u8, DotUniformSrc, u32),
+    /// `v_add_i32 dst, a, b` forming the gather addresses (operands in
+    /// source order; exactly one scalar and one vreg).
+    pub oadd: (u8, POp, POp),
+    /// Strided `ds_read_b32`: destination vreg, instruction offset.
+    pub sread: (u8, u32),
+    /// `v_mac_f32 acc, a, b` (both operands vregs).
+    pub mac: (u8, u8, u8),
+    /// The two trailing `s_add_i32`s (offset bump, counter bump).
+    pub post: [(u8, PS, PS); 2],
+    /// `s_cmp_lt_i32 a, b`.
+    pub cmp: (PS, PS),
+}
+
+impl DotLoop {
+    /// Matches one superblock's macro-op sequence against the counted
+    /// MAC-loop body shape. Purely structural: the executor mirrors
+    /// each matched op's exact semantics, so no dataflow between the
+    /// ops needs to be assumed here.
+    fn try_match(ops: &[MacroOp], lane_ops: &[LaneOp]) -> Option<DotLoop> {
+        let lane1 = |op: &MacroOp| -> Option<LaneOp> {
+            match *op {
+                MacroOp::Lanes { start, n: 1 } => Some(lane_ops[start as usize]),
+                _ => None,
+            }
+        };
+        let mut it = ops.iter();
+        let mut op = it.next()?;
+        let pre = match *op {
+            MacroOp::SAddI { dst, a, b } => {
+                op = it.next()?;
+                Some((dst, a, b))
+            }
+            _ => None,
+        };
+        let mov = match lane1(op)? {
+            LaneOp {
+                kind: LaneKind::Mov,
+                dst,
+                a: POp::S(s),
+                ..
+            } => (dst, s),
+            _ => return None,
+        };
+        let uload = match *it.next()? {
+            MacroOp::LdsRead { dst, addr, rel } if addr == mov.0 => {
+                (dst, addr, DotUniformSrc::Lds, rel)
+            }
+            MacroOp::BufLoad {
+                dst,
+                vaddr,
+                sbase,
+                rel,
+            } if vaddr == mov.0 => (dst, vaddr, DotUniformSrc::Buf { sbase }, rel),
+            _ => return None,
+        };
+        let oadd = match lane1(it.next()?)? {
+            LaneOp {
+                kind: LaneKind::AddI,
+                dst,
+                a,
+                b,
+            } if matches!((a, b), (POp::S(_), POp::V(_)) | (POp::V(_), POp::S(_))) => (dst, a, b),
+            _ => return None,
+        };
+        let sread = match *it.next()? {
+            MacroOp::LdsRead { dst, addr, rel } if addr == oadd.0 => (dst, rel),
+            _ => return None,
+        };
+        let mac = match lane1(it.next()?)? {
+            LaneOp {
+                kind: LaneKind::MacF,
+                dst,
+                a: POp::V(a),
+                b: POp::V(b),
+            } => (dst, a, b),
+            _ => return None,
+        };
+        let post0 = match *it.next()? {
+            MacroOp::SAddI { dst, a, b } => (dst, a, b),
+            _ => return None,
+        };
+        let post1 = match *it.next()? {
+            MacroOp::SAddI { dst, a, b } => (dst, a, b),
+            _ => return None,
+        };
+        let cmp = match *it.next()? {
+            MacroOp::SCmpLt { a, b } => (a, b),
+            _ => return None,
+        };
+        it.next().is_none().then_some(DotLoop {
+            pre,
+            mov,
+            uload,
+            oadd,
+            sread,
+            mac,
+            post: [post0, post1],
+            cmp,
+        })
+    }
 }
 
 fn pop(v: &VSrc) -> POp {
@@ -446,6 +591,14 @@ impl SuperTrace {
                 op_len: trace.ops.len() as u32 - op_start,
             });
         }
+        trace.dot_loops = trace
+            .blocks
+            .iter()
+            .map(|b| {
+                let ops = &trace.ops[b.op_start as usize..(b.op_start + b.op_len) as usize];
+                DotLoop::try_match(ops, &trace.lane_ops)
+            })
+            .collect();
         trace
     }
 
@@ -465,6 +618,239 @@ impl SuperTrace {
     }
 }
 
+/// Wave indices the tier-3 lowering computes closed-form schedules for.
+/// Shipped model kernels launch at most `hidden/16 = 2` (ELM) or 4
+/// (LSTM gates) waves; 8 leaves headroom without bloating small
+/// kernels' lowerings. Launches with higher wave indices fall back to
+/// tier 2 per wave — a precondition miss, never an error.
+pub(crate) const TIER3_WAVE_SCHEDULES: usize = 8;
+
+/// Instruction cap per tier-3 schedule walk: a branch structure whose
+/// statically-resolved trip count exceeds this is left to tier 2 (the
+/// walk must terminate even for kernels that statically never halt).
+const TIER3_MAX_STEPS: u64 = 1 << 20;
+
+/// One entry of a tier-3 wave schedule: a superblock to execute, plus
+/// the cumulative bookkeeping *before* it (cycles, instructions,
+/// coverage — including every single-stepped branch the tier-2 loop
+/// would have interleaved), so a memory fault inside the block can
+/// reconstruct the interpreter's exact per-instruction prefix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ScheduleStep {
+    /// Index into [`SuperTrace::blocks`].
+    pub block: u32,
+    /// Cycles booked before this block starts.
+    pub pre_cycles: u64,
+    /// Instructions booked before this block starts.
+    pub pre_instructions: u64,
+    /// Coverage mask accumulated before this block starts.
+    pub pre_mask: u64,
+}
+
+/// The tier-3 closed form of one wave: the exact superblock sequence
+/// the tier-2 loop would execute for this wave index, with all control
+/// flow resolved at lowering time, plus the pre-totalled bookkeeping of
+/// a fault-free run. Executing the schedule is bit-identical to tier 2:
+/// the same blocks run in the same order against the same state; only
+/// the per-iteration block lookup, branch dispatch and incremental
+/// bookkeeping disappear.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct WaveSchedule {
+    pub steps: Vec<ScheduleStep>,
+    /// Total cycles of a fault-free run (blocks + branches + endpgm).
+    pub cycles: u64,
+    /// Total instructions of a fault-free run.
+    pub instructions: u64,
+    /// Total coverage mask of a fault-free run.
+    pub mask: u64,
+}
+
+/// Per-wave-index tier-3 schedules (`None` = this wave's control flow
+/// could not be resolved statically and executes on tier 2).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Tier3Plan {
+    waves: Vec<Option<WaveSchedule>>,
+}
+
+impl Tier3Plan {
+    /// The schedule for `wave_index`, if one was lowered.
+    pub fn schedule(&self, wave_index: usize) -> Option<&WaveSchedule> {
+        self.waves.get(wave_index).and_then(Option::as_ref)
+    }
+
+    /// Number of wave indices with a lowered schedule.
+    pub fn scheduled_waves(&self) -> usize {
+        self.waves.iter().flatten().count()
+    }
+
+    /// Builds schedules for wave indices `0..TIER3_WAVE_SCHEDULES`.
+    /// Returns `None` when no wave resolves (or the kernel has trap
+    /// sites — trapping kernels always take the single-step path that
+    /// reports them).
+    fn build(code: &[PreInstr], trace: &SuperTrace) -> Option<Tier3Plan> {
+        if code.is_empty() || code.iter().any(|p| p.trap.is_some()) {
+            return None;
+        }
+        let waves: Vec<Option<WaveSchedule>> = (0..TIER3_WAVE_SCHEDULES)
+            .map(|w| Tier3Plan::build_wave(code, trace, w))
+            .collect();
+        waves
+            .iter()
+            .any(Option::is_some)
+            .then_some(Tier3Plan { waves })
+    }
+
+    /// Statically replays the tier-2 dispatch loop for one wave index
+    /// under a constant lattice: block effects are applied to the
+    /// lattice, branches are followed only when their `scc` is a known
+    /// constant, `s_endpgm` finishes the schedule. Any unresolved
+    /// branch, stray non-control-flow single step or blown step cap
+    /// abandons the wave (tier 2 handles it).
+    fn build_wave(code: &[PreInstr], trace: &SuperTrace, wave: usize) -> Option<WaveSchedule> {
+        let mut sim = ConstSim::new();
+        let mut sched = WaveSchedule::default();
+        let mut pc = 0usize;
+        loop {
+            if sched.instructions > TIER3_MAX_STEPS {
+                return None;
+            }
+            let bi = *trace.block_at.get(pc)?;
+            if bi != 0 {
+                let b = &trace.blocks[bi as usize - 1];
+                sim.apply_block(trace, b, wave);
+                sched.steps.push(ScheduleStep {
+                    block: bi - 1,
+                    pre_cycles: sched.cycles,
+                    pre_instructions: sched.instructions,
+                    pre_mask: sched.mask,
+                });
+                sched.cycles += b.cost;
+                sched.instructions += u64::from(b.len);
+                sched.mask |= b.mask;
+                pc = (b.start + b.len) as usize;
+                continue;
+            }
+            let pre = &code[pc];
+            sched.cycles += pre.cost;
+            sched.instructions += 1;
+            sched.mask |= pre.mask;
+            match pre.instr {
+                Instr::SEndpgm => return Some(sched),
+                Instr::SBranch { target } => pc = target,
+                Instr::SCbranchScc1 { target } => {
+                    pc = if sim.scc? { target } else { pc + 1 };
+                }
+                Instr::SCbranchScc0 { target } => {
+                    pc = if !sim.scc? { target } else { pc + 1 };
+                }
+                // A non-control-flow instruction outside every block
+                // (an unreachable-leader artifact): leave it to tier 2.
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// The tier-3 constant lattice: SGPR values known at lowering time,
+/// the `scc` flag when its inputs were known, and whether `v0` still
+/// holds the hardware-preinitialized lane-id vector (the one vector
+/// value that *is* statically known per wave index — `v_readlane_b32`
+/// from a pristine `v0` yields `wave*16 + lane`). Kernel arguments are
+/// unknown; anything derived from them stays unknown, which is what
+/// keeps the lattice sound: a branch is only followed when its
+/// condition provably matches every possible execution of this wave.
+struct ConstSim {
+    sgpr: [Option<u32>; SGPR_COUNT],
+    scc: Option<bool>,
+    v0_pristine: bool,
+}
+
+impl ConstSim {
+    fn new() -> Self {
+        ConstSim {
+            sgpr: [None; SGPR_COUNT],
+            scc: None,
+            v0_pristine: true,
+        }
+    }
+
+    fn val(&self, p: PS) -> Option<u32> {
+        match p {
+            PS::S(r) => self.sgpr[usize::from(r)],
+            PS::K(k) => Some(k),
+        }
+    }
+
+    fn bin(&self, a: PS, b: PS, f: impl Fn(u32, u32) -> u32) -> Option<u32> {
+        Some(f(self.val(a)?, self.val(b)?))
+    }
+
+    /// Applies one superblock's architectural effects to the lattice.
+    /// Mirrors `run_block`'s arithmetic exactly (wrapping i32 ops, the
+    /// `& 31` shift mask, `lane % 16` cross-lane indexing); ops whose
+    /// result depends on launch state (memory, unknown registers) drop
+    /// their destination to unknown.
+    fn apply_block(&mut self, trace: &SuperTrace, b: &Superblock, wave: usize) {
+        let ops = &trace.ops[b.op_start as usize..(b.op_start + b.op_len) as usize];
+        for op in ops {
+            match *op {
+                MacroOp::Lanes { start, n } => {
+                    for lop in &trace.lane_ops[start as usize..(start + n) as usize] {
+                        if lop.dst == 0 {
+                            self.v0_pristine = false;
+                        }
+                    }
+                }
+                MacroOp::SMov { dst, src } => self.sgpr[usize::from(dst)] = self.val(src),
+                MacroOp::SAddI { dst, a, b } => {
+                    self.sgpr[usize::from(dst)] =
+                        self.bin(a, b, |x, y| (x as i32).wrapping_add(y as i32) as u32);
+                }
+                MacroOp::SSubI { dst, a, b } => {
+                    self.sgpr[usize::from(dst)] =
+                        self.bin(a, b, |x, y| (x as i32).wrapping_sub(y as i32) as u32);
+                }
+                MacroOp::SMulI { dst, a, b } => {
+                    self.sgpr[usize::from(dst)] =
+                        self.bin(a, b, |x, y| (x as i32).wrapping_mul(y as i32) as u32);
+                }
+                MacroOp::SAndB { dst, a, b } => {
+                    self.sgpr[usize::from(dst)] = self.bin(a, b, |x, y| x & y);
+                }
+                MacroOp::SLshl { dst, a, shift } => {
+                    self.sgpr[usize::from(dst)] = self.bin(a, shift, |x, s| x << (s & 31));
+                }
+                MacroOp::SCmpLt { a, b } => {
+                    self.scc = self
+                        .bin(a, b, |x, y| u32::from((x as i32) < (y as i32)))
+                        .map(|v| v != 0);
+                }
+                MacroOp::SCmpEq { a, b } => {
+                    self.scc = self.bin(a, b, |x, y| u32::from(x == y)).map(|v| v != 0);
+                }
+                MacroOp::SNop | MacroOp::AndExecVcc | MacroOp::MovExecAll => {}
+                MacroOp::SLoad { dst, .. } => self.sgpr[usize::from(dst)] = None,
+                MacroOp::VCmpGt { .. } | MacroOp::VCmpLt { .. } => {}
+                MacroOp::Readlane { dst, src, lane } => {
+                    self.sgpr[usize::from(dst)] = if src == 0 && self.v0_pristine {
+                        Some((wave * WAVEFRONT_LANES + usize::from(lane) % WAVEFRONT_LANES) as u32)
+                    } else {
+                        None
+                    };
+                }
+                MacroOp::Writelane { dst, .. }
+                | MacroOp::BufLoad { dst, .. }
+                | MacroOp::LdsRead { dst, .. } => {
+                    if dst == 0 {
+                        self.v0_pristine = false;
+                    }
+                }
+                MacroOp::BufStore { .. } | MacroOp::LdsWrite { .. } => {}
+            }
+        }
+    }
+}
+
 /// A kernel lowered for one engine configuration (cost model + retained
 /// feature set).
 #[derive(Debug, Clone, PartialEq)]
@@ -476,6 +862,9 @@ pub struct PredecodedKernel {
     /// The tier-2 superblock trace, present iff the kernel was lowered
     /// with [`PredecodedKernel::lower_traced`].
     pub(crate) trace: Option<SuperTrace>,
+    /// Tier-3 closed-form schedules, present iff the traced lowering
+    /// resolved at least one wave's control flow statically.
+    pub(crate) tier3: Option<Tier3Plan>,
 }
 
 impl PredecodedKernel {
@@ -519,14 +908,19 @@ impl PredecodedKernel {
             code,
             static_mask,
             trace: None,
+            tier3: None,
         }
     }
 
-    /// Lowers `kernel` through both tiers: tier-1 [`PreInstr`]s plus the
-    /// tier-2 [`SuperTrace`] the superblock executor dispatches on.
+    /// Lowers `kernel` through all tiers: tier-1 [`PreInstr`]s, the
+    /// tier-2 [`SuperTrace`] the superblock executor dispatches on, and
+    /// tier-3 closed-form wave schedules where control flow resolves
+    /// statically.
     pub fn lower_traced(kernel: &Kernel, cost: &CostModel, retained: Option<&CoverageSet>) -> Self {
         let mut pk = PredecodedKernel::lower(kernel, cost, retained);
-        pk.trace = Some(SuperTrace::build(&pk.code));
+        let trace = SuperTrace::build(&pk.code);
+        pk.tier3 = Tier3Plan::build(&pk.code, &trace);
+        pk.trace = Some(trace);
         pk
     }
 
@@ -583,12 +977,46 @@ impl PredecodedKernel {
     pub fn fused_lane_ops(&self) -> usize {
         self.trace.as_ref().map_or(0, |t| t.fused_lane_ops as usize)
     }
+
+    /// The tier-3 closed-form schedule for `wave_index`, if the traced
+    /// lowering resolved this wave's control flow statically.
+    pub(crate) fn tier3_schedule(&self, wave_index: usize) -> Option<&WaveSchedule> {
+        self.tier3.as_ref().and_then(|p| p.schedule(wave_index))
+    }
+
+    /// Number of wave indices with a tier-3 closed-form schedule.
+    pub fn tier3_waves(&self) -> usize {
+        self.tier3.as_ref().map_or(0, Tier3Plan::scheduled_waves)
+    }
+
+    /// Whether any wave index has a tier-3 schedule.
+    pub fn has_tier3(&self) -> bool {
+        self.tier3_waves() > 0
+    }
+}
+
+/// Per-kernel hit/miss telemetry of one [`PredecodeCache`] entry, keyed
+/// by name + fingerprint so the serve report can show *which* kernel
+/// misses (and which carry tier-3 schedules) rather than one global
+/// hit-rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelCacheStats {
+    /// Source kernel name.
+    pub name: String,
+    /// [`Kernel::fingerprint`] of the cached lowering.
+    pub fingerprint: u64,
+    /// Lookups of this kernel served from the cache.
+    pub hits: u64,
+    /// Lookups of this kernel that had to lower it.
+    pub misses: u64,
+    /// Wave indices with a tier-3 closed-form schedule.
+    pub tier3_waves: usize,
 }
 
 /// Hit/miss/size counters of a [`PredecodeCache`], surfaced through
 /// [`Engine::predecode_stats`](crate::Engine::predecode_stats) and the
 /// benchmark telemetry so cache effectiveness is visible across PRs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PredecodeStats {
     /// Lookups served from the cache.
     pub hits: u64,
@@ -603,6 +1031,15 @@ pub struct PredecodeStats {
     /// Lane-local vector ops fused into multi-op macro groups across
     /// traced kernels.
     pub fused_lane_ops: u64,
+    /// Cached kernels with at least one tier-3 wave schedule.
+    pub tier3_kernels: usize,
+    /// Total tier-3 wave schedules across cached kernels.
+    pub tier3_waves: u64,
+    /// Cached fused launch streams.
+    pub streams: usize,
+    /// Per-kernel hit/miss breakdown, sorted by kernel name (then
+    /// fingerprint, for same-named variants under different trims).
+    pub per_kernel: Vec<KernelCacheStats>,
 }
 
 impl PredecodeStats {
@@ -617,19 +1054,58 @@ impl PredecodeStats {
     }
 }
 
+/// One cached lowering plus its private hit/miss counters.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    pk: Arc<PredecodedKernel>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A fused launch stream: the lowered kernels of a fixed multi-kernel
+/// sequence (e.g. the LSTM gate/combine pair), resolved once and
+/// relaunched as one unit so the steady state pays a single cache
+/// lookup — not one fingerprint + hash probe per stage — and no
+/// per-launch front-end re-setup between stages.
+#[derive(Debug, Clone)]
+pub struct PredecodedStream {
+    /// `(lowered kernel, wave count)` per stage, in launch order.
+    pub(crate) stages: Vec<(Arc<PredecodedKernel>, usize)>,
+}
+
+impl PredecodedStream {
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the stream has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
 /// A cache of lowered kernels keyed by `(fingerprint, trim mask)` — the
 /// trim mask being the retained-feature set the lowering baked its trap
 /// verdicts against (`None` = untrimmed). Within one engine the retained
 /// set is fixed, but the compound key makes the cache sound to share and
 /// lets the hit-rate telemetry cover both lowering tiers uniformly.
 /// `Arc` because the partitioned batch launcher shares the lowered
-/// kernel across CU worker threads.
+/// kernel across CU worker threads. Fused streams are cached separately
+/// by the stage fingerprint/wave sequence; their lookups are accounted
+/// as one hit or miss *per stage* so totals stay comparable with
+/// per-launch counting.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PredecodeCache {
-    kernels: HashMap<(u64, Option<u64>), Arc<PredecodedKernel>>,
+    kernels: HashMap<(u64, Option<u64>), CacheEntry>,
+    streams: HashMap<StreamKey, Arc<PredecodedStream>>,
     hits: u64,
     misses: u64,
 }
+
+/// Fused-stream cache key: the per-stage `(kernel fingerprint, wave
+/// count)` sequence plus the trim-plan fingerprint.
+type StreamKey = (Vec<(u64, usize)>, Option<u64>);
 
 impl PredecodeCache {
     /// Returns the cached lowering of `kernel`, lowering on first use.
@@ -642,18 +1118,62 @@ impl PredecodeCache {
         tier2: bool,
     ) -> Arc<PredecodedKernel> {
         let key = (kernel.fingerprint(), retained.map(CoverageSet::mask));
-        if let Some(k) = self.kernels.get(&key) {
+        if let Some(e) = self.kernels.get_mut(&key) {
             self.hits += 1;
-            return Arc::clone(k);
+            e.hits += 1;
+            return Arc::clone(&e.pk);
         }
         self.misses += 1;
-        let k = Arc::new(if tier2 {
+        let pk = Arc::new(if tier2 {
             PredecodedKernel::lower_traced(kernel, cost, retained)
         } else {
             PredecodedKernel::lower(kernel, cost, retained)
         });
-        self.kernels.insert(key, Arc::clone(&k));
-        k
+        self.kernels.insert(
+            key,
+            CacheEntry {
+                pk: Arc::clone(&pk),
+                hits: 0,
+                misses: 1,
+            },
+        );
+        pk
+    }
+
+    /// Returns the cached fused stream for a fixed `(kernel, waves)`
+    /// sequence, resolving each stage through [`Self::get_or_lower`] on
+    /// first use. A stream hit books one cache hit per stage.
+    pub fn get_or_stream(
+        &mut self,
+        stages: &[(&Kernel, usize)],
+        cost: &CostModel,
+        retained: Option<&CoverageSet>,
+        tier2: bool,
+    ) -> Arc<PredecodedStream> {
+        let trim = retained.map(CoverageSet::mask);
+        let key = (
+            stages
+                .iter()
+                .map(|(k, w)| (k.fingerprint(), *w))
+                .collect::<Vec<_>>(),
+            trim,
+        );
+        if let Some(s) = self.streams.get(&key).cloned() {
+            self.hits += stages.len() as u64;
+            for (pk, _) in &s.stages {
+                if let Some(e) = self.kernels.get_mut(&(pk.fingerprint(), trim)) {
+                    e.hits += 1;
+                }
+            }
+            return s;
+        }
+        let built = stages
+            .iter()
+            .map(|(k, w)| (self.get_or_lower(k, cost, retained, tier2), *w))
+            .collect();
+        let s = Arc::new(PredecodedStream { stages: built });
+        self.streams.insert(key, Arc::clone(&s));
+        s
     }
 
     /// Number of cached kernels.
@@ -661,21 +1181,37 @@ impl PredecodeCache {
         self.kernels.len()
     }
 
-    /// Hit/miss/size counters, including tier-2 trace totals.
+    /// Hit/miss/size counters, including tier-2 trace and tier-3
+    /// schedule totals plus the per-kernel breakdown.
     pub fn stats(&self) -> PredecodeStats {
         let mut s = PredecodeStats {
             hits: self.hits,
             misses: self.misses,
             kernels: self.kernels.len(),
+            streams: self.streams.len(),
             ..PredecodeStats::default()
         };
-        for k in self.kernels.values() {
+        for e in self.kernels.values() {
+            let k = &e.pk;
             if k.has_trace() {
                 s.traced_kernels += 1;
                 s.superblocks += k.superblocks() as u64;
                 s.fused_lane_ops += k.fused_lane_ops() as u64;
             }
+            if k.has_tier3() {
+                s.tier3_kernels += 1;
+                s.tier3_waves += k.tier3_waves() as u64;
+            }
+            s.per_kernel.push(KernelCacheStats {
+                name: k.name().to_string(),
+                fingerprint: k.fingerprint(),
+                hits: e.hits,
+                misses: e.misses,
+                tier3_waves: k.tier3_waves(),
+            });
         }
+        s.per_kernel
+            .sort_by(|a, b| a.name.cmp(&b.name).then(a.fingerprint.cmp(&b.fingerprint)));
         s
     }
 }
@@ -743,6 +1279,74 @@ mod tests {
         let trap = pk.code[1].trap.expect("v_exp traps");
         assert_eq!(trap.feature, Feature::ValuExp);
         assert_eq!(trap.prior_mask, Feature::DecValuTrans.bit());
+    }
+
+    #[test]
+    fn mac_loop_blocks_match_dot_loop_lowering() {
+        // The LSTM-gates inner-loop shapes: a uniform LDS weight load
+        // (xloop, with the leading scalar add) and a uniform buffer
+        // activation load (hloop), each followed by a strided LDS
+        // gather and a MAC. The backedge block of each loop must get a
+        // fused DotLoop lowering — if a kernel change silently breaks
+        // the match, tier 3 falls back to per-op dispatch and the
+        // serving throughput regresses without failing any test.
+        let k = assemble(
+            r#"
+            v_mul_i32 v4, 64, v0
+            v_mov_b32 v3, 0.0
+            s_mov_b32 s10, 0
+            s_mov_b32 s11, 0
+        xloop:
+            s_add_i32 s12, s0, s11
+            v_mov_b32 v6, s12
+            ds_read_b32 v7, v6
+            v_add_i32 v8, s11, v4
+            ds_read_b32 v9, v8
+            v_mac_f32 v3, v7, v9
+            s_add_i32 s11, s11, 4
+            s_add_i32 s10, s10, 1
+            s_cmp_lt_i32 s10, 16
+            s_cbranch_scc1 xloop
+            s_mov_b32 s10, 0
+            s_mov_b32 s11, 0
+        hloop:
+            v_mov_b32 v6, s11
+            buffer_load_dword v7, v6, s1
+            v_add_i32 v8, s11, v4
+            ds_read_b32 v9, v8
+            v_mac_f32 v3, v7, v9
+            s_add_i32 s11, s11, 4
+            s_add_i32 s10, s10, 1
+            s_cmp_lt_i32 s10, 16
+            s_cbranch_scc1 hloop
+            v_lshl_b32 v10, v0, 2
+            buffer_store_dword v3, v10, s2
+            s_endpgm
+        "#,
+        )
+        .expect("assembles");
+        let pk = PredecodedKernel::lower_traced(&k, &CostModel::miaow(), None);
+        let trace = pk.trace.as_ref().expect("superblocks form");
+        assert_eq!(trace.dot_loops.len(), trace.blocks.len());
+
+        let fused: Vec<&DotLoop> = trace.dot_loops.iter().flatten().collect();
+        assert_eq!(
+            fused.len(),
+            2,
+            "both backedge blocks lower to fused MAC loops"
+        );
+        assert_eq!(
+            fused[0].uload.2,
+            DotUniformSrc::Lds,
+            "xloop's uniform load reads LDS"
+        );
+        assert!(fused[0].pre.is_some(), "xloop has the leading scalar add");
+        assert_eq!(
+            fused[1].uload.2,
+            DotUniformSrc::Buf { sbase: 1 },
+            "hloop's uniform load reads the buffer via s1"
+        );
+        assert!(fused[1].pre.is_none());
     }
 
     #[test]
@@ -861,5 +1465,160 @@ mod tests {
         assert_eq!(s.traced_kernels, 1);
         assert_eq!(s.superblocks, 2);
         assert!(s.fused_lane_ops >= 2);
+    }
+
+    #[test]
+    fn tier3_resolves_constant_loop() {
+        // The loop kernel's trip count comes entirely from immediates:
+        // every wave resolves to the same 4-iteration schedule.
+        let pk = PredecodedKernel::lower_traced(&loop_kernel(), &CostModel::miaow(), None);
+        assert_eq!(pk.tier3_waves(), TIER3_WAVE_SCHEDULES);
+        let sched = pk.tier3_schedule(0).expect("wave 0 resolves");
+        // Blocks: entry (pcs 0-4) then 3 re-entries of the body (pcs
+        // 1-4); 4 branches + s_endpgm single-stepped in between.
+        assert_eq!(sched.steps.len(), 4);
+        assert_eq!(sched.instructions, 5 + 3 * 4 + 4 + 1);
+        let branch_cost = pk.code[5].cost; // s_cbranch
+        let end_cost = pk.code[6].cost; // s_endpgm
+        let trace = pk.trace.as_ref().unwrap();
+        let block_cycles: u64 = sched
+            .steps
+            .iter()
+            .map(|st| trace.blocks[st.block as usize].cost)
+            .sum();
+        assert_eq!(sched.cycles, block_cycles + 4 * branch_cost + end_cost);
+        // Prefix bookkeeping is cumulative and starts at zero.
+        assert_eq!(sched.steps[0].pre_cycles, 0);
+        assert_eq!(sched.steps[0].pre_instructions, 0);
+        assert!(sched.steps[1].pre_instructions > sched.steps[0].pre_instructions);
+    }
+
+    /// A kernel whose branch depends on the wave index via
+    /// `v_readlane_b32` from pristine `v0` — the lstm_gates selection
+    /// idiom. Waves 0/1 diverge: lane 0 of wave 0 holds 0, of wave 1
+    /// holds 16.
+    fn readlane_branch_kernel() -> Kernel {
+        assemble(
+            r#"
+            v_readlane_b32 s1, v0, 0
+            s_cmp_eq_i32 s1, 16
+            s_cbranch_scc1 other
+            v_mov_b32 v1, 1.0
+            s_endpgm
+            other:
+            v_mov_b32 v1, 2.0
+            s_endpgm
+        "#,
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn tier3_resolves_wave_dependent_readlane_branch() {
+        let pk =
+            PredecodedKernel::lower_traced(&readlane_branch_kernel(), &CostModel::miaow(), None);
+        assert_eq!(pk.tier3_waves(), TIER3_WAVE_SCHEDULES);
+        let trace = pk.trace.as_ref().unwrap();
+        let w0 = pk.tier3_schedule(0).expect("wave 0");
+        let w1 = pk.tier3_schedule(1).expect("wave 1");
+        // Wave 0 falls through (blocks at pc 0 and pc 3); wave 1 takes
+        // the branch to pc 5.
+        let last0 = trace.blocks[w0.steps.last().unwrap().block as usize].start;
+        let last1 = trace.blocks[w1.steps.last().unwrap().block as usize].start;
+        assert_eq!(last0, 3);
+        assert_eq!(last1, 5);
+        assert_ne!(w0.mask, 0);
+    }
+
+    #[test]
+    fn tier3_bails_on_argument_dependent_branch() {
+        // Loop bound comes from memory (s_load_dword): scc is unknown,
+        // so no wave resolves and the kernel carries no tier-3 plan.
+        let k = assemble(
+            r#"
+            s_load_dword s2, s0, 0
+            s_mov_b32 s1, 0
+            loop:
+            s_add_i32 s1, s1, 1
+            s_cmp_lt_i32 s1, s2
+            s_cbranch_scc1 loop
+            s_endpgm
+        "#,
+        )
+        .expect("assembles");
+        let pk = PredecodedKernel::lower_traced(&k, &CostModel::miaow(), None);
+        assert!(!pk.has_tier3());
+        assert_eq!(pk.tier3_schedule(0), None);
+    }
+
+    #[test]
+    fn tier3_skips_trapping_kernels() {
+        let retained: CoverageSet = Feature::all()
+            .into_iter()
+            .filter(|f| *f != Feature::ValuExp)
+            .collect();
+        let pk = PredecodedKernel::lower_traced(&kernel(), &CostModel::miaow(), Some(&retained));
+        assert!(pk.traps());
+        assert!(!pk.has_tier3());
+    }
+
+    #[test]
+    fn tier3_clobbered_v0_blocks_readlane_constants() {
+        // v0 is overwritten before the readlane: lane values are no
+        // longer the hardware pre-init, so the branch must not resolve.
+        let k = assemble(
+            r#"
+            v_mov_b32 v0, 0
+            v_readlane_b32 s1, v0, 0
+            s_cmp_eq_i32 s1, 0
+            s_cbranch_scc1 done
+            v_mov_b32 v1, 1.0
+            done:
+            s_endpgm
+        "#,
+        )
+        .expect("assembles");
+        let pk = PredecodedKernel::lower_traced(&k, &CostModel::miaow(), None);
+        assert!(!pk.has_tier3());
+    }
+
+    #[test]
+    fn stream_lookup_counts_per_stage_hits() {
+        let a = loop_kernel();
+        let b = kernel();
+        let mut cache = PredecodeCache::default();
+        let s1 = cache.get_or_stream(&[(&a, 2), (&b, 1)], &CostModel::miaow(), None, true);
+        // First stream lookup lowers both stages: 2 misses, no hits.
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.streams), (0, 2, 1));
+        let s2 = cache.get_or_stream(&[(&a, 2), (&b, 1)], &CostModel::miaow(), None, true);
+        assert!(Arc::ptr_eq(&s1, &s2), "second lookup reuses the stream");
+        // A stream hit books one hit per stage, globally and per kernel.
+        let st = cache.stats();
+        assert_eq!((st.hits, st.misses, st.streams), (2, 2, 1));
+        for pk in &st.per_kernel {
+            assert_eq!((pk.hits, pk.misses), (1, 1), "{}", pk.name);
+        }
+        // A different wave split is a different stream.
+        cache.get_or_stream(&[(&a, 4), (&b, 1)], &CostModel::miaow(), None, true);
+        assert_eq!(cache.stats().streams, 2);
+    }
+
+    #[test]
+    fn per_kernel_stats_are_sorted_and_complete() {
+        let mut cache = PredecodeCache::default();
+        cache.get_or_lower(&loop_kernel(), &CostModel::miaow(), None, true);
+        cache.get_or_lower(&loop_kernel(), &CostModel::miaow(), None, true);
+        cache.get_or_lower(&kernel(), &CostModel::miaow(), None, false);
+        let s = cache.stats();
+        assert_eq!(s.per_kernel.len(), 2);
+        let names: Vec<&str> = s.per_kernel.iter().map(|k| k.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let total_hits: u64 = s.per_kernel.iter().map(|k| k.hits).sum();
+        let total_misses: u64 = s.per_kernel.iter().map(|k| k.misses).sum();
+        assert_eq!((total_hits, total_misses), (s.hits, s.misses));
+        assert_eq!(s.tier3_kernels, 1, "only the traced kernel has tier-3");
     }
 }

@@ -1,0 +1,437 @@
+//! The certificate-gated fast-path contract (DESIGN.md §15): with a
+//! kernel's resource certificates attested, the engine may run chunked
+//! SIMD lane loops, uniform-load broadcasts and tier-3 closed-form wave
+//! schedules — and every one of them must be bit-identical to the
+//! tier-1 interpreter: memory, stats (cycles, instructions, per-CU
+//! attribution), observed coverage, and the error paths (bad addresses
+//! and trimmed-feature traps land on the same instruction with the
+//! same partial state). De-attesting a kernel must drop the engine
+//! back down the fallback ladder with identical results.
+
+use proptest::prelude::*;
+
+use rtad_miaow::asm::assemble;
+use rtad_miaow::{
+    CoverageSet, Engine, EngineConfig, ExecError, GpuMemory, Kernel, KernelAttestation,
+    LaunchStats, TrimPlan,
+};
+
+/// Attesting exactly the engine's default watchdog budget keeps the
+/// effective budget unchanged for arbitrary kernels while still
+/// counting as a proven bound — so the attested run differs from the
+/// unattested one only in which fast paths are armed.
+const DEFAULT_BUDGET: u64 = 10_000_000;
+
+/// Random kernels with a bounded counted loop, an optional forward
+/// skip, EXEC-mask divergence and uniform-address loads — the shapes
+/// that exercise chunked lane loops, masked fallbacks, broadcast loads
+/// and (when control flow resolves statically) tier-3 schedules.
+fn arb_instr() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_add_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_sub_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_mul_f32 v{d}, v{s}, v{d}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_mac_f32 v{d}, 0.5, v{s}")),
+        (1u8..8, 1u8..8).prop_map(|(d, s)| format!("v_max_f32 v{d}, v{s}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_mov_b32 v{d}, 1.25")),
+        (1u8..8,).prop_map(|(d,)| format!("v_exp_f32 v{d}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_rcp_f32 v{d}, v{d}")),
+        (1u8..8,).prop_map(|(d,)| format!("v_cvt_f32_i32 v{d}, v0")),
+        // EXEC-mask divergence: forces the masked scalar fallback for
+        // the ops inside the region and a mask re-merge after it.
+        (1u8..8,).prop_map(|(d,)| format!(
+            "v_cmp_gt_f32 v{d}, v1\ns_and_exec_vcc\n\
+                                           v_mov_b32 v{d}, 0.5\ns_mov_exec_all"
+        )),
+        // Uniform-address loads: every lane reads the same word, the
+        // shape the chunked broadcast fast path accelerates.
+        (1u8..8, 0u32..60)
+            .prop_map(|(d, k)| { format!("v_mov_b32 v9, {}\nds_read_b32 v{d}, v9", k * 4) }),
+        (1u8..8, 0u32..60).prop_map(|(d, k)| {
+            format!("v_mov_b32 v9, {}\nbuffer_load_dword v{d}, v9, s0", k * 4)
+        }),
+    ]
+}
+
+fn arb_branchy_kernel() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(arb_instr(), 1..8),
+        proptest::collection::vec(arb_instr(), 0..6),
+        1u32..5,       // loop trip count
+        any::<bool>(), // forward skip in the tail?
+    )
+        .prop_map(|(body, tail, trips, skip)| {
+            let mut src = String::from("s_mov_b32 s2, 0\nloop:\n");
+            src.push_str(&body.join("\n"));
+            src.push_str(&format!(
+                "\ns_add_i32 s2, s2, 1\ns_cmp_lt_i32 s2, {trips}\ns_cbranch_scc1 loop\n"
+            ));
+            if skip {
+                src.push_str(&format!(
+                    "s_cmp_eq_i32 s2, {}\ns_cbranch_scc1 skip\n",
+                    trips + 1
+                ));
+            }
+            src.push_str(&tail.join("\n"));
+            if skip {
+                src.push_str("\nskip:");
+            }
+            src.push_str(
+                "\nv_lshl_b32 v10, v0, 2\n\
+                 buffer_store_dword v1, v10, s1\n\
+                 s_endpgm\n",
+            );
+            src
+        })
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Tier-1 interpreter (coverage observation routes around tier 2).
+    Tier1,
+    /// Tier-2 superblock traces, no certificates: scalar lane loops.
+    Tier2,
+    /// Tier-2 with both certificates attested: chunked lane loops,
+    /// broadcast loads, and tier-3 schedules where they resolve.
+    Attested,
+}
+
+struct Outcome {
+    mem: GpuMemory,
+    result: Result<LaunchStats, ExecError>,
+    observed: CoverageSet,
+}
+
+fn engine_for(kernel: &Kernel, mode: Mode, retained: Option<&CoverageSet>) -> Engine {
+    let mut cfg = EngineConfig::miaow();
+    cfg.cus = 2;
+    cfg.observe_coverage = mode == Mode::Tier1;
+    cfg.retained = retained.cloned();
+    let mut engine = Engine::new(cfg);
+    if mode == Mode::Attested {
+        engine.attest(
+            kernel.fingerprint(),
+            KernelAttestation {
+                max_wave_cycles: DEFAULT_BUDGET,
+                lane_disjoint: true,
+            },
+        );
+    }
+    engine
+}
+
+fn fresh_mem() -> GpuMemory {
+    let mut mem = GpuMemory::new(1024);
+    for i in 0..64 {
+        mem.write_f32(i * 4, (i as f32) * 0.25 - 4.0);
+    }
+    mem
+}
+
+fn run(
+    src: &str,
+    waves: usize,
+    mode: Mode,
+    retained: Option<&CoverageSet>,
+    args: &[u32],
+) -> Outcome {
+    let kernel = assemble(src).expect("generated source assembles");
+    let mut engine = engine_for(&kernel, mode, retained);
+    assert_eq!(engine.uses_superblocks(), mode != Mode::Tier1);
+    let lds: Vec<f32> = (0..64).map(|i| i as f32 * 0.75 - 3.0).collect();
+    engine.stage_lds(0, &lds);
+    let mut mem = fresh_mem();
+    let result = engine.launch(&kernel, waves, args, &mut mem);
+    Outcome {
+        mem,
+        result,
+        observed: engine.observed_coverage().clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Success path: the attested fast paths (chunked lanes, broadcast
+    /// loads, tier-3 schedules) == the tier-1 interpreter == scalar
+    /// tier-2, bit for bit — memory, stats and observed coverage.
+    #[test]
+    fn attested_paths_equal_interpreter(
+        src in arb_branchy_kernel(),
+        waves in 1usize..=6,
+    ) {
+        let t1 = run(&src, waves, Mode::Tier1, None, &[0, 512]);
+        let t2 = run(&src, waves, Mode::Tier2, None, &[0, 512]);
+        let t3 = run(&src, waves, Mode::Attested, None, &[0, 512]);
+        let s1 = t1.result.expect("bounded kernels run");
+        let s2 = t2.result.expect("bounded kernels run");
+        let s3 = t3.result.expect("bounded kernels run");
+        prop_assert_eq!(&s1, &s2, "scalar tier-2 stats");
+        prop_assert_eq!(&s1, &s3, "attested stats including cycle accounting");
+        prop_assert_eq!(&t1.mem, &t2.mem);
+        prop_assert_eq!(&t1.mem, &t3.mem);
+        prop_assert_eq!(&t1.observed, &t2.observed);
+        prop_assert_eq!(&t1.observed, &t3.observed);
+    }
+
+    /// Bad-address path: an out-of-range store base faults at the same
+    /// instruction with the same `ExecError::BadAddress`, the same
+    /// partial lane stores and partial coverage, certificates or not.
+    #[test]
+    fn attested_bad_address_equals_interpreter(
+        src in arb_branchy_kernel(),
+        waves in 1usize..=4,
+    ) {
+        let t1 = run(&src, waves, Mode::Tier1, None, &[0, 2000]);
+        let t3 = run(&src, waves, Mode::Attested, None, &[0, 2000]);
+        let e1 = t1.result.expect_err("out-of-range store must fault");
+        let e3 = t3.result.expect_err("out-of-range store must fault");
+        prop_assert_eq!(&e1, &e3);
+        prop_assert!(matches!(e1, ExecError::BadAddress { .. }));
+        prop_assert_eq!(&t1.mem, &t3.mem);
+        prop_assert_eq!(&t1.observed, &t3.observed);
+    }
+
+    /// Trap path: a randomly trimmed-away feature traps at the same pc
+    /// with the same prior state under the attested fast paths — trap
+    /// sites disqualify a kernel from tier-3 entirely, so the attested
+    /// engine must reach them through the tier-2 single-step fallback.
+    #[test]
+    fn attested_trap_equals_interpreter(
+        src in arb_branchy_kernel(),
+        waves in 1usize..=4,
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let profiled = run(&src, 1, Mode::Tier1, None, &[0, 512]);
+        profiled.result.expect("profiling run succeeds");
+        let non_core: Vec<_> = profiled.observed.iter().filter(|f| !f.is_core()).collect();
+        prop_assume!(!non_core.is_empty());
+        let removed = non_core[pick.index(non_core.len())];
+        let reduced: CoverageSet =
+            profiled.observed.iter().filter(|&f| f != removed).collect();
+        let retained = TrimPlan::from_coverage(&reduced).retained().clone();
+
+        let t1 = run(&src, waves, Mode::Tier1, Some(&retained), &[0, 512]);
+        let t3 = run(&src, waves, Mode::Attested, Some(&retained), &[0, 512]);
+        let e1 = t1.result.expect_err("removed feature must trap");
+        let e3 = t3.result.expect_err("removed feature must trap");
+        prop_assert_eq!(&e1, &e3);
+        prop_assert!(matches!(e1, ExecError::TrimmedFeature { .. }));
+        prop_assert_eq!(&t1.mem, &t3.mem);
+        prop_assert_eq!(&t1.observed, &t3.observed);
+    }
+
+    /// De-attestation: revoking a kernel's certificates mid-session
+    /// drops the engine back to the scalar tier-2 path — the tier
+    /// census must show no further tier-3 dispatches, and the results
+    /// must stay bit-identical.
+    #[test]
+    fn deattestation_falls_back_to_scalar(
+        src in arb_branchy_kernel(),
+        waves in 1usize..=4,
+    ) {
+        let kernel = assemble(&src).expect("generated source assembles");
+        let mut engine = engine_for(&kernel, Mode::Attested, None);
+        let lds: Vec<f32> = (0..64).map(|i| i as f32 * 0.75 - 3.0).collect();
+        engine.stage_lds(0, &lds);
+
+        let mut mem_a = fresh_mem();
+        let stats_a = engine
+            .launch(&kernel, waves, &[0, 512], &mut mem_a)
+            .expect("bounded kernels run");
+        let attested_census = engine.tier_census();
+        prop_assert_eq!(attested_census.tier1, 0, "attested engine must not interpret");
+
+        prop_assert!(
+            engine.deattest(kernel.fingerprint()).is_some(),
+            "certificates were attested above"
+        );
+        engine.reset_tier_census();
+        let mut mem_b = fresh_mem();
+        let stats_b = engine
+            .launch(&kernel, waves, &[0, 512], &mut mem_b)
+            .expect("bounded kernels run");
+        let fallback_census = engine.tier_census();
+
+        prop_assert_eq!(stats_a, stats_b, "fallback must not change stats");
+        prop_assert_eq!(&mem_a, &mem_b, "fallback must not change memory");
+        prop_assert_eq!(fallback_census.tier3, 0, "de-attested kernels must not run tier-3");
+        prop_assert_eq!(fallback_census.tier2, waves as u64, "fallback lands on scalar tier-2");
+    }
+}
+
+/// The counted MAC-loop shape the LSTM kernels compile to, which the
+/// predecoder lowers to a fused `DotLoop` and tier 3 executes as a
+/// single monomorphic loop over the backedge run. `uniform_buf`
+/// selects the hloop flavor (uniform `buffer_load` through `s0`)
+/// instead of the xloop flavor (scalar-add offset + uniform
+/// `ds_read`); `stride` spaces the per-lane gather; `trips` is the
+/// static trip count.
+fn mac_loop_src(uniform_buf: bool, stride: u32, trips: u32) -> String {
+    let uload = if uniform_buf {
+        "v_mov_b32 v6, s11\nbuffer_load_dword v7, v6, s0\n"
+    } else {
+        "s_add_i32 s12, s0, s11\nv_mov_b32 v6, s12\nds_read_b32 v7, v6\n"
+    };
+    format!(
+        "v_mul_i32 v4, {stride}, v0\n\
+         v_mov_b32 v3, 0.0\n\
+         s_mov_b32 s10, 0\n\
+         s_mov_b32 s11, 0\n\
+         loop:\n\
+         {uload}\
+         v_add_i32 v8, s11, v4\n\
+         ds_read_b32 v9, v8\n\
+         v_mac_f32 v3, v7, v9\n\
+         s_add_i32 s11, s11, 4\n\
+         s_add_i32 s10, s10, 1\n\
+         s_cmp_lt_i32 s10, {trips}\n\
+         s_cbranch_scc1 loop\n\
+         v_lshl_b32 v10, v0, 2\n\
+         buffer_store_dword v3, v10, s1\n\
+         s_endpgm\n"
+    )
+}
+
+/// Fused MAC-loop path (deterministic): both uniform-load flavors of
+/// the LSTM inner-loop shape must produce bit-identical memory, stats
+/// and coverage across tier 1, scalar tier 2 and the attested tier-3
+/// fused run — and the attested engine must actually dispatch tier 3
+/// (a silently broken `DotLoop` match would fall back and pass the
+/// equality checks while losing the speedup).
+#[test]
+fn fused_mac_loop_equals_interpreter() {
+    for uniform_buf in [false, true] {
+        let src = mac_loop_src(uniform_buf, 64, 16);
+        let waves = 3;
+        let t1 = run(&src, waves, Mode::Tier1, None, &[0, 512]);
+        let t2 = run(&src, waves, Mode::Tier2, None, &[0, 512]);
+        let t3 = run(&src, waves, Mode::Attested, None, &[0, 512]);
+        let s1 = t1.result.expect("tier-1 MAC loop runs");
+        let s2 = t2.result.expect("tier-2 MAC loop runs");
+        let s3 = t3.result.expect("attested MAC loop runs");
+        assert_eq!(s1, s2, "scalar tier-2 stats (uniform_buf={uniform_buf})");
+        assert_eq!(s1, s3, "fused tier-3 stats (uniform_buf={uniform_buf})");
+        assert_eq!(t1.mem, t2.mem);
+        assert_eq!(t1.mem, t3.mem);
+        assert_eq!(t1.observed, t3.observed);
+        // The accumulator must have seen real data, not stayed zero.
+        assert!(t1.mem.read_f32(512).abs() > 1e-6);
+
+        let kernel = assemble(&src).expect("MAC loop assembles");
+        let mut engine = engine_for(&kernel, Mode::Attested, None);
+        let lds: Vec<f32> = (0..64).map(|i| i as f32 * 0.75 - 3.0).collect();
+        engine.stage_lds(0, &lds);
+        let mut mem = fresh_mem();
+        engine
+            .launch(&kernel, waves, &[0, 512], &mut mem)
+            .expect("attested MAC loop runs");
+        let census = engine.tier_census();
+        assert_eq!(
+            census.tier3, waves as u64,
+            "every wave must take the tier-3 schedule (uniform_buf={uniform_buf})"
+        );
+    }
+}
+
+/// A uniform-load fault in the middle of a fused run (iteration 9 of
+/// 16, run iteration 7 of the backedge's 15) must land on the same
+/// instruction with the same error and the same memory/coverage as the
+/// tier-1 interpreter — this is the tier-3 fault-reconstruction path
+/// replaying the faulting step's per-instruction prefix.
+#[test]
+fn fused_mac_loop_uniform_load_fault_equals_interpreter() {
+    // xloop flavor: `ds_read` at s0 + 4*(i-1) runs off the end of LDS
+    // (32 KiB) at iteration 9.
+    let lds_src = mac_loop_src(false, 64, 16);
+    let lds_base = (32 * 1024 - 32) as u32;
+    let t1 = run(&lds_src, 2, Mode::Tier1, None, &[lds_base, 512]);
+    let t3 = run(&lds_src, 2, Mode::Attested, None, &[lds_base, 512]);
+    let e1 = t1.result.expect_err("off-LDS uniform read must fault");
+    let e3 = t3.result.expect_err("off-LDS uniform read must fault");
+    assert_eq!(e1, e3);
+    assert!(matches!(e1, ExecError::BadLdsAddress { .. }));
+    assert_eq!(t1.mem, t3.mem);
+    assert_eq!(t1.observed, t3.observed);
+
+    // hloop flavor: `buffer_load` at s0 + 4*(i-1) runs off the 1 KiB
+    // device memory at iteration 9.
+    let buf_src = mac_loop_src(true, 64, 16);
+    let buf_base = 1024 - 32;
+    let t1 = run(&buf_src, 2, Mode::Tier1, None, &[buf_base, 512]);
+    let t3 = run(&buf_src, 2, Mode::Attested, None, &[buf_base, 512]);
+    let e1 = t1.result.expect_err("off-memory uniform load must fault");
+    let e3 = t3.result.expect_err("off-memory uniform load must fault");
+    assert_eq!(e1, e3);
+    assert!(matches!(e1, ExecError::BadAddress { .. }));
+    assert_eq!(t1.mem, t3.mem);
+    assert_eq!(t1.observed, t3.observed);
+}
+
+/// A strided-gather fault mid-row inside a fused run: with a 2184-byte
+/// stride, lane 15's address 4*(i-1) + 15*2184 crosses the 32 KiB LDS
+/// boundary at iteration 3, after lanes 0..=14 already wrote their
+/// loads for that row. The fused path reads lane-by-lane in lane order
+/// exactly so this partial-write prefix and the fault site match the
+/// interpreter.
+#[test]
+fn fused_mac_loop_strided_fault_equals_interpreter() {
+    let src = mac_loop_src(false, 2184, 16);
+    let t1 = run(&src, 2, Mode::Tier1, None, &[0, 512]);
+    let t3 = run(&src, 2, Mode::Attested, None, &[0, 512]);
+    let e1 = t1.result.expect_err("off-LDS strided read must fault");
+    let e3 = t3.result.expect_err("off-LDS strided read must fault");
+    assert_eq!(e1, e3);
+    assert!(matches!(e1, ExecError::BadLdsAddress { .. }));
+    assert_eq!(t1.mem, t3.mem);
+    assert_eq!(t1.observed, t3.observed);
+}
+
+/// Watchdog path (deterministic): a lane-disjointness certificate with
+/// an *unproven* cycle bound (above the engine's budget cap) arms the
+/// chunked lane path but keeps the watchdog — a proven bound would
+/// soundly disarm it, which is exactly why only `rtad-analysis`-proven
+/// bounds may ever be attested as proven. The unbounded loop must fire
+/// at the same instruction and cycle count as the interpreter: the
+/// chunked block fast path is still gated on
+/// `cycles + block.cost <= budget`.
+#[test]
+fn attested_watchdog_equals_interpreter() {
+    let body: String = (0..16)
+        .map(|i| format!("v_add_f32 v{}, 1.0, v{}\n", 1 + i % 7, 1 + i % 7))
+        .collect();
+    let src = format!(
+        "s_mov_b32 s2, 0\n\
+         loop:\n\
+         {body}\
+         s_add_i32 s2, s2, 1\n\
+         s_cmp_lt_i32 s2, 1000000000\n\
+         s_cbranch_scc1 loop\n\
+         s_endpgm\n"
+    );
+    let t1 = run(&src, 1, Mode::Tier1, None, &[0, 512]);
+
+    let kernel = assemble(&src).expect("source assembles");
+    let mut cfg = EngineConfig::miaow();
+    cfg.cus = 2;
+    cfg.observe_coverage = false;
+    let mut engine = Engine::new(cfg);
+    engine.attest(
+        kernel.fingerprint(),
+        KernelAttestation {
+            max_wave_cycles: u64::MAX, // unproven: watchdog stays armed
+            lane_disjoint: true,       // chunked lane loops stay on
+        },
+    );
+    let lds: Vec<f32> = (0..64).map(|i| i as f32 * 0.75 - 3.0).collect();
+    engine.stage_lds(0, &lds);
+    let mut mem = fresh_mem();
+    let r3 = engine.launch(&kernel, 1, &[0, 512], &mut mem);
+
+    let e1 = t1.result.expect_err("unbounded loop must hit the watchdog");
+    let e3 = r3.expect_err("unbounded loop must hit the watchdog");
+    assert_eq!(e1, e3);
+    assert!(matches!(e1, ExecError::Watchdog { .. }));
+    assert_eq!(t1.mem, mem);
+    assert_eq!(&t1.observed, engine.observed_coverage());
+}

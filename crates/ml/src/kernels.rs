@@ -210,6 +210,14 @@ const ELM_LAUNCH_ARGS: usize = 5;
 /// [`LstmDevice::args`].
 const LSTM_LAUNCH_ARGS: usize = 10;
 
+/// Below this many streams, the batched entry points run each stream
+/// through the fused per-event path instead of lockstep kernel batches:
+/// per-launch batching overhead (job vectors, partition bookkeeping)
+/// dominates under the engine's parallel-dispatch crossover, which is
+/// where BENCH_pr5 measured `auto_speedup < 1` at N ∈ {1, 8}. Results
+/// are bit-identical either way; only host throughput differs.
+const SMALL_BATCH_STREAMS: usize = 16;
+
 impl ElmDevice {
     /// Compiles a trained ELM for the device.
     ///
@@ -404,15 +412,18 @@ impl ElmDevice {
             self.threshold.to_bits(),
         ];
         debug_assert_eq!(args.len(), ELM_LAUNCH_ARGS);
-        let mut cycles = 0;
-        for (kernel, n_waves) in [
-            (&self.k_hidden, waves),
-            (&self.k_output, waves),
-            (&self.k_score, 1),
-        ] {
-            let stats = engine.launch(kernel, n_waves, &args, mem)?;
-            cycles += stats.cycles;
-        }
+        // One fused macro-op stream instead of three separate launches:
+        // a single predecode-cache lookup covers the whole event.
+        let stages = engine.launch_stream(
+            &[
+                (&self.k_hidden, waves),
+                (&self.k_output, waves),
+                (&self.k_score, 1),
+            ],
+            &args,
+            mem,
+        )?;
+        let cycles = stages.iter().map(|s| s.cycles).sum();
         Ok(DeviceInference {
             score: f64::from(mem.read_f32(self.score_base)),
             flagged: mem.read_f32(self.score_base + 4) > 0.5,
@@ -446,6 +457,13 @@ impl ElmDevice {
         xs: &[Vec<f32>],
     ) -> Result<Vec<DeviceInference>, ExecError> {
         assert_eq!(mems.len(), xs.len(), "one input per stream memory");
+        if mems.len() <= SMALL_BATCH_STREAMS {
+            return mems
+                .iter_mut()
+                .zip(xs)
+                .map(|(mem, x)| self.infer(engine, mem, x))
+                .collect();
+        }
         for (mem, x) in mems.iter_mut().zip(xs) {
             assert_eq!(x.len(), ELM_DEVICE_INPUT, "device input width");
             mem.write_f32_slice(self.x_base, x);
@@ -458,19 +476,21 @@ impl ElmDevice {
             self.score_base as u32,
             self.threshold.to_bits(),
         ];
-        let mut cycles = vec![0u64; mems.len()];
-        for (kernel, n_waves) in [
-            (&self.k_hidden, waves),
-            (&self.k_output, waves),
-            (&self.k_score, 1),
-        ] {
-            let jobs: Vec<(&[u32], &mut GpuMemory)> =
-                mems.iter_mut().map(|m| (&args[..], m)).collect();
-            let stats = engine.launch_batch(kernel, n_waves, jobs)?;
-            for (c, s) in cycles.iter_mut().zip(&stats) {
-                *c += s.cycles;
-            }
-        }
+        // One fused stream batched over all streams: a single
+        // stream-cache lookup covers the event for the whole batch.
+        let jobs: Vec<(&[u32], &mut GpuMemory)> = mems.iter_mut().map(|m| (&args[..], m)).collect();
+        let per_job = engine.launch_stream_batch(
+            &[
+                (&self.k_hidden, waves),
+                (&self.k_output, waves),
+                (&self.k_score, 1),
+            ],
+            jobs,
+        )?;
+        let cycles: Vec<u64> = per_job
+            .iter()
+            .map(|stages| stages.iter().map(|s| s.cycles).sum())
+            .collect();
         Ok(mems
             .iter()
             .zip(cycles)
@@ -840,17 +860,16 @@ impl LstmDevice {
         // previous step's logits launch; for a fresh state, run logits
         // first).
         let args = self.args(token);
-        let logits = engine.launch(&self.k_logits, lwaves, &args, mem)?;
-        cycles += logits.cycles;
-        let score = engine.launch(&self.k_score, 1, &args, mem)?;
-        cycles += score.cycles;
+        let score_stages =
+            engine.launch_stream(&[(&self.k_logits, lwaves), (&self.k_score, 1)], &args, mem)?;
+        cycles += score_stages.iter().map(|s| s.cycles).sum::<u64>();
         let nll = f64::from(mem.read_f32(self.score_base));
 
-        // Advance the recurrent state with the observed token.
-        let gates = engine.launch(&self.k_gates, 4, &args, mem)?;
-        cycles += gates.cycles;
-        let combine = engine.launch(&self.k_combine, 1, &args, mem)?;
-        cycles += combine.cycles;
+        // Advance the recurrent state with the observed token; the
+        // gate/combine pair lowers to one fused macro-op stream.
+        let advance_stages =
+            engine.launch_stream(&[(&self.k_gates, 4), (&self.k_combine, 1)], &args, mem)?;
+        cycles += advance_stages.iter().map(|s| s.cycles).sum::<u64>();
 
         Ok(DeviceInference {
             score: nll,
@@ -883,6 +902,13 @@ impl LstmDevice {
         tokens: &[u32],
     ) -> Result<Vec<DeviceInference>, ExecError> {
         assert_eq!(mems.len(), tokens.len(), "one token per stream memory");
+        if mems.len() <= SMALL_BATCH_STREAMS {
+            return mems
+                .iter_mut()
+                .zip(tokens)
+                .map(|(mem, &t)| self.step(engine, mem, t))
+                .collect();
+        }
         for &t in tokens {
             assert!((t as usize) < self.vocab, "token outside vocabulary");
         }
@@ -890,32 +916,41 @@ impl LstmDevice {
         let argvs: Vec<[u32; LSTM_LAUNCH_ARGS]> = tokens.iter().map(|&t| self.args(t)).collect();
         let mut cycles = vec![0u64; mems.len()];
 
-        let pass = |engine: &mut Engine,
-                    mems: &mut [GpuMemory],
-                    kernel: &Kernel,
-                    waves: usize,
-                    cycles: &mut [u64]|
+        // The same two fused streams [`LstmDevice::step`] issues, each
+        // batched over all streams with one stream-cache lookup.
+        let stream = |engine: &mut Engine,
+                      mems: &mut [GpuMemory],
+                      stages: &[(&Kernel, usize)],
+                      cycles: &mut [u64]|
          -> Result<(), ExecError> {
             let jobs: Vec<(&[u32], &mut GpuMemory)> = argvs
                 .iter()
                 .zip(mems.iter_mut())
                 .map(|(a, m)| (a.as_slice(), m))
                 .collect();
-            let stats = engine.launch_batch(kernel, waves, jobs)?;
-            for (c, s) in cycles.iter_mut().zip(&stats) {
-                *c += s.cycles;
+            let per_job = engine.launch_stream_batch(stages, jobs)?;
+            for (c, stages) in cycles.iter_mut().zip(&per_job) {
+                *c += stages.iter().map(|s| s.cycles).sum::<u64>();
             }
             Ok(())
         };
 
-        pass(engine, mems, &self.k_logits, lwaves, &mut cycles)?;
-        pass(engine, mems, &self.k_score, 1, &mut cycles)?;
+        stream(
+            engine,
+            mems,
+            &[(&self.k_logits, lwaves), (&self.k_score, 1)],
+            &mut cycles,
+        )?;
         let nlls: Vec<f64> = mems
             .iter()
             .map(|m| f64::from(m.read_f32(self.score_base)))
             .collect();
-        pass(engine, mems, &self.k_gates, 4, &mut cycles)?;
-        pass(engine, mems, &self.k_combine, 1, &mut cycles)?;
+        stream(
+            engine,
+            mems,
+            &[(&self.k_gates, 4), (&self.k_combine, 1)],
+            &mut cycles,
+        )?;
 
         Ok(mems
             .iter()

@@ -310,8 +310,9 @@ pub fn resource_verdicts(
 /// attests every proven certificate into the engine, so its watchdog
 /// budget derives from the proven bound (and proven-bounded superblock
 /// launches skip per-instruction watchdog checks). Returns the verdicts
-/// for reporting.
-fn attest_model_kernels(
+/// for reporting. Public so engine harnesses (benches, verifiers) can
+/// arm the same certificate-gated fast paths the SoC backends use.
+pub fn attest_model_kernels(
     device: &impl DeviceModel,
     engine: &mut Engine,
 ) -> Vec<KernelResourceVerdict> {
