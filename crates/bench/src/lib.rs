@@ -12,7 +12,8 @@ pub mod serve;
 
 pub use perf::{measure_engine_speedup, BenchReport, EngineComparison, StageTiming};
 pub use serve::{
-    AllocTelemetry, InferenceMicro, ServeReport, ShardScalingCell, StageBreakdown, ThroughputCell,
+    AllocTelemetry, InferenceMicro, ServeReport, ShardScalingCell, SparseServeCell, StageBreakdown,
+    ThroughputCell,
 };
 
 use rtad::miaow::area::{variant_area, EngineVariant};

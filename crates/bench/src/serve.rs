@@ -1,4 +1,4 @@
-//! Multi-stream serving throughput telemetry (`BENCH_pr8.json`).
+//! Multi-stream serving throughput telemetry (`BENCH_pr9.json`).
 //!
 //! Measures the streaming detection pipeline of `rtad-soc::pipeline`
 //! against the per-window serial serving path the repository shipped
@@ -50,6 +50,22 @@
 //! the fallback ladder (tier-1 interpreter, tier-2 superblocks,
 //! attested tier-3) with scores and simulated cycles asserted
 //! bit-identical across tiers — only host wall-clock may move.
+//!
+//! PR 9 moves the schema to `rtad-bench-pr9/v1`: a `sparse_serve`
+//! section sweeps the sparse-readiness ingest layer
+//! (`rtad-soc::sparse`) at N ∈ {1k, 10k, 100k} registered streams with
+//! mostly-idle feed patterns (1%–10% active per round, plus a
+//! fixed-active column that grows only the idle population). Each
+//! sparse cell reports memory-per-idle-stream, the cost of an empty
+//! poll round over the full registered population, and `stream_polls`
+//! — the scheduling work, which must track *ready* streams, not
+//! registered ones. Unlike the dense cells (where the eager feeder and
+//! the pipeline share one thread's clock by design — the feed *is*
+//! part of that serving path), sparse cells time the feed side and the
+//! scheduling side on separate clocks, so `sched_wall_ms` is pure
+//! pipeline cost. Verdicts are asserted bit-identical to the serial
+//! reference via the score-hash witness, and the steady-state
+//! allocation section gains sparse-ingest counters (contract: zero).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -68,6 +84,7 @@ use rtad::soc::pipeline::{
     run_pipeline, serial_reference, PipelineConfig, PipelineStats, ServeModel, ServeSpec,
     StreamOutcome, VerdictPolicy, VerdictState,
 };
+use rtad::soc::sparse::{score_hash, SparseConfig, SparsePipeline};
 use rtad::trace::{BranchKind, BranchRecord, PtmConfig, StreamEncoder, TimedTrace, VirtAddr};
 
 use crate::perf::{measure_engine_speedup, EngineComparison};
@@ -176,7 +193,67 @@ pub struct StageBreakdown {
     pub stats: PipelineStats,
 }
 
-/// The `BENCH_pr5.json` payload.
+/// One sparse-serve sweep point: `registered` streams on one
+/// [`SparsePipeline`], of which only `active` ever see bytes, fed in
+/// per-round chunks with the feed clock and the scheduling clock
+/// separated. The near-flat columns are the contract: `stream_polls`,
+/// `sched_wall_ms` and `idle_round_ns` must track the *active* set
+/// while `registered` grows orders of magnitude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseServeCell {
+    /// `"elm"` or `"lstm"`.
+    pub model: String,
+    /// Feed pattern: `"one_pct"`, `"ten_pct"` or `"fixed_active"`.
+    pub pattern: String,
+    /// Streams registered on the pipeline.
+    pub registered: usize,
+    /// Streams that were ever fed.
+    pub active: usize,
+    /// Windows scored (active streams only, by construction).
+    pub windows: u64,
+    /// Poll rounds during the fed phase (idle-cost calibration rounds
+    /// excluded).
+    pub rounds: u64,
+    /// Ready-stream visits — the scheduling work actually done.
+    pub stream_polls: u64,
+    /// Inference batches issued.
+    pub batches: u64,
+    /// Largest cross-stream batch observed.
+    pub max_batch_seen: usize,
+    /// Wall-clock of the scheduling side only (poll rounds, decode,
+    /// batching, verdicts), ms. The feeder runs on a separate clock.
+    pub sched_wall_ms: f64,
+    /// Wall-clock of the feed side only (ring pushes + readiness
+    /// enqueues), ms.
+    pub feed_wall_ms: f64,
+    /// Mean cost of one poll round with *nothing* ready, over the full
+    /// registered population, ns.
+    pub idle_round_ns: f64,
+    /// Resident bytes per registered stream measured right after
+    /// registration (every stream idle): ring + decode session +
+    /// verdict state + model lane + outcome + bookkeeping.
+    pub bytes_per_idle_stream: f64,
+    /// Deployment-shared resident bytes (pipeline object + shared IGM
+    /// mapper table) — must not grow with registration.
+    pub shared_bytes: usize,
+    /// Cross-stream scratch bytes at idle.
+    pub scratch_bytes: usize,
+    /// Bytes dropped by full rings (the bench feeder is lossless, so
+    /// the contract is 0).
+    pub dropped_bytes: u64,
+    /// Outcomes matched the serial reference bit-for-bit (score-hash
+    /// witness; asserted, recorded for the report).
+    pub scores_bit_identical: bool,
+}
+
+impl SparseServeCell {
+    /// Windows per second of scheduling wall-clock.
+    pub fn windows_per_sec(&self) -> f64 {
+        self.windows as f64 / (self.sched_wall_ms / 1e3)
+    }
+}
+
+/// The `BENCH_pr9.json` payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Master seed.
@@ -185,6 +262,8 @@ pub struct ServeReport {
     pub branches_per_stream: usize,
     /// Throughput cells, one per (model, stream count).
     pub cells: Vec<ThroughputCell>,
+    /// Sparse-readiness serving sweep (registered ≫ active).
+    pub sparse: Vec<SparseServeCell>,
     /// Stage breakdown of the widest LSTM run.
     pub stages: Option<StageBreakdown>,
     /// Inference-only micro-comparison.
@@ -479,6 +558,173 @@ fn measure_cell(
     )
 }
 
+/// Branch events per *active* stream in the sparse sweep (the sweep
+/// scales in registered streams, not per-stream depth).
+const SPARSE_BRANCHES: usize = 512;
+/// Bytes offered to each active stream per feed round.
+const SPARSE_FEED_CHUNK: usize = 512;
+/// Empty poll rounds used to price an idle round.
+const SPARSE_IDLE_ROUNDS: usize = 1_000;
+
+/// Sparse pipeline knobs used by every sweep cell: 1 KiB rings (the
+/// dominant per-idle-stream memory term), the dense cells' batch bound,
+/// and a drain quantum of one full ring.
+const SPARSE_SERVE_CONFIG: SparseConfig = SparseConfig {
+    ring_capacity: 1024,
+    max_batch: 64,
+    drain_bytes: 1024,
+};
+
+/// Measures one sparse-serve cell. The feeder is lossless (it checks
+/// ring space and lets the scheduler drain before re-offering) and runs
+/// on its own clock, so `sched_wall_ms` prices the pipeline alone —
+/// in the dense cells the eager feed loop shares the pipeline thread's
+/// clock, which is correct there (feeding *is* that path's ingest) but
+/// would bury the near-flat idle-cost signal this sweep exists to show.
+fn sparse_cell(
+    model: &str,
+    pattern: &str,
+    spec: &ServeSpec,
+    registered: usize,
+    active: usize,
+    seed: u64,
+) -> SparseServeCell {
+    let runs = synth_runs(active, SPARSE_BRANCHES, 16, seed);
+    let bytes: Vec<Vec<u8>> = runs
+        .iter()
+        .map(|run| {
+            StreamEncoder::new(PtmConfig::rtad())
+                .encode_run(run)
+                .bytes
+                .iter()
+                .map(|tb| tb.byte)
+                .collect()
+        })
+        .collect();
+    let reference = serial_reference(spec, &bytes);
+
+    let mut p = SparsePipeline::new(spec.clone(), SPARSE_SERVE_CONFIG);
+    p.register_many(registered);
+    let idle = p.memory_footprint();
+
+    // Idle-round pricing: nothing is ready, every stream is registered.
+    let t = Instant::now();
+    for _ in 0..SPARSE_IDLE_ROUNDS {
+        p.poll_round();
+    }
+    let idle_round_ns = t.elapsed().as_secs_f64() * 1e9 / SPARSE_IDLE_ROUNDS as f64;
+
+    // Fed phase: feed clock and scheduling clock kept separate.
+    let mut offs = vec![0usize; active];
+    let (mut feed_s, mut sched_s) = (0.0f64, 0.0f64);
+    loop {
+        let t0 = Instant::now();
+        let mut pending = false;
+        for (s, off) in offs.iter_mut().enumerate() {
+            let src = &bytes[s];
+            if *off >= src.len() {
+                continue;
+            }
+            pending = true;
+            let n = (src.len() - *off)
+                .min(SPARSE_FEED_CHUNK)
+                .min(p.ring_free(s));
+            if n > 0 {
+                p.feed(s, &src[*off..*off + n]);
+                *off += n;
+            }
+        }
+        feed_s += t0.elapsed().as_secs_f64();
+        if !pending {
+            break;
+        }
+        let t1 = Instant::now();
+        p.poll_round();
+        sched_s += t1.elapsed().as_secs_f64();
+    }
+    let t2 = Instant::now();
+    for s in 0..active {
+        p.close(s);
+    }
+    p.drain();
+    sched_s += t2.elapsed().as_secs_f64();
+
+    let stats = p.stats();
+    assert_eq!(
+        stats.dropped_bytes, 0,
+        "sparse bench feeder must be lossless ({model} {pattern} N={registered})"
+    );
+    let mut identical = true;
+    for (s, r) in reference.iter().enumerate() {
+        let o = p.outcome(s);
+        identical &= o.windows == r.windows
+            && o.device_cycles == r.device_cycles
+            && o.score_hash == score_hash(&r.scores)
+            && o.flags == r.flags.len() as u64;
+    }
+    assert!(
+        identical,
+        "sparse verdicts diverged from the serial reference \
+         ({model} {pattern} N={registered})"
+    );
+
+    SparseServeCell {
+        model: model.to_string(),
+        pattern: pattern.to_string(),
+        registered,
+        active,
+        windows: stats.windows,
+        rounds: stats.rounds - SPARSE_IDLE_ROUNDS as u64,
+        stream_polls: stats.stream_polls,
+        batches: stats.batches,
+        max_batch_seen: stats.max_batch_seen,
+        sched_wall_ms: sched_s * 1e3,
+        feed_wall_ms: feed_s * 1e3,
+        idle_round_ns,
+        bytes_per_idle_stream: idle.bytes_per_stream(),
+        shared_bytes: idle.shared_bytes,
+        scratch_bytes: idle.scratch_bytes,
+        dropped_bytes: stats.dropped_bytes,
+        scores_bit_identical: identical,
+    }
+}
+
+/// The sparse-serve sweep: 1%-active cells for both models at every
+/// registered count, a 10%-active cell at the smallest count, and a
+/// fixed-active LSTM column where *only* the idle population grows —
+/// the direct witness that per-round cost scales with ready streams.
+fn sparse_sweep(setup: &ServeSetup, counts: &[usize], seed: u64) -> Vec<SparseServeCell> {
+    let mut cells = Vec::new();
+    if counts.is_empty() {
+        return cells;
+    }
+    for (name, spec) in [("elm", &setup.spec_elm), ("lstm", &setup.spec_lstm)] {
+        for &n in counts {
+            cells.push(sparse_cell(
+                name,
+                "one_pct",
+                spec,
+                n,
+                (n / 100).max(1),
+                seed,
+            ));
+        }
+        let n = counts[0];
+        cells.push(sparse_cell(name, "ten_pct", spec, n, (n / 10).max(1), seed));
+    }
+    for &n in counts {
+        cells.push(sparse_cell(
+            "lstm",
+            "fixed_active",
+            &setup.spec_lstm,
+            n,
+            100.min(n),
+            seed,
+        ));
+    }
+    cells
+}
+
 /// One decode-shard scaling point: the widest LSTM cell re-run with a
 /// forced shard count (`requested == 0` is the auto policy). Outcomes
 /// are asserted identical across all points — only wall-clock moves.
@@ -758,6 +1004,12 @@ pub struct AllocTelemetry {
     pub elm_batch: u64,
     /// Allocations across warm lockstep-LSTM arena steps.
     pub lstm_batch: u64,
+    /// Allocations on the warm sparse ingest path serving the ELM
+    /// (ring push/drain, readiness enqueue/dequeue, dense batch
+    /// formation, verdicts, idle rounds).
+    pub sparse_elm: u64,
+    /// Same for the LSTM (token windows, lockstep batches).
+    pub sparse_lstm: u64,
 }
 
 fn inference_micro(spec_elm: &ServeSpec, spec_lstm: &ServeSpec) -> Vec<InferenceMicro> {
@@ -976,11 +1228,39 @@ fn alloc_telemetry(setup: &ServeSetup, bytes: &[Vec<u8>]) -> Option<AllocTelemet
         }
     });
 
+    // Sparse ingest: 64 registered streams, 4 fed; one warm pass sizes
+    // the pools, then replaying the same traffic (plus idle rounds)
+    // must allocate nothing.
+    let sparse_allocs = |spec: &ServeSpec| {
+        let mut p = SparsePipeline::new(spec.clone(), SPARSE_SERVE_CONFIG);
+        p.register_many(64);
+        let pass = |p: &mut SparsePipeline| {
+            for s in 0..4 {
+                for piece in stream.chunks(256) {
+                    while p.ring_free(s) < piece.len() {
+                        p.poll_round();
+                    }
+                    p.feed(s, piece);
+                }
+            }
+            p.drain();
+            for _ in 0..8 {
+                p.poll_round();
+            }
+        };
+        pass(&mut p);
+        settled_allocations(|| pass(&mut p))
+    };
+    let sparse_elm = sparse_allocs(&setup.spec_elm);
+    let sparse_lstm = sparse_allocs(&setup.spec_lstm);
+
     Some(AllocTelemetry {
         decode_dense,
         decode_token,
         elm_batch,
         lstm_batch,
+        sparse_elm,
+        sparse_lstm,
     })
 }
 
@@ -1021,8 +1301,10 @@ fn predecode_telemetry(seed: u64, reps: usize) -> PredecodeStats {
 
 impl ServeReport {
     /// Runs the full measurement: throughput cells at every stream count
-    /// in `stream_counts`, the inference micro-comparison, predecode
-    /// telemetry and the serial-vs-auto engine comparison.
+    /// in `stream_counts`, the sparse-readiness sweep at every
+    /// registered count in `sparse_stream_counts` (empty slice skips
+    /// it), the inference micro-comparison, predecode telemetry and the
+    /// serial-vs-auto engine comparison.
     ///
     /// # Panics
     ///
@@ -1033,6 +1315,7 @@ impl ServeReport {
         branches_per_stream: usize,
         stream_counts: &[usize],
         engine_reps: usize,
+        sparse_stream_counts: &[usize],
     ) -> ServeReport {
         let setup = serve_setup(seed);
         let max_streams = stream_counts.iter().copied().max().unwrap_or(0);
@@ -1096,6 +1379,7 @@ impl ServeReport {
             seed,
             branches_per_stream,
             cells,
+            sparse: sparse_sweep(&setup, sparse_stream_counts, seed),
             stages,
             micro: inference_micro(&setup.spec_elm, &setup.spec_lstm),
             shard_scaling: scaling,
@@ -1124,6 +1408,25 @@ impl ServeReport {
                 c.pipeline_wps(),
                 c.speedup(),
                 c.host_speedup()
+            );
+        }
+        for c in &self.sparse {
+            let _ = writeln!(
+                s,
+                "sparse {:>4} {:<12} N={:<7} active={:<5} {:>7} windows  sched {:>8.2} ms \
+                 ({:>9.1} w/s)  feed {:>7.2} ms  idle-round {:>7.0} ns  \
+                 {:>6.0} B/idle-stream  polls {}",
+                c.model,
+                c.pattern,
+                c.registered,
+                c.active,
+                c.windows,
+                c.sched_wall_ms,
+                c.windows_per_sec(),
+                c.feed_wall_ms,
+                c.idle_round_ns,
+                c.bytes_per_idle_stream,
+                c.stream_polls
             );
         }
         for m in &self.micro {
@@ -1179,8 +1482,14 @@ impl ServeReport {
             Some(a) => {
                 let _ = writeln!(
                     s,
-                    "steady-state allocs: decode dense {} / token {}, elm batch {}, lstm batch {}",
-                    a.decode_dense, a.decode_token, a.elm_batch, a.lstm_batch
+                    "steady-state allocs: decode dense {} / token {}, elm batch {}, \
+                     lstm batch {}, sparse ingest elm {} / lstm {}",
+                    a.decode_dense,
+                    a.decode_token,
+                    a.elm_batch,
+                    a.lstm_batch,
+                    a.sparse_elm,
+                    a.sparse_lstm
                 );
             }
         }
@@ -1238,7 +1547,7 @@ impl ServeReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"rtad-bench-pr8/v1\",");
+        let _ = writeln!(s, "  \"schema\": \"rtad-bench-pr9/v1\",");
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
         let _ = writeln!(
             s,
@@ -1277,6 +1586,42 @@ impl ServeReport {
             );
         }
         s.push_str(if self.cells.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"sparse_serve\": [");
+        for (i, c) in self.sparse.iter().enumerate() {
+            let sep = if i + 1 < self.sparse.len() { "," } else { "" };
+            let _ = write!(
+                s,
+                "\n    {{ \"model\": \"{}\", \"pattern\": \"{}\", \"registered\": {}, \
+                 \"active\": {}, \"windows\": {}, \"rounds\": {}, \"stream_polls\": {}, \
+                 \"batches\": {}, \"max_batch_seen\": {}, \"sched_wall_ms\": {}, \
+                 \"feed_wall_ms\": {}, \"windows_per_sec\": {}, \"idle_round_ns\": {}, \
+                 \"bytes_per_idle_stream\": {}, \"shared_bytes\": {}, \"scratch_bytes\": {}, \
+                 \"dropped_bytes\": {}, \"scores_bit_identical\": {} }}{sep}",
+                c.model,
+                c.pattern,
+                c.registered,
+                c.active,
+                c.windows,
+                c.rounds,
+                c.stream_polls,
+                c.batches,
+                c.max_batch_seen,
+                json_f64(c.sched_wall_ms),
+                json_f64(c.feed_wall_ms),
+                json_f64(c.windows_per_sec()),
+                json_f64(c.idle_round_ns),
+                json_f64(c.bytes_per_idle_stream),
+                c.shared_bytes,
+                c.scratch_bytes,
+                c.dropped_bytes,
+                c.scores_bit_identical
+            );
+        }
+        s.push_str(if self.sparse.is_empty() {
             "],\n"
         } else {
             "\n  ],\n"
@@ -1370,8 +1715,14 @@ impl ServeReport {
                 let _ = writeln!(
                     s,
                     "  \"steady_state_allocs\": {{ \"decode_dense\": {}, \"decode_token\": {}, \
-                     \"elm_batch\": {}, \"lstm_batch\": {} }},",
-                    a.decode_dense, a.decode_token, a.elm_batch, a.lstm_batch
+                     \"elm_batch\": {}, \"lstm_batch\": {}, \"sparse_elm\": {}, \
+                     \"sparse_lstm\": {} }},",
+                    a.decode_dense,
+                    a.decode_token,
+                    a.elm_batch,
+                    a.lstm_batch,
+                    a.sparse_elm,
+                    a.sparse_lstm
                 );
             }
         }
@@ -1491,8 +1842,31 @@ mod tests {
     /// produced, and the JSON carries every section of the schema.
     #[test]
     fn serve_report_measures_and_serializes() {
-        let report = ServeReport::measure(21, 512, &[1, 2], 1);
+        let report = ServeReport::measure(21, 512, &[1, 2], 1, &[200]);
         assert_eq!(report.cells.len(), 4);
+        // Sparse sweep at one registered count: one_pct + ten_pct per
+        // model, plus the fixed-active LSTM column.
+        assert_eq!(report.sparse.len(), 5);
+        for c in &report.sparse {
+            assert!(c.scores_bit_identical, "sparse cell diverged: {c:?}");
+            assert_eq!(c.dropped_bytes, 0);
+            assert!(c.windows > 0, "sparse cell produced no windows: {c:?}");
+            assert!(c.active < c.registered);
+            assert!(
+                c.bytes_per_idle_stream > 0.0 && c.shared_bytes > 0,
+                "memory accounting must be populated: {c:?}"
+            );
+            assert!(c.idle_round_ns >= 0.0 && c.sched_wall_ms > 0.0);
+            // Scheduling work tracks the active set: every visit
+            // drains a full ring's worth, so polls are bounded by the
+            // bytes the active streams actually produced (plus one
+            // close-flush visit per active stream) — never by the
+            // registered population.
+            assert!(
+                c.stream_polls >= c.active as u64,
+                "active streams were never polled: {c:?}"
+            );
+        }
         for c in &report.cells {
             assert!(c.windows > 0, "cell produced no windows: {c:?}");
             assert!(c.scores_bit_identical);
@@ -1553,8 +1927,17 @@ mod tests {
 
         let json = report.to_json();
         for key in [
-            "\"schema\": \"rtad-bench-pr8/v1\"",
+            "\"schema\": \"rtad-bench-pr9/v1\"",
             "\"throughput\": [",
+            "\"sparse_serve\": [",
+            "\"pattern\": \"one_pct\"",
+            "\"pattern\": \"ten_pct\"",
+            "\"pattern\": \"fixed_active\"",
+            "\"stream_polls\"",
+            "\"sched_wall_ms\"",
+            "\"feed_wall_ms\"",
+            "\"idle_round_ns\"",
+            "\"bytes_per_idle_stream\"",
             "\"engine_serial_wall_ms\"",
             "\"host_speedup\"",
             "\"decode_shards\"",

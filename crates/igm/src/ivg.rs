@@ -102,6 +102,17 @@ impl AddressMapper {
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
     }
+
+    /// Estimated resident bytes of the lookup table: allocated-bucket
+    /// payload plus hashbrown's one control byte per bucket. An
+    /// estimate (the allocator's rounding is not visible), used by the
+    /// sparse serving report's memory accounting — where the whole
+    /// point is that this cost is paid once per deployment, not once
+    /// per stream.
+    pub fn resident_bytes_estimate(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.table.capacity() * (std::mem::size_of::<(VirtAddr, u32)>() + 1)
+    }
 }
 
 /// The conversion-table shape of the vector encoder.
@@ -178,9 +189,14 @@ impl VectorEncoder {
         if let VectorFormat::WindowHistogram { window } = format {
             assert!(window > 0, "histogram window must be non-zero");
         }
-        let window_len = match format {
-            VectorFormat::TokenStream => 0,
-            VectorFormat::WindowHistogram { window } => window,
+        // Token-stream encoders carry no window and no counts: tokens
+        // pass through untouched, so a per-stream session costs no
+        // heap at all (the sparse serving path keeps one encoder per
+        // registered stream — at 100k streams a vocab-sized counts
+        // vector here would dominate idle memory for nothing).
+        let (window_len, counts_len) = match format {
+            VectorFormat::TokenStream => (0, 0),
+            VectorFormat::WindowHistogram { window } => (window, vocab),
         };
         VectorEncoder {
             format,
@@ -188,13 +204,21 @@ impl VectorEncoder {
             window: vec![0; window_len],
             head: 0,
             filled: 0,
-            counts: vec![0; vocab],
+            counts: vec![0; counts_len],
         }
     }
 
     /// The configured format.
     pub fn format(&self) -> VectorFormat {
         self.format
+    }
+
+    /// Heap bytes owned by this encoder's per-stream state (the sliding
+    /// token window and running counts). Token-stream encoders own no
+    /// window, so they report only the counts vector.
+    pub fn resident_heap_bytes(&self) -> usize {
+        self.window.capacity() * std::mem::size_of::<u32>()
+            + self.counts.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Encodes one accepted token.

@@ -56,5 +56,7 @@ pub mod ta;
 pub use ivg::{AddressMapper, InputVectorGenerator, VectorEncoder, VectorFormat, VectorPayload};
 pub use module::{Igm, IgmConfig, IgmOutput, IgmStats, TimedVector};
 pub use p2s::P2sConverter;
-pub use streaming::{StreamedVector, StreamingIgm, StreamingStats, StreamingVectorizer};
+pub use streaming::{
+    IgmSession, IgmShared, StreamedVector, StreamingIgm, StreamingStats, StreamingVectorizer,
+};
 pub use ta::{DecodedAddress, TraceAnalyzer};

@@ -23,6 +23,8 @@
 //! `rtad-soc`'s `functional_vectors` semantics for tests and benches
 //! that start from raw branch runs.
 
+use std::mem::size_of;
+
 use rtad_trace::ptm::{Packet, PacketDecoder};
 use rtad_trace::tpiu::{TpiuDeframer, TraceId, FRAME_BYTES};
 use rtad_trace::{BranchRecord, VirtAddr};
@@ -62,16 +64,80 @@ pub struct StreamingStats {
     pub filtered: u64,
 }
 
-/// The incremental TA → P2S-admission → IVG chain.
+/// The per-deployment, read-only half of the streaming chain: the
+/// address-mapper table plus the admission/format configuration.
+///
+/// A serving host watching 100k streams of one deployment keeps exactly
+/// **one** of these; each stream carries only a compact mutable
+/// [`IgmSession`]. Before this split every [`StreamingIgm`] duplicated
+/// the mapper table (the dominant resident cost for realistic
+/// watchlists — hundreds of entries — multiplied by every idle stream).
 #[derive(Debug, Clone)]
-pub struct StreamingIgm {
+pub struct IgmShared {
+    mapper: AddressMapper,
+    format: crate::VectorFormat,
+    vocab: usize,
+    context_filter: Option<u32>,
+    p2s_depth: usize,
+}
+
+impl IgmShared {
+    /// Builds the shared half from the same configuration as the timed
+    /// [`crate::Igm`].
+    pub fn new(config: &IgmConfig) -> Self {
+        let mapper = AddressMapper::from_entries(config.table.iter().copied());
+        let vocab = mapper.vocab_size().max(1);
+        IgmShared {
+            mapper,
+            format: config.format,
+            vocab,
+            context_filter: config.context_filter,
+            p2s_depth: config.p2s_depth,
+        }
+    }
+
+    /// A fresh per-stream session over this shared configuration.
+    pub fn session(&self) -> IgmSession {
+        IgmSession {
+            deframer: TpiuDeframer::new(),
+            decoder: PacketDecoder::new(),
+            context_id: 0,
+            encoder: VectorEncoder::new(self.format, self.vocab),
+            pending: Vec::with_capacity(FRAME_BYTES),
+            frame_buf: [0u8; FRAME_BYTES],
+            frame_fill: 0,
+            burst: Vec::with_capacity(8),
+            deframe_buf: Vec::with_capacity(FRAME_BYTES),
+            pool: Vec::new(),
+            stats: StreamingStats::default(),
+        }
+    }
+
+    /// The address mapper in use.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Estimated resident bytes of the shared half (struct plus mapper
+    /// table). Counted **once** per deployment, not per stream.
+    pub fn resident_bytes(&self) -> usize {
+        size_of::<Self>() + self.mapper.resident_bytes_estimate()
+    }
+}
+
+/// The per-stream mutable state of the incremental TA →
+/// P2S-admission → IVG chain: deframer/decoder state machines, the
+/// sub-word TA lane buffer, a partial-frame staging buffer and the
+/// stream's encoder window. Everything a registered-but-idle stream
+/// keeps resident; [`IgmSession::resident_bytes`] measures it.
+#[derive(Debug, Clone)]
+pub struct IgmSession {
     deframer: TpiuDeframer,
     decoder: PacketDecoder,
     /// Context carried from I-sync/context-ID packets.
     context_id: u32,
-    context_filter: Option<u32>,
-    p2s_depth: usize,
-    mapper: AddressMapper,
+    /// Per-stream encoder state (the histogram window is stream
+    /// history, so it cannot be shared).
     encoder: VectorEncoder,
     /// Bytes awaiting 4-byte word grouping (the TA's lane buffer — word
     /// boundaries decide which *burst* an address belongs to, and burst
@@ -87,7 +153,7 @@ pub struct StreamingIgm {
     /// Deframer output scratch (reused across frames).
     deframe_buf: Vec<(TraceId, u8)>,
     /// Recycled dense-window buffers: consumers hand scored windows back
-    /// via [`StreamingIgm::recycle`] so steady-state histogram emission
+    /// via [`IgmSession::recycle`] so steady-state histogram emission
     /// allocates nothing.
     pool: Vec<Vec<f32>>,
     stats: StreamingStats,
@@ -98,30 +164,7 @@ pub struct StreamingIgm {
 /// a correctness requirement).
 const WINDOW_POOL_CAP: usize = 256;
 
-impl StreamingIgm {
-    /// Builds the streaming chain from the same configuration as the
-    /// timed [`crate::Igm`].
-    pub fn new(config: &IgmConfig) -> Self {
-        let mapper = AddressMapper::from_entries(config.table.iter().copied());
-        let vocab = mapper.vocab_size().max(1);
-        StreamingIgm {
-            deframer: TpiuDeframer::new(),
-            decoder: PacketDecoder::new(),
-            context_id: 0,
-            context_filter: config.context_filter,
-            p2s_depth: config.p2s_depth,
-            encoder: VectorEncoder::new(config.format, vocab),
-            mapper,
-            pending: Vec::with_capacity(FRAME_BYTES),
-            frame_buf: [0u8; FRAME_BYTES],
-            frame_fill: 0,
-            burst: Vec::with_capacity(8),
-            deframe_buf: Vec::with_capacity(FRAME_BYTES),
-            pool: Vec::new(),
-            stats: StreamingStats::default(),
-        }
-    }
-
+impl IgmSession {
     /// Hands a scored dense-window buffer back for reuse by the next
     /// histogram emission. Buffers past the pool cap are dropped.
     pub fn recycle(&mut self, buf: Vec<f32>) {
@@ -135,14 +178,28 @@ impl StreamingIgm {
         self.stats
     }
 
-    /// The address mapper in use.
-    pub fn mapper(&self) -> &AddressMapper {
-        &self.mapper
+    /// Resident heap + inline bytes of this session: the struct itself
+    /// plus every owned buffer's capacity. This is the
+    /// memory-per-stream quantity the sparse serving report tracks;
+    /// the shared mapper table is *not* included (see
+    /// [`IgmShared::resident_bytes`]).
+    pub fn resident_bytes(&self) -> usize {
+        size_of::<Self>()
+            + self.pending.capacity()
+            + self.burst.capacity() * size_of::<(VirtAddr, u32)>()
+            + self.deframe_buf.capacity() * size_of::<(TraceId, u8)>()
+            + self.encoder.resident_heap_bytes()
+            + self.pool.capacity() * size_of::<Vec<f32>>()
+            + self
+                .pool
+                .iter()
+                .map(|b| b.capacity() * size_of::<f32>())
+                .sum::<usize>()
     }
 
     /// Pushes an arbitrary chunk of the TPIU byte stream, emitting every
     /// vector that completes. Chunks need not align with frames.
-    pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<StreamedVector>) {
+    pub fn push_bytes(&mut self, shared: &IgmShared, bytes: &[u8], out: &mut Vec<StreamedVector>) {
         let mut rest = bytes;
         // Complete any partial frame carried over from earlier chunks.
         if self.frame_fill > 0 {
@@ -155,14 +212,14 @@ impl StreamingIgm {
             }
             self.frame_fill = 0;
             let frame = self.frame_buf;
-            self.push_frame(&frame, out);
+            self.push_frame(shared, &frame, out);
         }
         // Aligned fast path: whole frames straight out of the chunk,
         // no per-byte staging copy.
         let mut frames = rest.chunks_exact(FRAME_BYTES);
         for frame in frames.by_ref() {
             let frame: &[u8; FRAME_BYTES] = frame.try_into().expect("chunk is frame-sized");
-            self.push_frame(frame, out);
+            self.push_frame(shared, frame, out);
         }
         let tail = frames.remainder();
         self.frame_buf[..tail.len()].copy_from_slice(tail);
@@ -171,7 +228,12 @@ impl StreamingIgm {
 
     /// Pushes one complete TPIU frame. Malformed frames are dropped, as
     /// the hardware (and the timed path) drop them.
-    pub fn push_frame(&mut self, frame: &[u8; FRAME_BYTES], out: &mut Vec<StreamedVector>) {
+    pub fn push_frame(
+        &mut self,
+        shared: &IgmShared,
+        frame: &[u8; FRAME_BYTES],
+        out: &mut Vec<StreamedVector>,
+    ) {
         self.deframe_buf.clear();
         if self
             .deframer
@@ -186,21 +248,21 @@ impl StreamingIgm {
         // Decode only completed 4-byte words; stragglers wait for the
         // next frame (or `finish`), exactly like the TA's lane buffer.
         let whole = self.pending.len() - self.pending.len() % 4;
-        self.decode_burst(whole, out);
+        self.decode_burst(shared, whole, out);
     }
 
     /// Flushes straggler bytes at end of stream: sub-word TA bytes
     /// decode, and a partial TPIU frame (stream truncated mid-frame) is
     /// dropped — both exactly as the timed path does.
-    pub fn finish(&mut self, out: &mut Vec<StreamedVector>) {
+    pub fn finish(&mut self, shared: &IgmShared, out: &mut Vec<StreamedVector>) {
         self.frame_fill = 0;
         let len = self.pending.len();
-        self.decode_burst(len, out);
+        self.decode_burst(shared, len, out);
     }
 
     /// Decodes the first `take` pending bytes as one TA burst, applies
     /// the P2S admission bound, and encodes the survivors.
-    fn decode_burst(&mut self, take: usize, out: &mut Vec<StreamedVector>) {
+    fn decode_burst(&mut self, shared: &IgmShared, take: usize, out: &mut Vec<StreamedVector>) {
         self.burst.clear();
         for &byte in &self.pending[..take] {
             match self.decoder.feed(byte) {
@@ -212,7 +274,10 @@ impl StreamingIgm {
                         }
                         Packet::BranchAddress { target, .. } => {
                             self.stats.addresses += 1;
-                            if self.context_filter.is_none_or(|ctx| ctx == self.context_id) {
+                            if shared
+                                .context_filter
+                                .is_none_or(|ctx| ctx == self.context_id)
+                            {
                                 self.burst.push((target, self.context_id));
                             } else {
                                 self.stats.filtered += 1;
@@ -232,11 +297,11 @@ impl StreamingIgm {
         // P2S admission: the FIFO is empty at every burst start (the
         // timed path drains it completely per burst), so only the first
         // `depth` addresses of a burst survive.
-        let admitted = self.burst.len().min(self.p2s_depth);
+        let admitted = self.burst.len().min(shared.p2s_depth);
         self.stats.p2s_dropped += (self.burst.len() - admitted) as u64;
         for i in 0..admitted {
             let (target, context_id) = self.burst[i];
-            match self.mapper.map(target) {
+            match shared.mapper.map(target) {
                 None => self.stats.filtered += 1,
                 Some(token) => {
                     self.stats.accepted += 1;
@@ -248,6 +313,63 @@ impl StreamingIgm {
                 }
             }
         }
+    }
+}
+
+/// The self-contained incremental chain: one [`IgmShared`] bundled with
+/// one [`IgmSession`]. The historical single-stream API — each instance
+/// carries its own mapper table, which is exactly right for tests and
+/// one-stream tools and exactly wrong for 100k-stream serving (use
+/// [`IgmShared`] + [`IgmSession`] there; `rtad-soc`'s sparse pipeline
+/// does).
+#[derive(Debug, Clone)]
+pub struct StreamingIgm {
+    shared: IgmShared,
+    session: IgmSession,
+}
+
+impl StreamingIgm {
+    /// Builds the streaming chain from the same configuration as the
+    /// timed [`crate::Igm`].
+    pub fn new(config: &IgmConfig) -> Self {
+        let shared = IgmShared::new(config);
+        let session = shared.session();
+        StreamingIgm { shared, session }
+    }
+
+    /// Hands a scored dense-window buffer back for reuse by the next
+    /// histogram emission. Buffers past the pool cap are dropped.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        self.session.recycle(buf);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> StreamingStats {
+        self.session.stats()
+    }
+
+    /// The address mapper in use.
+    pub fn mapper(&self) -> &AddressMapper {
+        self.shared.mapper()
+    }
+
+    /// Pushes an arbitrary chunk of the TPIU byte stream, emitting every
+    /// vector that completes. Chunks need not align with frames.
+    pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<StreamedVector>) {
+        self.session.push_bytes(&self.shared, bytes, out);
+    }
+
+    /// Pushes one complete TPIU frame. Malformed frames are dropped, as
+    /// the hardware (and the timed path) drop them.
+    pub fn push_frame(&mut self, frame: &[u8; FRAME_BYTES], out: &mut Vec<StreamedVector>) {
+        self.session.push_frame(&self.shared, frame, out);
+    }
+
+    /// Flushes straggler bytes at end of stream: sub-word TA bytes
+    /// decode, and a partial TPIU frame (stream truncated mid-frame) is
+    /// dropped — both exactly as the timed path does.
+    pub fn finish(&mut self, out: &mut Vec<StreamedVector>) {
+        self.session.finish(&self.shared, out);
     }
 }
 
@@ -424,6 +546,60 @@ mod tests {
         drain(&mut pooled, &mut emitted, &mut got);
 
         assert_eq!(got, expect, "recycling must not change emitted vectors");
+    }
+
+    /// Many sessions over one shared half decode exactly like
+    /// independent `StreamingIgm`s, and an idle session's resident
+    /// footprint excludes the shared mapper table.
+    #[test]
+    fn shared_sessions_match_independent_igms() {
+        let (run, targets) = run_with_targets(240);
+        let config = IgmConfig::histogram(&targets, 16);
+        let trace = StreamEncoder::new(PtmConfig::rtad()).encode_run(&run);
+        let bytes: Vec<u8> = trace.bytes.iter().map(|tb| tb.byte).collect();
+
+        let shared = IgmShared::new(&config);
+        let mut sessions: Vec<IgmSession> = (0..3).map(|_| shared.session()).collect();
+        let mut independent: Vec<StreamingIgm> =
+            (0..3).map(|_| StreamingIgm::new(&config)).collect();
+
+        for (s, (session, igm)) in sessions.iter_mut().zip(&mut independent).enumerate() {
+            // Each stream sees a different chunking of the same bytes.
+            let chunk = 7 + s * 13;
+            let (mut got_s, mut got_i) = (Vec::new(), Vec::new());
+            for c in bytes.chunks(chunk) {
+                session.push_bytes(&shared, c, &mut got_s);
+                igm.push_bytes(c, &mut got_i);
+            }
+            session.finish(&shared, &mut got_s);
+            igm.finish(&mut got_i);
+            assert_eq!(got_s, got_i, "session {s} diverged from StreamingIgm");
+            assert_eq!(session.stats(), igm.stats());
+        }
+
+        // An idle session is compact: its resident bytes must not grow
+        // with the mapper table (shared), only with its own state.
+        let idle = shared.session();
+        assert!(idle.resident_bytes() > 0);
+        let wide_table: Vec<VirtAddr> = (0..4096u32)
+            .map(|k| VirtAddr::new(0x10_0000 + k * 4))
+            .collect();
+        let wide = IgmShared::new(&IgmConfig::token_stream(&wide_table));
+        let wide_idle = wide.session();
+        assert!(
+            wide.resident_bytes() > shared.resident_bytes(),
+            "a 4096-entry table must dominate the shared footprint"
+        );
+        // Token sessions carry no histogram window; a 256x larger table
+        // must not balloon the per-stream state (the counts vector
+        // scales with vocab, which is the model's input dimension — a
+        // deployment constant, not a table-size artifact).
+        assert!(
+            wide_idle.resident_bytes() < wide.resident_bytes(),
+            "session ({}) must be smaller than the shared table ({})",
+            wide_idle.resident_bytes(),
+            wide.resident_bytes()
+        );
     }
 
     #[test]

@@ -215,6 +215,15 @@ impl LstmLane {
     pub fn state(&self) -> (&[f32], &[f32]) {
         (&self.h, &self.c)
     }
+
+    /// Resident bytes of this lane (struct plus owned state vectors) —
+    /// the per-stream recurrent-model cost in the sparse serving
+    /// report's memory-per-stream accounting.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.h.capacity() + self.c.capacity() + self.probs.capacity())
+                * std::mem::size_of::<f32>()
+    }
 }
 
 impl Lstm {

@@ -24,6 +24,11 @@
 //!   (per-stream IGM decode/encode → cross-stream batched ELM/LSTM
 //!   inference → per-stream verdicts), bit-identical to the per-window
 //!   serial path.
+//! * [`sparse`] — the sparse-readiness ingest layer over [`pipeline`]:
+//!   per-stream bounded rings feeding an epoll-style readiness queue so
+//!   a 100k-stream, mostly-idle population costs CPU proportional to
+//!   *ready* streams and a measured, compact number of resident bytes
+//!   per idle stream.
 //! * [`sweep`] — the batched sweep runner: order-preserving parallel
 //!   execution of independent experiment cells (figure output stays
 //!   byte-identical to the serial loops).
@@ -50,6 +55,7 @@ pub mod backend;
 pub mod detection;
 pub mod overhead;
 pub mod pipeline;
+pub mod sparse;
 pub mod sweep;
 pub mod transfer;
 pub mod watchlist;
@@ -67,6 +73,10 @@ pub use overhead::{OverheadModel, OverheadRow, TraceMechanism};
 pub use pipeline::{
     encode_streams, run_pipeline, serial_reference, PipelineConfig, PipelineRun, PipelineStats,
     ServeModel, ServeSpec, StreamOutcome, VerdictPolicy, VerdictState,
+};
+pub use sparse::{
+    fold_score_hash, score_hash, ByteRing, MemoryFootprint, ReadyQueue, RoundStats, SparseConfig,
+    SparseOutcome, SparsePipeline, SparseStats, SCORE_HASH_SEED,
 };
 pub use sweep::{parallel_map, sweep_threads};
 pub use transfer::{

@@ -228,6 +228,12 @@ impl VerdictState {
         VerdictState::default()
     }
 
+    /// Resident bytes of this verdict state (struct plus burst-hit
+    /// ring), for the sparse pipeline's memory-per-stream accounting.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.recent_hits.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Feeds the window-`seq` raw score through smoothing, the burst
     /// window and the hard threshold; returns `(smoothed, flagged)`.
     pub fn observe(&mut self, p: &VerdictPolicy, seq: u64, score: f64) -> (f64, bool) {
@@ -442,10 +448,13 @@ fn ingest_shard(
 /// Per-worker inference state: the reusable [`BatchArena`] plus the
 /// per-stream LSTM lane pool and the index/token/score scratch that
 /// feeds the arena kernels. After the first batch of the steady shape,
-/// scoring a batch allocates nothing.
-struct InferCtx {
+/// scoring a batch allocates nothing. Shared with the sparse-readiness
+/// pipeline (`crate::sparse`), which registers streams dynamically via
+/// [`InferCtx::add_stream`] — batch formation and scoring are the same
+/// code on both paths, so bit-identity transfers.
+pub(crate) struct InferCtx {
     /// Lockstep mode: at most one window per stream per batch (LSTM).
-    lockstep: bool,
+    pub(crate) lockstep: bool,
     arena: BatchArena,
     /// One recurrent lane per stream (LSTM only).
     lanes: Vec<LstmLane>,
@@ -454,11 +463,11 @@ struct InferCtx {
     /// Token per batch slot.
     tokens: Vec<u32>,
     /// Scores of the last batch, slot-aligned.
-    scores: Vec<f64>,
+    pub(crate) scores: Vec<f64>,
 }
 
 impl InferCtx {
-    fn new(spec: &ServeSpec, n: usize) -> Self {
+    pub(crate) fn new(spec: &ServeSpec, n: usize) -> Self {
         let (lockstep, lanes) = match &spec.model {
             ServeModel::Elm(_) => (false, Vec::new()),
             ServeModel::Lstm(lstm) => (true, (0..n).map(|_| lstm.lane()).collect()),
@@ -473,9 +482,24 @@ impl InferCtx {
         }
     }
 
+    /// Registers one more stream (a fresh recurrent lane under the
+    /// LSTM; a no-op for the stateless ELM). Lane indices follow
+    /// registration order, matching the sparse pipeline's stream ids.
+    pub(crate) fn add_stream(&mut self, spec: &ServeSpec) {
+        if let ServeModel::Lstm(lstm) = &spec.model {
+            self.lanes.push(lstm.lane());
+        }
+    }
+
+    /// Resident bytes of stream `id`'s model state (its LSTM lane; the
+    /// ELM keeps none).
+    pub(crate) fn stream_resident_bytes(&self, id: usize) -> usize {
+        self.lanes.get(id).map_or(0, LstmLane::resident_bytes)
+    }
+
     /// Scores `batch` into `self.scores` (slot-aligned) through the
     /// arena kernels — bit-identical to the scalar path per window.
-    fn score(&mut self, spec: &ServeSpec, batch: &[(usize, VectorPayload)]) {
+    pub(crate) fn score(&mut self, spec: &ServeSpec, batch: &[(usize, VectorPayload)]) {
         match &spec.model {
             ServeModel::Elm(elm) => {
                 self.arena.begin(elm.input_dim());
@@ -623,7 +647,7 @@ fn inference_stage(
 /// order, which preserves every stream's relative window order without
 /// rebuilding the queue — the whole call is allocation-free once the
 /// scratch buffers are warm.
-fn take_batch(
+pub(crate) fn take_batch(
     queue: &mut VecDeque<(usize, VectorPayload)>,
     pending: &mut [usize],
     max_batch: usize,

@@ -1,0 +1,971 @@
+//! Sparse-readiness ingest: serving 100k mostly-idle streams.
+//!
+//! The batch pipeline in [`pipeline`](crate::pipeline) polls every
+//! registered stream every round — exactly right for the bench's N≤64
+//! eagerly-fed streams, and exactly wrong for a production deployment
+//! watching an enormous stream population where almost every stream is
+//! idle at any instant. This module restructures ingest around the
+//! epoll idea: *cost must be proportional to ready streams, not
+//! registered streams.*
+//!
+//! ```text
+//!   feed(id, bytes) ──▶ [ByteRing id]  ─┐ empty→nonempty
+//!                                       ├──▶ [ReadyQueue] ──▶ poll_round()
+//!   feed(id', bytes') ─▶ [ByteRing id'] ┘                      drains READY
+//!                                                              streams only
+//! ```
+//!
+//! * **Registration** allocates everything a stream will ever need: a
+//!   fixed-capacity [`ByteRing`], a compact [`IgmSession`] over the
+//!   deployment's single shared mapper table ([`IgmShared`] — the
+//!   table is *not* duplicated per stream), a verdict state, an LSTM
+//!   lane if the model is recurrent, and a fixed-size
+//!   [`SparseOutcome`]. After registration the steady-state ingest
+//!   path allocates nothing (pinned by the `alloc_free` and
+//!   `sparse_smoke` gates).
+//! * **Feeding** copies bytes into the stream's ring and, on the
+//!   empty→nonempty transition, enqueues the stream on the
+//!   [`ReadyQueue`] (at most once — an `enqueued` bitmap guards
+//!   duplicates). A full ring **drops** the overflow and counts it in
+//!   the per-stream drop counter: explicit backpressure that can never
+//!   stall a neighbor stream.
+//! * **Polling** visits only ready streams: each drains up to
+//!   [`SparseConfig::drain_bytes`] from its ring through its decode
+//!   session, emitted windows are formed into cross-stream batches by
+//!   the *same* batch former and arena kernels as the dense pipeline
+//!   (`take_batch` + `InferCtx` — shared code, so the bit-identity
+//!   contract transfers), and verdicts update per stream. A stream
+//!   whose ring still holds bytes re-enqueues itself; an idle stream
+//!   costs zero CPU per round and a measured, compact number of
+//!   resident bytes ([`SparsePipeline::memory_footprint`]).
+//!
+//! **Bit-identity contract.** For a given per-stream byte order (the
+//! interleaving of `feed` calls across streams is irrelevant — streams
+//! are independent), the smoothed scores, flags and cycle totals equal
+//! [`serial_reference`](crate::pipeline::serial_reference)'s exactly,
+//! as long as no ring overflowed. Outcomes are recorded in fixed-size
+//! form (running [`score_hash`] instead of a score vector) so
+//! per-stream memory stays flat at any stream lifetime; the property
+//! tests hash the reference's scores with the same fold and assert
+//! equality.
+
+use std::collections::VecDeque;
+use std::mem::size_of;
+
+use rtad_igm::{IgmSession, IgmShared, StreamedVector, VectorPayload};
+
+use crate::pipeline::{take_batch, InferCtx, ServeSpec, VerdictState};
+
+/// A fixed-capacity byte ring: the per-stream ingest buffer. All
+/// storage is allocated at construction; `push` past capacity accepts
+/// a prefix and reports how much, so the caller can count drops.
+#[derive(Debug, Clone)]
+pub struct ByteRing {
+    buf: Box<[u8]>,
+    head: usize,
+    len: usize,
+}
+
+impl ByteRing {
+    /// A ring holding up to `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity ring can never admit bytes");
+        ByteRing {
+            buf: vec![0u8; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// The fixed capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Free space in bytes.
+    pub fn free(&self) -> usize {
+        self.buf.len() - self.len
+    }
+
+    /// Copies as much of `bytes` as fits and returns the accepted
+    /// count; the rest is the caller's to count as dropped. Never
+    /// allocates, never blocks.
+    pub fn push(&mut self, bytes: &[u8]) -> usize {
+        let take = bytes.len().min(self.free());
+        let cap = self.buf.len();
+        let tail = (self.head + self.len) % cap;
+        let first = take.min(cap - tail);
+        self.buf[tail..tail + first].copy_from_slice(&bytes[..first]);
+        if take > first {
+            self.buf[..take - first].copy_from_slice(&bytes[first..take]);
+        }
+        self.len += take;
+        take
+    }
+
+    /// Pops up to `max` bytes, handing the consumer at most two
+    /// contiguous slices (one if the range does not wrap). Returns the
+    /// number of bytes drained. Zero-copy on the consumer side.
+    pub fn drain_into(&mut self, max: usize, mut f: impl FnMut(&[u8])) -> usize {
+        let take = max.min(self.len);
+        if take == 0 {
+            return 0;
+        }
+        let cap = self.buf.len();
+        let first = take.min(cap - self.head);
+        f(&self.buf[self.head..self.head + first]);
+        if take > first {
+            f(&self.buf[..take - first]);
+        }
+        self.head = (self.head + take) % cap;
+        self.len -= take;
+        take
+    }
+
+    /// Resident bytes: struct plus the fixed backing store.
+    pub fn resident_bytes(&self) -> usize {
+        size_of::<Self>() + self.buf.len()
+    }
+}
+
+/// The epoll-style readiness queue: a FIFO of stream ids with an
+/// `enqueued` bitmap so every stream appears at most once. Capacity is
+/// reserved at registration time, so enqueue/dequeue never allocate.
+#[derive(Debug, Clone, Default)]
+pub struct ReadyQueue {
+    queue: VecDeque<u32>,
+    enqueued: Vec<bool>,
+}
+
+impl ReadyQueue {
+    /// An empty queue over zero streams.
+    pub fn new() -> Self {
+        ReadyQueue::default()
+    }
+
+    /// Registers one more stream id (ids are consecutive from 0) and
+    /// reserves queue capacity for it, keeping later enqueues
+    /// allocation-free.
+    pub fn register(&mut self) -> usize {
+        let id = self.enqueued.len();
+        self.enqueued.push(false);
+        if self.queue.capacity() < self.enqueued.len() {
+            let want = self.enqueued.len() - self.queue.len();
+            self.queue.reserve(want);
+        }
+        id
+    }
+
+    /// Marks `id` ready; returns whether it was newly enqueued (false
+    /// when it was already waiting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never registered.
+    pub fn enqueue(&mut self, id: usize) -> bool {
+        if self.enqueued[id] {
+            return false;
+        }
+        self.enqueued[id] = true;
+        self.queue.push_back(id as u32);
+        true
+    }
+
+    /// Pops the oldest ready stream, clearing its ready mark.
+    pub fn dequeue(&mut self) -> Option<usize> {
+        let id = self.queue.pop_front()? as usize;
+        self.enqueued[id] = false;
+        Some(id)
+    }
+
+    /// Streams currently ready.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no stream is ready.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether `id` is currently enqueued.
+    pub fn contains(&self, id: usize) -> bool {
+        self.enqueued.get(id).copied().unwrap_or(false)
+    }
+
+    /// Resident bytes across all registered streams.
+    pub fn resident_bytes(&self) -> usize {
+        size_of::<Self>()
+            + self.queue.capacity() * size_of::<u32>()
+            + self.enqueued.capacity() * size_of::<bool>()
+    }
+}
+
+/// Knobs of the sparse-readiness pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseConfig {
+    /// Per-stream ingest ring capacity in bytes — the dominant
+    /// per-idle-stream memory knob.
+    pub ring_capacity: usize,
+    /// Maximum windows per inference batch (as in the dense pipeline).
+    pub max_batch: usize,
+    /// Bytes decoded from one ready stream per poll round; a stream
+    /// with more buffered re-enqueues itself (fairness bound, so one
+    /// deep ring cannot monopolize a round).
+    pub drain_bytes: usize,
+}
+
+impl Default for SparseConfig {
+    fn default() -> Self {
+        SparseConfig {
+            ring_capacity: 1024,
+            max_batch: 32,
+            drain_bytes: 1024,
+        }
+    }
+}
+
+/// FNV-1a seed for [`score_hash`] / [`fold_score_hash`].
+pub const SCORE_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one smoothed score into a running FNV-1a hash over the score
+/// bit patterns, in window order. Two score sequences collide exactly
+/// when FNV collides — bit-identity checks hash the serial reference's
+/// scores with the same fold and compare.
+pub fn fold_score_hash(hash: u64, smoothed: f64) -> u64 {
+    let mut h = hash;
+    for b in smoothed.to_bits().to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hashes a full score sequence (see [`fold_score_hash`]).
+pub fn score_hash(scores: &[f64]) -> u64 {
+    scores
+        .iter()
+        .fold(SCORE_HASH_SEED, |h, &s| fold_score_hash(h, s))
+}
+
+/// Fixed-size per-stream outcome of the sparse pipeline. Unlike the
+/// dense pipeline's [`StreamOutcome`](crate::pipeline::StreamOutcome)
+/// it does **not** keep the score vector — per-stream memory must stay
+/// flat over any stream lifetime — so scores are witnessed by a
+/// running order-sensitive hash instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseOutcome {
+    /// Windows scored.
+    pub windows: u64,
+    /// Simulated engine cycles (`windows * cycles_per_event`; the
+    /// cycle-accounting contract is unchanged from the dense pipeline).
+    pub device_cycles: u64,
+    /// Number of flagged windows.
+    pub flags: u64,
+    /// Window index of the most recent flag.
+    pub last_flag: Option<u64>,
+    /// The most recent smoothed score.
+    pub last_score: f64,
+    /// Running FNV-1a hash of every smoothed score's bit pattern, in
+    /// window order (seeded with [`SCORE_HASH_SEED`]).
+    pub score_hash: u64,
+}
+
+impl Default for SparseOutcome {
+    fn default() -> Self {
+        SparseOutcome {
+            windows: 0,
+            device_cycles: 0,
+            flags: 0,
+            last_flag: None,
+            last_score: 0.0,
+            score_hash: SCORE_HASH_SEED,
+        }
+    }
+}
+
+/// Whole-pipeline counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SparseStats {
+    /// Streams registered.
+    pub registered: usize,
+    /// Poll rounds executed (including rounds with nothing ready).
+    pub rounds: u64,
+    /// Ready-stream visits across all rounds — the scheduling work
+    /// actually done. The scaling contract is `stream_polls` growing
+    /// with *ready* streams only: registering more idle streams must
+    /// not move it (property-tested).
+    pub stream_polls: u64,
+    /// Windows scored.
+    pub windows: u64,
+    /// Inference batches issued.
+    pub batches: u64,
+    /// Largest cross-stream batch observed.
+    pub max_batch_seen: usize,
+    /// Bytes accepted into rings.
+    pub fed_bytes: u64,
+    /// Bytes dropped by full rings (explicit backpressure).
+    pub dropped_bytes: u64,
+}
+
+/// What one [`SparsePipeline::poll_round`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Streams that were ready at round start (the work the round
+    /// visited; idle streams contribute nothing here).
+    pub ready: usize,
+    /// Windows scored this round.
+    pub windows: u64,
+    /// Batches issued this round.
+    pub batches: u64,
+}
+
+/// Measured resident memory of a [`SparsePipeline`], split into the
+/// deployment-shared part and the per-stream part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// Registered streams.
+    pub streams: usize,
+    /// Bytes paid once per deployment: the pipeline object and the
+    /// shared IGM mapper table. (Model weights are deployment state
+    /// shared with every other serving path and are not counted.)
+    pub shared_bytes: usize,
+    /// Bytes paid per registered stream, summed: ring + decode session
+    /// + verdict state + model lane + outcome + bookkeeping slots.
+    pub stream_bytes: usize,
+    /// Reusable cross-stream scratch (window queue, batch buffer,
+    /// emit buffer, readiness queue) — bounded by ready-stream burst
+    /// size, not by the registered population.
+    pub scratch_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Average resident bytes per registered stream (the
+    /// memory-per-idle-stream metric when measured before any feed).
+    pub fn bytes_per_stream(&self) -> f64 {
+        if self.streams == 0 {
+            return 0.0;
+        }
+        self.stream_bytes as f64 / self.streams as f64
+    }
+}
+
+/// Ingest sub-quantum (bytes) for streams emitting *dense* pooled
+/// windows. One decoded byte yields at most one window, so a sub-bite
+/// puts at most this many un-recycled buffers in flight before the
+/// next high-water check.
+const DENSE_SUBQUANTUM: usize = 64;
+
+/// Queue length that forces a batch flush while draining dense
+/// streams. `DENSE_HIGH_WATER + DENSE_SUBQUANTUM + max_batch` bounds
+/// the dense-window buffers outstanding against one session's recycle
+/// pool (capacity 256), keeping the steady state allocation-free for
+/// any `max_batch ≤ 128`.
+const DENSE_HIGH_WATER: usize = 64;
+
+/// The sparse-readiness serving pipeline: a long-lived host object
+/// multiplexing an arbitrary registered stream population through the
+/// shared batch former, with per-round cost proportional to *ready*
+/// streams. See the module docs for the architecture and contracts.
+pub struct SparsePipeline {
+    spec: ServeSpec,
+    config: SparseConfig,
+    shared: IgmShared,
+    ctx: InferCtx,
+    rings: Vec<ByteRing>,
+    sessions: Vec<IgmSession>,
+    verdicts: Vec<VerdictState>,
+    outcomes: Vec<SparseOutcome>,
+    /// Per-stream bytes dropped by a full ring.
+    dropped: Vec<u64>,
+    /// `close` was requested; the final sub-word flush happens on the
+    /// next poll once the ring drains.
+    closing: Vec<bool>,
+    /// The final flush ran; further feeds drop.
+    flushed: Vec<bool>,
+    ready: ReadyQueue,
+    queue: VecDeque<(usize, VectorPayload)>,
+    batch: Vec<(usize, VectorPayload)>,
+    in_batch: Vec<bool>,
+    pending: Vec<usize>,
+    emitted: Vec<StreamedVector>,
+    stats: SparseStats,
+}
+
+impl SparsePipeline {
+    /// A pipeline serving `spec` with no streams registered yet.
+    pub fn new(spec: ServeSpec, config: SparseConfig) -> Self {
+        let shared = IgmShared::new(&spec.igm);
+        let ctx = InferCtx::new(&spec, 0);
+        let max_batch = config.max_batch.max(1);
+        SparsePipeline {
+            spec,
+            config,
+            shared,
+            ctx,
+            rings: Vec::new(),
+            sessions: Vec::new(),
+            verdicts: Vec::new(),
+            outcomes: Vec::new(),
+            dropped: Vec::new(),
+            closing: Vec::new(),
+            flushed: Vec::new(),
+            ready: ReadyQueue::new(),
+            queue: VecDeque::new(),
+            batch: Vec::with_capacity(max_batch),
+            in_batch: Vec::new(),
+            pending: Vec::new(),
+            emitted: Vec::new(),
+            stats: SparseStats::default(),
+        }
+    }
+
+    /// Registers one stream, allocating its entire resident state up
+    /// front (ring, decode session, verdict state, model lane), and
+    /// returns its id. This is the *only* place the per-stream path
+    /// allocates.
+    pub fn register(&mut self) -> usize {
+        let id = self.rings.len();
+        self.rings.push(ByteRing::new(self.config.ring_capacity));
+        self.sessions.push(self.shared.session());
+        self.verdicts.push(VerdictState::new());
+        self.outcomes.push(SparseOutcome::default());
+        self.dropped.push(0);
+        self.closing.push(false);
+        self.flushed.push(false);
+        self.in_batch.push(false);
+        self.pending.push(0);
+        self.ctx.add_stream(&self.spec);
+        self.ready.register();
+        self.stats.registered += 1;
+        id
+    }
+
+    /// Registers `n` streams; ids are consecutive starting at the
+    /// previous population size.
+    pub fn register_many(&mut self, n: usize) {
+        for _ in 0..n {
+            self.register();
+        }
+    }
+
+    /// Offers `bytes` to `stream`'s ring and returns how many were
+    /// accepted; the remainder is dropped and counted (never blocks,
+    /// never touches any other stream). Feeding a closed stream drops
+    /// everything.
+    pub fn feed(&mut self, stream: usize, bytes: &[u8]) -> usize {
+        if self.closing[stream] || self.flushed[stream] {
+            self.dropped[stream] += bytes.len() as u64;
+            self.stats.dropped_bytes += bytes.len() as u64;
+            return 0;
+        }
+        let accepted = self.rings[stream].push(bytes);
+        let lost = (bytes.len() - accepted) as u64;
+        self.dropped[stream] += lost;
+        self.stats.dropped_bytes += lost;
+        self.stats.fed_bytes += accepted as u64;
+        if !self.rings[stream].is_empty() {
+            self.ready.enqueue(stream);
+        }
+        accepted
+    }
+
+    /// Marks `stream` finished: once its ring drains, the session's
+    /// end-of-stream flush runs (sub-word straggler bytes decode,
+    /// exactly as the dense pipeline's `finish`). Further feeds drop.
+    pub fn close(&mut self, stream: usize) {
+        if !self.closing[stream] && !self.flushed[stream] {
+            self.closing[stream] = true;
+            self.ready.enqueue(stream);
+        }
+    }
+
+    /// One scheduling round: visits every stream ready at round start
+    /// (and nothing else), decodes up to
+    /// [`SparseConfig::drain_bytes`] per visited stream, scores all
+    /// emitted windows through the shared batch former and updates
+    /// verdicts. With nothing ready this is O(1) — the cost of an
+    /// idle round does not depend on the registered population.
+    pub fn poll_round(&mut self) -> RoundStats {
+        self.stats.rounds += 1;
+        let ready_now = self.ready.len();
+        let (mut windows, mut batches) = (0u64, 0u64);
+        // Dense windows hold pooled buffers; drain those streams in
+        // sub-quanta and flush at a queue high-water mark so the
+        // number of un-recycled buffers per session stays below the
+        // session pool's cap (otherwise a long drain would outrun the
+        // pool and the "zero steady-state allocations" contract).
+        // Token windows are inline values — no buffer pressure — so
+        // they take the whole quantum in one bite, which also keeps
+        // LSTM batches mixing windows across every ready stream.
+        let dense = !self.ctx.lockstep;
+        for _ in 0..ready_now {
+            let Some(s) = self.ready.dequeue() else { break };
+            self.stats.stream_polls += 1;
+            let mut remaining = self.config.drain_bytes.max(1);
+            while remaining > 0 {
+                let step = if dense {
+                    remaining.min(DENSE_SUBQUANTUM)
+                } else {
+                    remaining
+                };
+                let session = &mut self.sessions[s];
+                let shared = &self.shared;
+                let emitted = &mut self.emitted;
+                let got = self.rings[s].drain_into(step, |slice| {
+                    session.push_bytes(shared, slice, emitted);
+                });
+                for v in self.emitted.drain(..) {
+                    self.pending[s] += 1;
+                    self.queue.push_back((s, v.payload));
+                }
+                if dense && self.queue.len() >= DENSE_HIGH_WATER {
+                    let (w, b) = self.flush_batches();
+                    windows += w;
+                    batches += b;
+                }
+                if got < step {
+                    break; // ring empty
+                }
+                remaining -= got;
+            }
+            if self.rings[s].is_empty() {
+                if self.closing[s] && !self.flushed[s] {
+                    let session = &mut self.sessions[s];
+                    session.finish(&self.shared, &mut self.emitted);
+                    self.flushed[s] = true;
+                    for v in self.emitted.drain(..) {
+                        self.pending[s] += 1;
+                        self.queue.push_back((s, v.payload));
+                    }
+                }
+            } else {
+                // Fairness: leftover bytes re-arm readiness for the
+                // next round instead of monopolizing this one.
+                self.ready.enqueue(s);
+            }
+        }
+
+        let (w, b) = self.flush_batches();
+        windows += w;
+        batches += b;
+        self.stats.windows += windows;
+        self.stats.batches += batches;
+        RoundStats {
+            ready: ready_now,
+            windows,
+            batches,
+        }
+    }
+
+    /// Scores everything queued: forms cross-stream batches, scores
+    /// them, applies verdict policies and recycles dense buffers to
+    /// their owning sessions. Returns (windows, batches) done.
+    fn flush_batches(&mut self) -> (u64, u64) {
+        let (mut windows, mut batches) = (0u64, 0u64);
+        while !self.queue.is_empty() {
+            take_batch(
+                &mut self.queue,
+                &mut self.pending,
+                self.config.max_batch.max(1),
+                self.ctx.lockstep,
+                &mut self.in_batch,
+                &mut self.batch,
+            );
+            self.ctx.score(&self.spec, &self.batch);
+            batches += 1;
+            self.stats.max_batch_seen = self.stats.max_batch_seen.max(self.batch.len());
+            for ((stream, _), &score) in self.batch.iter().zip(&self.ctx.scores) {
+                let out = &mut self.outcomes[*stream];
+                let seq = out.windows;
+                let (smoothed, flagged) =
+                    self.verdicts[*stream].observe(&self.spec.policy, seq, score);
+                out.windows += 1;
+                out.device_cycles += self.spec.cycles_per_event;
+                out.last_score = smoothed;
+                out.score_hash = fold_score_hash(out.score_hash, smoothed);
+                if flagged {
+                    out.flags += 1;
+                    out.last_flag = Some(seq);
+                }
+                windows += 1;
+            }
+            for (stream, payload) in self.batch.drain(..) {
+                if let VectorPayload::Dense(buf) = payload {
+                    self.sessions[stream].recycle(buf);
+                }
+            }
+        }
+        (windows, batches)
+    }
+
+    /// Polls until no stream is ready (all accepted bytes decoded and
+    /// scored, closed streams flushed).
+    pub fn drain(&mut self) {
+        while !self.ready.is_empty() {
+            self.poll_round();
+        }
+    }
+
+    /// Closes every stream and drains.
+    pub fn finish_all(&mut self) {
+        for s in 0..self.rings.len() {
+            self.close(s);
+        }
+        self.drain();
+    }
+
+    /// The outcome of `stream` so far.
+    pub fn outcome(&self, stream: usize) -> &SparseOutcome {
+        &self.outcomes[stream]
+    }
+
+    /// All outcomes, indexed by stream id.
+    pub fn outcomes(&self) -> &[SparseOutcome] {
+        &self.outcomes
+    }
+
+    /// Bytes dropped by `stream`'s full ring so far.
+    pub fn dropped_bytes(&self, stream: usize) -> u64 {
+        self.dropped[stream]
+    }
+
+    /// Free space in `stream`'s ingest ring. A lossless feeder checks
+    /// this (and polls to drain) before offering bytes; a
+    /// fire-and-forget feeder just calls [`feed`](Self::feed) and lets
+    /// overflow drop.
+    pub fn ring_free(&self, stream: usize) -> usize {
+        self.rings[stream].free()
+    }
+
+    /// Whole-pipeline counters.
+    pub fn stats(&self) -> SparseStats {
+        self.stats
+    }
+
+    /// Streams currently ready (waiting for a poll).
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// The served spec.
+    pub fn spec(&self) -> &ServeSpec {
+        &self.spec
+    }
+
+    /// Measures resident memory by walking every owned buffer's
+    /// capacity (no allocator hooks needed). Called right after
+    /// registration this yields the memory-per-*idle*-stream metric;
+    /// called later it includes warmed pools and scratch.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let streams = self.rings.len();
+        // Fixed bookkeeping slots per stream spread across the SoA
+        // vectors (dropped, closing, flushed, in_batch, pending).
+        let slots = size_of::<u64>() + 3 * size_of::<bool>() + size_of::<usize>();
+        let stream_bytes = (0..streams)
+            .map(|s| {
+                self.rings[s].resident_bytes()
+                    + self.sessions[s].resident_bytes()
+                    + self.verdicts[s].resident_bytes()
+                    + self.ctx.stream_resident_bytes(s)
+                    + size_of::<SparseOutcome>()
+                    + slots
+            })
+            .sum::<usize>()
+            + self.ready.resident_bytes();
+        let scratch_bytes = self.queue.capacity() * size_of::<(usize, VectorPayload)>()
+            + self.batch.capacity() * size_of::<(usize, VectorPayload)>()
+            + self.emitted.capacity() * size_of::<StreamedVector>();
+        MemoryFootprint {
+            streams,
+            shared_bytes: size_of::<Self>() + self.shared.resident_bytes(),
+            stream_bytes,
+            scratch_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{encode_streams, serial_reference, ServeModel, VerdictPolicy};
+    use rtad_igm::IgmConfig;
+    use rtad_ml::{Elm, ElmConfig, Lstm, LstmConfig};
+    use rtad_trace::{BranchKind, BranchRecord, VirtAddr};
+
+    fn targets(n: u32) -> Vec<VirtAddr> {
+        (0..n).map(|k| VirtAddr::new(0x4000 + k * 0x40)).collect()
+    }
+
+    fn runs(n_streams: usize, lens: &[usize], n_targets: u32) -> Vec<Vec<BranchRecord>> {
+        let tgts = targets(n_targets);
+        (0..n_streams)
+            .map(|s| {
+                (0..lens[s % lens.len()])
+                    .map(|i| {
+                        BranchRecord::new(
+                            VirtAddr::new(0x1000 + (i as u32) * 4),
+                            tgts[(i * (s + 2) + s) % tgts.len()],
+                            BranchKind::IndirectJump,
+                            (i as u64) * 25,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn elm_spec() -> ServeSpec {
+        let tgts = targets(8);
+        let normal: Vec<Vec<f32>> = (0..100)
+            .map(|i| {
+                let mut v = vec![0.0; 8];
+                v[i % 4] = 0.7;
+                v[(i + 2) % 4] = 0.3;
+                v
+            })
+            .collect();
+        ServeSpec {
+            igm: IgmConfig::histogram(&tgts, 8),
+            model: ServeModel::Elm(Elm::train(&ElmConfig::tiny(8), &normal, 3)),
+            policy: VerdictPolicy {
+                threshold: 0.05,
+                hard_threshold: 5.0,
+                alpha: 0.4,
+                burst_k: 2,
+                burst_window_events: 6,
+            },
+            cycles_per_event: 1234,
+        }
+    }
+
+    fn lstm_spec() -> ServeSpec {
+        let tgts = targets(6);
+        let corpus: Vec<u32> = (0..400).map(|i| (i % 6) as u32).collect();
+        ServeSpec {
+            igm: IgmConfig::token_stream(&tgts),
+            model: ServeModel::Lstm(Lstm::train(&LstmConfig::tiny(6), &corpus, 9)),
+            policy: VerdictPolicy::simple(2.5),
+            cycles_per_event: 777,
+        }
+    }
+
+    /// Feeds `bytes` to `stream` in `chunk`-sized pieces, polling the
+    /// pipeline to drain whenever the ring lacks space (a lossless,
+    /// backpressure-aware feeder).
+    fn feed_all(p: &mut SparsePipeline, stream: usize, bytes: &[u8], chunk: usize) {
+        let chunk = chunk.max(1).min(p.ring_free(stream).max(1));
+        for piece in bytes.chunks(chunk) {
+            while p.ring_free(stream) < piece.len() {
+                p.poll_round();
+            }
+            assert_eq!(p.feed(stream, piece), piece.len());
+        }
+    }
+
+    fn assert_matches_reference(spec: &ServeSpec, p: &SparsePipeline, streams: &[Vec<u8>]) {
+        let reference = serial_reference(spec, streams);
+        for (s, r) in reference.iter().enumerate() {
+            let got = p.outcome(s);
+            assert_eq!(got.windows, r.windows, "stream {s} window count");
+            assert_eq!(got.device_cycles, r.device_cycles, "stream {s} cycles");
+            assert_eq!(
+                got.score_hash,
+                score_hash(&r.scores),
+                "stream {s} scores diverged from the serial reference"
+            );
+            assert_eq!(got.flags, r.flags.len() as u64, "stream {s} flag count");
+            assert_eq!(got.last_flag, r.flags.last().copied(), "stream {s} flags");
+            if let Some(&last) = r.scores.last() {
+                assert_eq!(got.last_score.to_bits(), last.to_bits(), "stream {s} score");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_pipeline_matches_reference_for_both_models() {
+        for spec in [elm_spec(), lstm_spec()] {
+            let streams = encode_streams(&runs(5, &[200, 0, 33, 150, 75], 6), 1);
+            let mut p = SparsePipeline::new(
+                spec.clone(),
+                SparseConfig {
+                    ring_capacity: 96,
+                    max_batch: 4,
+                    drain_bytes: 48,
+                },
+            );
+            p.register_many(streams.len());
+            for (s, bytes) in streams.iter().enumerate() {
+                feed_all(&mut p, s, bytes, 37);
+            }
+            p.finish_all();
+            assert_eq!(p.stats().dropped_bytes, 0);
+            assert_matches_reference(&spec, &p, &streams);
+        }
+    }
+
+    #[test]
+    fn idle_streams_cost_no_polls() {
+        let spec = lstm_spec();
+        let streams = encode_streams(&runs(2, &[120, 90], 6), 1);
+
+        let polls_with = |idle: usize| {
+            let mut p = SparsePipeline::new(spec.clone(), SparseConfig::default());
+            p.register_many(streams.len() + idle);
+            for (s, bytes) in streams.iter().enumerate() {
+                feed_all(&mut p, s, bytes, 64);
+                p.poll_round();
+            }
+            // Close only the fed streams: `finish_all` would visit every
+            // registered stream once for its end-of-stream flush, which
+            // is exactly the per-registration cost this test pins to 0.
+            for s in 0..streams.len() {
+                p.close(s);
+            }
+            p.drain();
+            (
+                p.stats().stream_polls,
+                p.outcomes()[..streams.len()].to_vec(),
+            )
+        };
+        let (polls_small, out_small) = polls_with(0);
+        let (polls_large, out_large) = polls_with(10_000);
+        assert_eq!(
+            polls_small, polls_large,
+            "10k extra idle streams changed scheduling work"
+        );
+        assert_eq!(out_small, out_large);
+    }
+
+    #[test]
+    fn full_ring_drops_are_counted_and_contained() {
+        let spec = lstm_spec();
+        let streams = encode_streams(&runs(2, &[150, 150], 6), 1);
+        let mut p = SparsePipeline::new(
+            spec.clone(),
+            SparseConfig {
+                ring_capacity: 64,
+                ..SparseConfig::default()
+            },
+        );
+        p.register_many(2);
+        // Saturate stream 0 without ever polling: overflow must drop.
+        let fed0 = streams[0].len();
+        let mut accepted0 = 0;
+        for piece in streams[0].chunks(48) {
+            accepted0 += p.feed(0, piece);
+        }
+        assert!(accepted0 < fed0);
+        assert_eq!(p.dropped_bytes(0), (fed0 - accepted0) as u64);
+        assert_eq!(p.stats().dropped_bytes, p.dropped_bytes(0));
+        // Stream 1 is fed politely and must be entirely unaffected.
+        feed_all(&mut p, 1, &streams[1], 32);
+        p.close(1);
+        p.drain();
+        let reference = serial_reference(&spec, &streams[1..2]);
+        assert_eq!(p.outcome(1).windows, reference[0].windows);
+        assert_eq!(p.outcome(1).score_hash, score_hash(&reference[0].scores));
+        assert_eq!(p.dropped_bytes(1), 0);
+    }
+
+    #[test]
+    fn close_flushes_stragglers_and_drops_late_feeds() {
+        let spec = lstm_spec();
+        let streams = encode_streams(&runs(1, &[100], 6), 1);
+        let mut p = SparsePipeline::new(spec.clone(), SparseConfig::default());
+        p.register();
+        feed_all(&mut p, 0, &streams[0], 1000);
+        p.close(0);
+        p.drain();
+        let late = p.feed(0, &[0xAA; 8]);
+        assert_eq!(late, 0, "a closed stream must drop feeds");
+        assert_eq!(p.dropped_bytes(0), 8);
+        assert_matches_reference(&spec, &p, &streams);
+    }
+
+    #[test]
+    fn idle_round_is_cheap_and_counts_nothing() {
+        let mut p = SparsePipeline::new(elm_spec(), SparseConfig::default());
+        p.register_many(1000);
+        for _ in 0..5 {
+            let r = p.poll_round();
+            assert_eq!(r, RoundStats::default());
+        }
+        assert_eq!(p.stats().stream_polls, 0);
+        assert_eq!(p.stats().rounds, 5);
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_streams_not_table() {
+        let mut p = SparsePipeline::new(
+            lstm_spec(),
+            SparseConfig {
+                ring_capacity: 256,
+                ..SparseConfig::default()
+            },
+        );
+        p.register_many(100);
+        let f100 = p.memory_footprint();
+        p.register_many(900);
+        let f1000 = p.memory_footprint();
+        assert_eq!(f1000.streams, 1000);
+        // Per-stream cost is flat: 10x the streams ≈ 10x stream_bytes.
+        let per100 = f100.bytes_per_stream();
+        let per1000 = f1000.bytes_per_stream();
+        assert!(
+            (per1000 - per100).abs() / per100 < 0.05,
+            "per-stream bytes moved: {per100:.1} -> {per1000:.1}"
+        );
+        // Shared bytes did not grow with registration.
+        assert_eq!(f100.shared_bytes, f1000.shared_bytes);
+        assert!(per1000 > 0.0);
+    }
+
+    #[test]
+    fn byte_ring_wraps_and_reports() {
+        let mut r = ByteRing::new(8);
+        assert_eq!(r.push(&[1, 2, 3, 4, 5, 6]), 6);
+        let mut got = Vec::new();
+        assert_eq!(r.drain_into(4, |s| got.extend_from_slice(s)), 4);
+        // Wrap: 2 left, 6 free, push 7 accepts 6 split across the seam.
+        assert_eq!(r.push(&[7, 8, 9, 10, 11, 12, 13]), 6);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.push(&[99]), 0, "full ring accepts nothing");
+        r.drain_into(usize::MAX, |s| got.extend_from_slice(s));
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ready_queue_deduplicates() {
+        let mut q = ReadyQueue::new();
+        for _ in 0..3 {
+            q.register();
+        }
+        assert!(q.enqueue(1));
+        assert!(!q.enqueue(1), "double enqueue must be a no-op");
+        assert!(q.enqueue(0));
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(1) && q.contains(0) && !q.contains(2));
+        assert_eq!(q.dequeue(), Some(1));
+        assert!(!q.contains(1));
+        assert!(q.enqueue(1), "dequeued stream can re-arm");
+        assert_eq!(q.dequeue(), Some(0));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), None);
+    }
+}

@@ -15,6 +15,7 @@
 use rtad_alloc_counter::{allocations, CountingAlloc};
 use rtad_igm::{IgmConfig, StreamingIgm, VectorPayload};
 use rtad_ml::{BatchArena, Elm, ElmConfig, Lstm, LstmConfig, LstmLane};
+use rtad_soc::{ServeModel, ServeSpec, SparseConfig, SparsePipeline, VerdictPolicy};
 use rtad_trace::{BranchKind, BranchRecord, PtmConfig, StreamEncoder, VirtAddr};
 
 #[global_allocator]
@@ -64,6 +65,20 @@ fn decode_with_recycling(
         }
     }
     windows
+}
+
+/// Feeds `bytes` into `stream`'s ingest ring losslessly, polling the
+/// pipeline to drain whenever the ring lacks space. Pure slicing and
+/// ring copies — allocation-free by construction, so it can run inside
+/// the counting gate.
+fn sparse_feed_lossless(p: &mut SparsePipeline, stream: usize, bytes: &[u8]) {
+    for piece in bytes.chunks(256) {
+        while p.ring_free(stream) < piece.len() {
+            p.poll_round();
+        }
+        let took = p.feed(stream, piece);
+        assert_eq!(took, piece.len());
+    }
 }
 
 /// Runs `pass` up to three times and returns the fewest allocation
@@ -169,4 +184,70 @@ fn hot_paths_are_allocation_free_in_steady_state() {
     });
     assert_eq!(scores.len(), 32);
     assert_eq!(n, 0, "steady-state LSTM batch made {n} allocations");
+
+    // --- Sparse-readiness ingest (PR 9): once streams are registered,
+    // the whole sparse hot path — ring push/drain, readiness
+    // enqueue/dequeue, per-session decode, cross-stream batch
+    // formation, scoring and verdict updates, plus pure idle rounds —
+    // must make zero allocations. The quiet policy keeps verdict hit
+    // deques empty so the gate pins the structural path, not flag
+    // bookkeeping.
+    let quiet = VerdictPolicy {
+        threshold: 1e9,
+        hard_threshold: 1e18,
+        alpha: 0.5,
+        burst_k: 2,
+        burst_window_events: 5,
+    };
+    let normal8: Vec<Vec<f32>> = (0..80)
+        .map(|i| {
+            let mut v = vec![0.0; 8];
+            v[i % 8] = 1.0;
+            v
+        })
+        .collect();
+    let sparse_specs = [
+        ServeSpec {
+            igm: IgmConfig::histogram(&targets(), 16),
+            model: ServeModel::Elm(Elm::train(&ElmConfig::tiny(8), &normal8, 11)),
+            policy: quiet,
+            cycles_per_event: 500,
+        },
+        ServeSpec {
+            igm: IgmConfig::token_stream(&targets()),
+            model: ServeModel::Lstm(lstm.clone()),
+            policy: quiet,
+            cycles_per_event: 700,
+        },
+    ];
+    for spec in sparse_specs {
+        let is_lstm = matches!(spec.model, ServeModel::Lstm(_));
+        let mut p = SparsePipeline::new(spec, SparseConfig::default());
+        p.register_many(64); // 4 will be active, 60 stay idle
+        let active = 4usize;
+        // Warm-up: size the window pools, queue, emit buffer and arena.
+        for s in 0..active {
+            sparse_feed_lossless(&mut p, s, &bytes);
+        }
+        p.drain();
+        let warm_windows = p.stats().windows;
+        assert!(warm_windows > 0, "sparse warm-up emitted no windows");
+        let n = settled_allocations(|| {
+            for s in 0..active {
+                sparse_feed_lossless(&mut p, s, &bytes);
+            }
+            p.drain();
+            for _ in 0..16 {
+                p.poll_round(); // idle rounds with 64 registered streams
+            }
+        });
+        let steady_windows = p.stats().windows - warm_windows;
+        assert!(steady_windows > 0, "sparse steady phase emitted no windows");
+        assert_eq!(p.stats().dropped_bytes, 0, "lossless feeder dropped bytes");
+        assert_eq!(
+            n, 0,
+            "steady-state sparse ingest (lstm={is_lstm}) made {n} allocations \
+             over {steady_windows} windows"
+        );
+    }
 }
