@@ -6,7 +6,7 @@
 //! cargo run --release -p rtad-bench --bin repro -- fig8          # 3-benchmark subset
 //! cargo run --release -p rtad-bench --bin repro -- fig8-full     # all twelve
 //! cargo run --release -p rtad-bench --bin repro -- fig8-full --serial
-//! cargo run --release -p rtad-bench --bin repro -- serve         # BENCH_pr9.json
+//! cargo run --release -p rtad-bench --bin repro -- serve         # BENCH_pr10.json
 //! ```
 //!
 //! Sweeps run on the batched sweep runner (one worker per core) by
@@ -98,13 +98,20 @@ fn main() {
     }
     if wanted.contains(&"serve") {
         // Explicit-only (like fig8-full): the multi-stream serving
-        // throughput report, dense cells plus the sparse-readiness
-        // sweep at 1k/10k/100k registered streams. Writes
-        // BENCH_pr9.json.
-        let report =
-            ServeReport::measure(REPRO_SEED, 4_096, &[1, 8, 64], 8, &[1_000, 10_000, 100_000]);
+        // throughput report — dense cells, the sparse-readiness sweep
+        // at 1k/10k/100k registered streams, and the sharded-serving
+        // sweep at 1k/10k streams across W ∈ {auto, 1, 2, 4} workers.
+        // Writes BENCH_pr10.json.
+        let report = ServeReport::measure(
+            REPRO_SEED,
+            4_096,
+            &[1, 8, 64],
+            8,
+            &[1_000, 10_000, 100_000],
+            &[1_000, 10_000],
+        );
         print!("{}", report.summary());
-        let path = std::path::Path::new("BENCH_pr9.json");
+        let path = std::path::Path::new("BENCH_pr10.json");
         match report.write_to(path) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("could not write {}: {e}", path.display()),

@@ -125,6 +125,24 @@ impl IgmShared {
     }
 }
 
+// Thread-ownership contract of the split, pinned at compile time for
+// the sharded serving plane (`rtad-soc::shard`): one [`IgmShared`] is
+// read concurrently by every worker shard (`Sync`), while each
+// [`IgmSession`] is *owned* by exactly one shard and only ever moves
+// between threads whole (`Send`). Both types are plain owned data —
+// no interior mutability, no `Rc`, no raw pointers — so the bounds
+// hold structurally; these assertions keep a future field from
+// silently revoking them.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<IgmShared>();
+    assert_sync::<IgmShared>();
+    assert_send::<IgmSession>();
+    assert_send::<StreamedVector>();
+    assert_sync::<StreamedVector>();
+};
+
 /// The per-stream mutable state of the incremental TA →
 /// P2S-admission → IVG chain: deframer/decoder state machines, the
 /// sub-word TA lane buffer, a partial-frame staging buffer and the

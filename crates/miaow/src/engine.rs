@@ -81,6 +81,38 @@ pub struct KernelAttestation {
 /// [`host_threads`] gate).
 pub const DEFAULT_PARALLEL_MIN_WORK: u64 = 400_000;
 
+/// The parallel-launch work threshold for a host with `threads`
+/// schedulable threads. This is the runtime-aware replacement for
+/// pinning [`DEFAULT_PARALLEL_MIN_WORK`] everywhere: the measured
+/// single-core value stays the 1-thread table entry, and wider hosts
+/// step the bar down toward the measured break-even (≈2–2.5×10⁵ work
+/// units), since each extra worker amortizes the fixed spawn cost over
+/// more recovered parallelism. The table stays deliberately coarse —
+/// the crossover moves by small factors, not orders of magnitude — and
+/// never drops below the break-even itself, so a mispredicted host
+/// still cannot land the serial-faster regime on the parallel path.
+pub fn parallel_min_work_for_threads(threads: usize) -> u64 {
+    match threads {
+        // Single-core (and the degenerate 0 report): the measured
+        // BENCH_pr5 value; the host_threads gate keeps the partitioned
+        // path off anyway.
+        0 | 1 => DEFAULT_PARALLEL_MIN_WORK,
+        // Few cores: spawn cost is recovered slower; stay well above
+        // break-even.
+        2 | 3 => 300_000,
+        // Wide hosts: engage near the measured break-even.
+        _ => 200_000,
+    }
+}
+
+/// The auto parallel-launch threshold for *this* host:
+/// [`parallel_min_work_for_threads`] applied to
+/// `available_parallelism()` (cached). [`EngineConfig::miaow`] and
+/// [`EngineConfig::ml_miaow`] seed `parallel_min_work` from this.
+pub fn default_parallel_min_work() -> u64 {
+    parallel_min_work_for_threads(host_threads())
+}
+
 /// Host threads available to the process (cached; the launch-mode
 /// decision consults it so a single-core host never pays thread-spawn
 /// overhead that cannot be recovered).
@@ -113,7 +145,9 @@ pub struct EngineConfig {
     /// instruction count` — below which a `parallel: true` engine
     /// auto-falls back to the serial batch path (small batches lose
     /// more to thread spawning than job-level parallelism recovers; see
-    /// [`DEFAULT_PARALLEL_MIN_WORK`]). `0` disables the fallback and
+    /// [`DEFAULT_PARALLEL_MIN_WORK`] and the host-aware
+    /// [`parallel_min_work_for_threads`] table the presets seed this
+    /// from). `0` disables the fallback and
     /// forces the partitioned path whenever its safety gates allow —
     /// the knob the determinism tests use to exercise it. When the
     /// threshold is active, a single-threaded host also falls back to
@@ -146,7 +180,7 @@ impl EngineConfig {
             dispatch_overhead: 32,
             clock: ClockDomain::rtad_miaow(),
             parallel: false,
-            parallel_min_work: DEFAULT_PARALLEL_MIN_WORK,
+            parallel_min_work: default_parallel_min_work(),
             superblocks: true,
             observe_coverage: true,
         }
@@ -162,7 +196,7 @@ impl EngineConfig {
             dispatch_overhead: 32,
             clock: ClockDomain::rtad_miaow(),
             parallel: true,
-            parallel_min_work: DEFAULT_PARALLEL_MIN_WORK,
+            parallel_min_work: default_parallel_min_work(),
             superblocks: true,
             observe_coverage: false,
         }
@@ -1218,13 +1252,26 @@ mod tests {
     #[test]
     fn auto_mode_falls_back_to_serial_for_small_batches() {
         // 2 jobs × 3 waves × 4 instructions = 24 work units, far below
-        // the default threshold: a parallel-enabled engine must choose
-        // the serial batch path (the BENCH_pr2/pr4 regression case).
+        // any table entry of the threshold policy: a parallel-enabled
+        // engine must choose the serial batch path (the BENCH_pr2/pr4
+        // regression case).
         let kernel = store_kernel();
         let mut cfg = EngineConfig::miaow();
         cfg.cus = 5;
         cfg.parallel = true;
-        assert_eq!(cfg.parallel_min_work, DEFAULT_PARALLEL_MIN_WORK);
+        assert_eq!(cfg.parallel_min_work, default_parallel_min_work());
+        assert_eq!(
+            parallel_min_work_for_threads(1),
+            DEFAULT_PARALLEL_MIN_WORK,
+            "the measured single-core value stays the 1-thread table entry"
+        );
+        assert!(
+            (2..=64).all(|t| {
+                let bar = parallel_min_work_for_threads(t);
+                (200_000..=DEFAULT_PARALLEL_MIN_WORK).contains(&bar)
+            }),
+            "wider hosts step toward break-even but never below it"
+        );
         let mut e = Engine::new(cfg);
         let mut mems: Vec<GpuMemory> = (0..2).map(|_| GpuMemory::new(3 * 16 * 4)).collect();
         let args = [0u32];

@@ -86,8 +86,8 @@ pub use area::{variant_area, EngineVariant};
 pub use asm::{assemble, AssembleError};
 pub use coverage::{CoverageSet, Feature};
 pub use engine::{
-    Engine, EngineConfig, KernelAttestation, LaunchMode, LaunchStats, TierCensus,
-    DEFAULT_PARALLEL_MIN_WORK,
+    default_parallel_min_work, parallel_min_work_for_threads, Engine, EngineConfig,
+    KernelAttestation, LaunchMode, LaunchStats, TierCensus, DEFAULT_PARALLEL_MIN_WORK,
 };
 #[cfg(debug_assertions)]
 pub use exec::LaneRace;

@@ -28,6 +28,17 @@ use crate::elm::{sigmoid, Elm};
 use crate::linalg::Matrix;
 use crate::lstm::{dev_tanh, softmax_clipped, softmax_clipped_into, Lstm};
 
+// The cross-stream batch former's intake runs on a dedicated consumer
+// thread in the sharded serving plane (`rtad-soc::shard`): the arena
+// and the per-stream LSTM lanes it stacks must move into that thread.
+// Both are plain owned buffers, so `Send` holds structurally; the
+// assertions keep it that way.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<BatchArena>();
+    assert_send::<LstmLane>();
+};
+
 /// Reusable scratch for batched inference: the stacked input rows plus
 /// every intermediate buffer the batch kernels need. One arena lives
 /// per inference worker; after the first batch warms its buffers up to

@@ -29,6 +29,12 @@
 //!   a 100k-stream, mostly-idle population costs CPU proportional to
 //!   *ready* streams and a measured, compact number of resident bytes
 //!   per idle stream.
+//! * [`shard`] — sharded sparse scheduling across cores: the [`sparse`]
+//!   plane partitioned over `W` worker shards (own `ReadyQueue`,
+//!   rings, sessions — lock-free, cache-local), feeding the shared
+//!   batch former through bounded SPSC completion rings, bit-identical
+//!   to the serial reference for any `W` and allocation-free in steady
+//!   state.
 //! * [`sweep`] — the batched sweep runner: order-preserving parallel
 //!   execution of independent experiment cells (figure output stays
 //!   byte-identical to the serial loops).
@@ -55,6 +61,7 @@ pub mod backend;
 pub mod detection;
 pub mod overhead;
 pub mod pipeline;
+pub mod shard;
 pub mod sparse;
 pub mod sweep;
 pub mod transfer;
@@ -73,6 +80,10 @@ pub use overhead::{OverheadModel, OverheadRow, TraceMechanism};
 pub use pipeline::{
     encode_streams, run_pipeline, serial_reference, PipelineConfig, PipelineRun, PipelineStats,
     ServeModel, ServeSpec, StreamOutcome, VerdictPolicy, VerdictState,
+};
+pub use shard::{
+    auto_workers, ShardConfig, ShardFeeder, ShardStats, ShardedSparsePipeline, SpscByteRing,
+    SpscRing, MAX_AUTO_WORKERS,
 };
 pub use sparse::{
     fold_score_hash, score_hash, ByteRing, MemoryFootprint, ReadyQueue, RoundStats, SparseConfig,

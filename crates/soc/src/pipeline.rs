@@ -138,13 +138,16 @@ pub struct PipelineConfig {
     /// Bytes ingested from one stream per round-robin turn.
     pub chunk_bytes: usize,
     /// Decode-shard worker count, mirroring the paper's parallel TA
-    /// units. `0` picks automatically — which, since the PR-5
-    /// recalibration, always means the inline single-threaded data
-    /// plane: BENCH_pr4's `decode_shard_scaling` sweep measured every
-    /// sharded configuration (1, 2 and 4 workers) *slower* end-to-end
-    /// than inline on the bench host (57.4 ms inline vs 63.7–66.6 ms
-    /// sharded; stage threads pay channel hops and context switches
-    /// that streaming decode never recovers — see DESIGN.md §12). Any
+    /// units. `0` picks automatically from `available_parallelism()`:
+    /// on a single-core host auto is the inline single-threaded data
+    /// plane — the measured 1-core table entry (BENCH_pr4's
+    /// `decode_shard_scaling` sweep: every sharded configuration, 1, 2
+    /// and 4 workers, *slower* end-to-end than inline at 57.4 ms vs
+    /// 63.7–66.6 ms; stage threads pay channel hops and context
+    /// switches that streaming decode never recovers — DESIGN.md §12).
+    /// Multi-core hosts auto-shard the ingest up to
+    /// `min(cores, 4, streams / 8)` workers once at least two shards
+    /// carry enough streams to amortize their channel set. Any
     /// explicit value ≥ 1 forces the threaded pipeline with that many
     /// shards (clamped to the stream count), so shard scaling keeps
     /// being measurable — the `decode_shard_scaling` section of every
@@ -309,15 +312,34 @@ pub fn run_pipeline(spec: &ServeSpec, config: &PipelineConfig, streams: &[Vec<u8
 /// [`PipelineConfig::decode_shards`].
 fn effective_shards(config: &PipelineConfig, n: usize) -> Option<usize> {
     match config.decode_shards {
-        // Auto: always the inline data plane. Measured (BENCH_pr4
-        // `decode_shard_scaling`): every sharded configuration lost to
-        // inline end-to-end, at any stream count, so the old
-        // `min(4, streams, cores)` heuristic only ever made the
-        // pipeline slower. See [`PipelineConfig::decode_shards`].
-        0 => None,
+        0 => {
+            // Auto: CPU-aware. The 1-core table entry keeps the
+            // BENCH_pr4 `decode_shard_scaling` measurement — on the
+            // single-core bench host every sharded configuration lost
+            // to inline end-to-end — while multi-core hosts shard the
+            // ingest once there are enough streams to amortize the
+            // per-shard channel set. See
+            // [`PipelineConfig::decode_shards`].
+            let threads = crate::sweep::sweep_threads();
+            if threads < 2 {
+                return None;
+            }
+            let shards = threads
+                .min(MAX_AUTO_DECODE_SHARDS)
+                .min(n / MIN_STREAMS_PER_AUTO_SHARD);
+            (shards >= 2).then_some(shards)
+        }
         k => Some(k.min(n)),
     }
 }
+
+/// Cap on auto-selected decode shards: ingest is bandwidth-bound, and
+/// past four workers the per-shard channels outweigh the decode win.
+const MAX_AUTO_DECODE_SHARDS: usize = 4;
+
+/// Streams per auto decode shard: below this, per-shard channel and
+/// thread overhead dominates, so auto stays inline.
+const MIN_STREAMS_PER_AUTO_SHARD: usize = 8;
 
 /// Capacity of each shard's buffer-return channel, in recycled windows.
 /// Full just means a buffer is dropped instead of reused — recycling is
@@ -686,9 +708,10 @@ pub(crate) fn take_batch(
 
 /// The inline single-threaded data plane: decode, batched inference and
 /// verdicts interleaved on the calling thread, no stage threads or
-/// channels at all. The auto policy always chooses it — measured shard
-/// scaling shows stage threads cost channel hops and context switches
-/// that streaming decode never recovers (DESIGN.md §12) — and it
+/// channels at all. The auto policy chooses it on single-core hosts
+/// and for small stream counts — measured shard scaling there shows
+/// stage threads cost channel hops and context switches that streaming
+/// decode never recovers (DESIGN.md §12) — and it
 /// produces bit-identical outcomes to the threaded pipeline (both match
 /// [`serial_reference`]). Scored dense windows recycle straight back
 /// into their stream's decode session.

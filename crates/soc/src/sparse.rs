@@ -305,6 +305,9 @@ pub struct SparseStats {
     pub registered: usize,
     /// Poll rounds executed (including rounds with nothing ready).
     pub rounds: u64,
+    /// Rounds that had at least one ready stream at round start — the
+    /// numerator of poll utilization (`busy_rounds / rounds`).
+    pub busy_rounds: u64,
     /// Ready-stream visits across all rounds — the scheduling work
     /// actually done. The scaling contract is `stream_polls` growing
     /// with *ready* streams only: registering more idle streams must
@@ -468,15 +471,18 @@ impl SparsePipeline {
     /// never touches any other stream). Feeding a closed stream drops
     /// everything.
     pub fn feed(&mut self, stream: usize, bytes: &[u8]) -> usize {
+        // Drop counters saturate: a stream flooded past 2^64 bytes is a
+        // hostile-input scenario, and a silent wrap would erase the very
+        // evidence (a huge drop count) the operator needs.
         if self.closing[stream] || self.flushed[stream] {
-            self.dropped[stream] += bytes.len() as u64;
-            self.stats.dropped_bytes += bytes.len() as u64;
+            self.dropped[stream] = self.dropped[stream].saturating_add(bytes.len() as u64);
+            self.stats.dropped_bytes = self.stats.dropped_bytes.saturating_add(bytes.len() as u64);
             return 0;
         }
         let accepted = self.rings[stream].push(bytes);
         let lost = (bytes.len() - accepted) as u64;
-        self.dropped[stream] += lost;
-        self.stats.dropped_bytes += lost;
+        self.dropped[stream] = self.dropped[stream].saturating_add(lost);
+        self.stats.dropped_bytes = self.stats.dropped_bytes.saturating_add(lost);
         self.stats.fed_bytes += accepted as u64;
         if !self.rings[stream].is_empty() {
             self.ready.enqueue(stream);
@@ -503,6 +509,9 @@ impl SparsePipeline {
     pub fn poll_round(&mut self) -> RoundStats {
         self.stats.rounds += 1;
         let ready_now = self.ready.len();
+        if ready_now > 0 {
+            self.stats.busy_rounds += 1;
+        }
         let (mut windows, mut batches) = (0u64, 0u64);
         // Dense windows hold pooled buffers; drain those streams in
         // sub-quanta and flush at a queue high-water mark so the
@@ -642,6 +651,16 @@ impl SparsePipeline {
     /// Bytes dropped by `stream`'s full ring so far.
     pub fn dropped_bytes(&self, stream: usize) -> u64 {
         self.dropped[stream]
+    }
+
+    /// Total bytes dropped across every stream, folded with saturating
+    /// arithmetic so one flooded stream cannot wrap the aggregate. In
+    /// the non-saturated regime this equals
+    /// [`SparseStats::dropped_bytes`] exactly (property-pinned).
+    pub fn dropped_bytes_total(&self) -> u64 {
+        self.dropped
+            .iter()
+            .fold(0u64, |acc, &d| acc.saturating_add(d))
     }
 
     /// Free space in `stream`'s ingest ring. A lossless feeder checks
@@ -895,6 +914,48 @@ mod tests {
         assert_eq!(late, 0, "a closed stream must drop feeds");
         assert_eq!(p.dropped_bytes(0), 8);
         assert_matches_reference(&spec, &p, &streams);
+    }
+
+    #[test]
+    fn drop_counters_saturate_instead_of_wrapping() {
+        let spec = lstm_spec();
+        let mut p = SparsePipeline::new(spec, SparseConfig::default());
+        p.register_many(2);
+        // A stream flooded to the brink of u64: the next drop must pin
+        // the counter at MAX (the old `+=` would panic in debug builds
+        // and wrap to a tiny value in release builds).
+        p.close(0);
+        p.dropped[0] = u64::MAX - 4;
+        p.stats.dropped_bytes = u64::MAX - 4;
+        assert_eq!(p.feed(0, &[0u8; 16]), 0);
+        assert_eq!(p.dropped_bytes(0), u64::MAX);
+        assert_eq!(p.stats().dropped_bytes, u64::MAX);
+        // The aggregate folds with saturating arithmetic too, so a
+        // second stream's drops cannot wrap it back around.
+        p.close(1);
+        assert_eq!(p.feed(1, &[0u8; 8]), 0);
+        assert_eq!(p.dropped_bytes(1), 8);
+        assert_eq!(p.dropped_bytes_total(), u64::MAX);
+    }
+
+    #[test]
+    fn dropped_bytes_total_matches_stats_in_normal_regime() {
+        let spec = lstm_spec();
+        let streams = encode_streams(&runs(2, &[150, 150], 6), 1);
+        let mut p = SparsePipeline::new(
+            spec,
+            SparseConfig {
+                ring_capacity: 64,
+                ..SparseConfig::default()
+            },
+        );
+        p.register_many(2);
+        for piece in streams[0].chunks(48) {
+            p.feed(0, piece); // unpolled firehose: guaranteed drops
+        }
+        feed_all(&mut p, 1, &streams[1], 32);
+        assert!(p.dropped_bytes(0) > 0);
+        assert_eq!(p.dropped_bytes_total(), p.stats().dropped_bytes);
     }
 
     #[test]
